@@ -1,0 +1,125 @@
+// Experiment C6 — cost of the ground-truth machinery: exhaustive
+// interleaving enumeration (sequential-consistency checking) under both
+// assignment semantics, vs. component count and length.
+#include <benchmark/benchmark.h>
+
+#include "figures/figures.hpp"
+#include "ir/builder.hpp"
+#include "lang/lower.hpp"
+#include "semantics/enumerator.hpp"
+#include "semantics/equivalence.hpp"
+#include "workload/families.hpp"
+
+namespace parcm {
+namespace {
+
+void BM_EnumerateParWide(benchmark::State& state) {
+  std::size_t comps = static_cast<std::size_t>(state.range(0));
+  std::size_t len = static_cast<std::size_t>(state.range(1));
+  Graph g = families::par_wide(comps, len, 2);
+  std::size_t states = 0;
+  for (auto _ : state) {
+    auto r = enumerate_executions(g, {"w"});
+    states = r.states_explored;
+    benchmark::DoNotOptimize(r.finals.size());
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_EnumerateParWide)
+    ->Args({2, 2})
+    ->Args({2, 4})
+    ->Args({2, 6})
+    ->Args({3, 2})
+    ->Args({3, 3})
+    ->Args({4, 2});
+
+void BM_EnumerateSplitSemantics(benchmark::State& state) {
+  std::size_t len = static_cast<std::size_t>(state.range(0));
+  Graph g = families::par_wide(2, len, 2);
+  EnumerationOptions opts;
+  opts.atomic_assignments = false;
+  std::size_t states = 0;
+  for (auto _ : state) {
+    auto r = enumerate_executions(g, {"w"}, opts);
+    states = r.states_explored;
+    benchmark::DoNotOptimize(r.finals.size());
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_EnumerateSplitSemantics)->DenseRange(1, 5);
+
+void BM_EnumerateWithPartialOrderReduction(benchmark::State& state) {
+  std::size_t comps = static_cast<std::size_t>(state.range(0));
+  std::size_t len = static_cast<std::size_t>(state.range(1));
+  Graph g = families::par_wide(comps, len, 2);
+  EnumerationOptions opts;
+  opts.partial_order_reduction = true;
+  std::size_t states = 0;
+  for (auto _ : state) {
+    auto r = enumerate_executions(g, {"w"}, opts);
+    states = r.states_explored;
+    benchmark::DoNotOptimize(r.finals.size());
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_EnumerateWithPartialOrderReduction)
+    ->Args({2, 2})
+    ->Args({2, 4})
+    ->Args({2, 6})
+    ->Args({3, 2})
+    ->Args({3, 3})
+    ->Args({4, 2});
+
+void BM_EnumerateBarrierPrograms(benchmark::State& state) {
+  // Barriers cut the interleaving space: the same two components with and
+  // without a mid-point barrier.
+  std::size_t len = static_cast<std::size_t>(state.range(0));
+  bool with_barrier = state.range(1) != 0;
+  GraphBuilder b;
+  auto component = [&](const char* prefix) {
+    return [&b, prefix, len, with_barrier] {
+      for (std::size_t i = 0; i < len; ++i) {
+        b.assign(std::string(prefix) + std::to_string(i), GraphBuilder::c(1));
+      }
+      if (with_barrier) b.barrier();
+      for (std::size_t i = 0; i < len; ++i) {
+        b.assign(std::string(prefix) + "q" + std::to_string(i),
+                 GraphBuilder::c(2));
+      }
+    };
+  };
+  b.par({component("a"), component("b")});
+  Graph g = b.finish();
+  std::size_t states = 0;
+  for (auto _ : state) {
+    auto r = enumerate_executions(g, {"a0"});
+    states = r.states_explored;
+    benchmark::DoNotOptimize(r.finals.size());
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_EnumerateBarrierPrograms)
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({3, 0})
+    ->Args({3, 1})
+    ->Args({4, 0})
+    ->Args({4, 1});
+
+void BM_EnumerateFigures(benchmark::State& state) {
+  const char* ids[] = {"2", "3c", "4", "6"};
+  const char* id = ids[state.range(0)];
+  Graph g = lang::compile_or_throw(figures::figure_source(id));
+  std::vector<std::string> observed = all_var_names(g);
+  for (auto _ : state) {
+    auto r = enumerate_executions(g, observed);
+    benchmark::DoNotOptimize(r.finals.size());
+  }
+  state.SetLabel(std::string("fig") + id);
+}
+BENCHMARK(BM_EnumerateFigures)->DenseRange(0, 3);
+
+}  // namespace
+}  // namespace parcm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Figure 2 / Experiment C4 — computational vs. executional optimality.
+// Sweeps the bottleneck-component length and reports, for the original
+// program, the naive as-early-as-possible placement (Fig. 2b) and PCM
+// (Fig. 2c): execution time under the paper's cost model (max across
+// components, sum along sequences) and the interleaving computation count.
+#include <benchmark/benchmark.h>
+
+#include "motion/pcm.hpp"
+#include "semantics/cost.hpp"
+#include "workload/families.hpp"
+
+namespace parcm {
+namespace {
+
+enum class Which { kOriginal, kNaive, kPcm };
+
+void run(benchmark::State& state, Which which) {
+  std::size_t bottleneck = static_cast<std::size_t>(state.range(0));
+  Graph g = families::fig2_family(bottleneck);
+  Graph subject = [&] {
+    switch (which) {
+      case Which::kOriginal:
+        return g;
+      case Which::kNaive:
+        return naive_parallel_code_motion(g).graph;
+      case Which::kPcm:
+        return parallel_code_motion(g).graph;
+    }
+    return g;
+  }();
+
+  std::uint64_t time = 0, comps = 0;
+  for (auto _ : state) {
+    FixedOracle oracle(0);
+    CostResult r = execution_time(subject, oracle);
+    time = r.time;
+    comps = r.computations;
+    benchmark::DoNotOptimize(r.time);
+  }
+  state.counters["exec_time"] = static_cast<double>(time);
+  state.counters["computations"] = static_cast<double>(comps);
+}
+
+void BM_Fig2_Original(benchmark::State& state) { run(state, Which::kOriginal); }
+void BM_Fig2_NaivePlacement(benchmark::State& state) { run(state, Which::kNaive); }
+void BM_Fig2_PCM(benchmark::State& state) { run(state, Which::kPcm); }
+
+BENCHMARK(BM_Fig2_Original)->DenseRange(1, 10)->ArgName("bottleneck");
+BENCHMARK(BM_Fig2_NaivePlacement)->DenseRange(1, 10)->ArgName("bottleneck");
+BENCHMARK(BM_Fig2_PCM)->DenseRange(1, 10)->ArgName("bottleneck");
+
+}  // namespace
+}  // namespace parcm
+
+BENCHMARK_MAIN();

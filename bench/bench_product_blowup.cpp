@@ -1,0 +1,79 @@
+// Experiment C2 — the product program is "in the worst case exponentially
+// larger" (paper Sec. 2 / Fig. 6): measures product size and PMOP-via-
+// product time against the hierarchical PMFP on the compact graph.
+#include <benchmark/benchmark.h>
+
+#include "analyses/upsafety.hpp"
+#include "dfa/packed.hpp"
+#include "semantics/product.hpp"
+#include "workload/families.hpp"
+
+namespace parcm {
+namespace {
+
+void BM_ProductConstruction(benchmark::State& state) {
+  std::size_t comps = static_cast<std::size_t>(state.range(0));
+  std::size_t len = static_cast<std::size_t>(state.range(1));
+  Graph g = families::par_wide(comps, len);
+  std::size_t configs = 0;
+  for (auto _ : state) {
+    ProductProgram p = build_product(g, 4u << 20);
+    configs = p.num_configs;
+    benchmark::DoNotOptimize(p.graph.num_nodes());
+  }
+  state.counters["compact_nodes"] = static_cast<double>(g.num_nodes());
+  state.counters["product_nodes"] = static_cast<double>(configs);
+  state.counters["blowup"] =
+      static_cast<double>(configs) / static_cast<double>(g.num_nodes());
+}
+BENCHMARK(BM_ProductConstruction)
+    ->Args({2, 2})
+    ->Args({2, 4})
+    ->Args({2, 8})
+    ->Args({2, 16})
+    ->Args({3, 2})
+    ->Args({3, 4})
+    ->Args({3, 8})
+    ->Args({4, 2})
+    ->Args({4, 4})
+    ->Args({5, 3});
+
+void BM_PmopViaProduct(benchmark::State& state) {
+  std::size_t comps = static_cast<std::size_t>(state.range(0));
+  std::size_t len = static_cast<std::size_t>(state.range(1));
+  Graph g = families::par_wide(comps, len);
+  ProductProgram prod = build_product(g, 4u << 20);
+  TermTable terms(g);
+  LocalPredicates preds(g, terms);
+  PackedProblem p = make_upsafety_problem(g, preds, SafetyVariant::kNaive);
+  for (auto _ : state) {
+    PmopResult r = solve_pmop_via_product(g, prod, p);
+    benchmark::DoNotOptimize(r.entry.data());
+  }
+  state.counters["product_nodes"] = static_cast<double>(prod.num_configs);
+}
+BENCHMARK(BM_PmopViaProduct)->Args({2, 4})->Args({2, 8})->Args({3, 4});
+
+void BM_PmfpOnCompactGraph(benchmark::State& state) {
+  // The same solution via the hierarchical solver: the paper's point is
+  // that this side does NOT grow with the number of interleavings.
+  std::size_t comps = static_cast<std::size_t>(state.range(0));
+  std::size_t len = static_cast<std::size_t>(state.range(1));
+  Graph g = families::par_wide(comps, len);
+  TermTable terms(g);
+  LocalPredicates preds(g, terms);
+  InterleavingInfo itlv(g);
+  PackedProblem p = make_upsafety_problem(g, preds, SafetyVariant::kNaive);
+  for (auto _ : state) {
+    PackedResult r = solve_packed(g, p);
+    benchmark::DoNotOptimize(r.entry.data());
+  }
+  state.counters["compact_nodes"] = static_cast<double>(g.num_nodes());
+}
+BENCHMARK(BM_PmfpOnCompactGraph)->Args({2, 4})->Args({2, 8})->Args({3, 4})
+    ->Args({4, 16})->Args({8, 64});
+
+}  // namespace
+}  // namespace parcm
+
+BENCHMARK_MAIN();

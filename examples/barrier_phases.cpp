@@ -1,0 +1,66 @@
+// Explicit synchronization (the paper's conclusions): barriers split a
+// parallel statement into phases. Shows the phase-aware cost model, the
+// interleaving semantics of collective release, and how code motion remains
+// sound but deliberately conservative across phases.
+//
+//   $ ./barrier_phases
+#include <cstdio>
+#include <iostream>
+
+#include "parcm.hpp"
+
+int main() {
+  using namespace parcm;
+
+  const char* source = R"(
+    a := 1; b := 2;
+    par {
+      x1 := a + b; x2 := a + b; x3 := a + b;
+      barrier;
+      y1 := a + b;
+    } and {
+      z1 := a + b;
+      barrier;
+      z2 := a + b; z3 := a + b; z4 := a + b;
+    }
+  )";
+  Graph g = lang::compile_or_throw(source);
+  std::cout << "=== program ===\n" << source << "\n";
+
+  // Phase-aware execution time: max per phase, summed.
+  FixedOracle oracle(0);
+  CostResult cost = execution_time(g, oracle);
+  std::printf("execution time: %llu (phase 1: max(3,1)=3, phase 2: "
+              "max(1,3)=3)\ncomputations:   %llu\n\n",
+              static_cast<unsigned long long>(cost.time),
+              static_cast<unsigned long long>(cost.computations));
+
+  // The barrier really synchronizes: a cross-phase read is deterministic.
+  Graph exchange = lang::compile_or_throw(R"(
+    par { a := 1; barrier; u := b + 0; }
+    and { b := 2; barrier; v := a + 0; }
+  )");
+  auto finals = enumerate_executions(exchange, {"u", "v"});
+  std::cout << "two-phase exchange final states:";
+  for (const auto& f : finals.finals) {
+    std::cout << " (u=" << f[0] << ", v=" << f[1] << ")";
+  }
+  std::cout << "\n\n";
+
+  // PCM on the phased program: every placement stays within its phase
+  // (down-safety ends at barriers), so the transformation can never turn an
+  // early phase into the bottleneck.
+  MotionResult pcm = parallel_code_motion(g);
+  std::cout << motion_report(pcm);
+  FixedOracle o2(0);
+  CostResult after = execution_time(pcm.graph, o2);
+  std::printf("\nexecution time after PCM: %llu (never worse)\n",
+              static_cast<unsigned long long>(after.time));
+
+  EnumerationOptions eo;
+  eo.atomic_assignments = false;
+  auto verdict = check_sequential_consistency(g, pcm.graph, {}, eo);
+  std::cout << "sequentially consistent: "
+            << (verdict.sequentially_consistent ? "yes" : "NO") << "\n";
+  return verdict.sequentially_consistent ? 0 : 1;
+}

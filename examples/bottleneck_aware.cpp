@@ -1,0 +1,42 @@
+// Figure 2 scenario: computational optimality is not executional
+// optimality. Sweeps the bottleneck-component length and prints the cost-
+// model execution times of the original program, the naive as-early-as-
+// possible placement (Fig. 2b) and PCM (Fig. 2c) — naive and PCM always
+// perform the same *number* of computations, yet PCM is faster because it
+// keeps c+b in a component whose sibling is the bottleneck.
+//
+//   $ ./bottleneck_aware [max-bottleneck]
+#include <cstdio>
+#include <cstdlib>
+
+#include "motion/pcm.hpp"
+#include "semantics/cost.hpp"
+#include "workload/families.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parcm;
+  std::size_t max_n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10;
+
+  std::puts("bottleneck  computations(orig/naive/pcm)  time(orig/naive/pcm)");
+  for (std::size_t n = 1; n <= max_n; ++n) {
+    Graph g = families::fig2_family(n);
+    Graph naive = naive_parallel_code_motion(g).graph;
+    Graph pcm = parallel_code_motion(g).graph;
+
+    FixedOracle o1(0), o2(0), o3(0);
+    CostResult orig_r = execution_time(g, o1);
+    CostResult naive_r = execution_time(naive, o2);
+    CostResult pcm_r = execution_time(pcm, o3);
+
+    std::printf("%10zu  %6llu /%6llu /%6llu      %5llu /%6llu /%5llu\n", n,
+                static_cast<unsigned long long>(orig_r.computations),
+                static_cast<unsigned long long>(naive_r.computations),
+                static_cast<unsigned long long>(pcm_r.computations),
+                static_cast<unsigned long long>(orig_r.time),
+                static_cast<unsigned long long>(naive_r.time),
+                static_cast<unsigned long long>(pcm_r.time));
+  }
+  std::puts("\nnaive == pcm on computations (kernel of \"computationally"
+            " better\"),\nbut pcm < naive on execution time: the Fig. 2 gap.");
+  return 0;
+}

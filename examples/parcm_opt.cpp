@@ -1,0 +1,107 @@
+// parcm_opt — command-line driver: read a parcm-language program, run code
+// motion, print the result.
+//
+//   parcm_opt [options] [file]          (stdin when no file)
+//     --naive       use the refuted naive placement instead of PCM
+//     --dce         run dead-assignment elimination after code motion
+//     --observe V   with --dce: only variable V (repeatable) is observable
+//     --dot         emit Graphviz instead of the node-list text
+//     --report      print the per-term insertion/replacement report
+//     --table TERM  print the safety table for a term, e.g. --table 'a + b'
+//     --figure ID   load a paper figure instead of a file (1, 2, 3a, ... 10)
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "figures/figures.hpp"
+#include "ir/printer.hpp"
+#include "ir/terms.hpp"
+#include "lang/lower.hpp"
+#include "motion/dce.hpp"
+#include "motion/pcm.hpp"
+#include "motion/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parcm;
+  bool naive = false, dot = false, report = false, dce = false;
+  std::vector<std::string> observed;
+  std::string table_term, figure_id, file;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--naive") {
+      naive = true;
+    } else if (a == "--dot") {
+      dot = true;
+    } else if (a == "--report") {
+      report = true;
+    } else if (a == "--dce") {
+      dce = true;
+    } else if (a == "--observe" && i + 1 < args.size()) {
+      observed.push_back(args[++i]);
+    } else if (a == "--table" && i + 1 < args.size()) {
+      table_term = args[++i];
+    } else if (a == "--figure" && i + 1 < args.size()) {
+      figure_id = args[++i];
+    } else if (a == "--help" || a == "-h") {
+      std::cout << "usage: parcm_opt [--naive] [--dot] [--report] "
+                   "[--table TERM] [--figure ID] [file]\n";
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "unknown option " << a << "\n";
+      return 2;
+    } else {
+      file = a;
+    }
+  }
+
+  std::string source;
+  if (!figure_id.empty()) {
+    source = figures::figure_source(figure_id);
+  } else if (!file.empty()) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "cannot open " << file << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    source = ss.str();
+  } else {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    source = ss.str();
+  }
+
+  DiagnosticSink sink;
+  Graph program = lang::compile(source, sink);
+  if (!sink.ok()) {
+    std::cerr << sink.to_string() << "\n";
+    return 1;
+  }
+
+  MotionResult result = naive ? naive_parallel_code_motion(program)
+                              : parallel_code_motion(program);
+  if (dce) {
+    DceOptions dce_opts;
+    dce_opts.observed = observed;
+    DceResult cleaned = eliminate_dead_assignments(result.graph, dce_opts);
+    result.graph = std::move(cleaned.graph);
+    if (report) {
+      std::cout << "dead assignments removed: " << cleaned.eliminated.size()
+                << "\n";
+    }
+  }
+  if (report) std::cout << motion_report(result);
+  if (!table_term.empty()) {
+    TermTable terms(result.graph);
+    std::cout << safety_table(result.graph, result,
+                              terms.find(result.graph, table_term));
+  }
+  std::cout << (dot ? to_dot(result.graph, file.empty() ? "parcm" : file)
+                    : to_text(result.graph));
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: compile a small parallel program, run the paper's PCM
+// transformation, and inspect analyses, placement and cost.
+//
+//   $ ./quickstart
+#include <cstdio>
+#include <iostream>
+
+#include "ir/printer.hpp"
+#include "lang/lower.hpp"
+#include "motion/pcm.hpp"
+#include "motion/report.hpp"
+#include "semantics/cost.hpp"
+#include "semantics/equivalence.hpp"
+
+int main() {
+  using namespace parcm;
+
+  // A program in the parcm language: `par {..} and {..}` runs components
+  // interleaved on shared memory; `if (*)` branches nondeterministically.
+  const char* source = R"(
+    a := 1; b := 2;
+    par {
+      x := a + b;
+      while (*) { y := a + b; }
+    } and {
+      z := a + b;
+    }
+    w := a + b;
+  )";
+
+  Graph program = lang::compile_or_throw(source);
+  std::cout << "=== original program ===\n" << to_text(program) << "\n";
+
+  // The paper's transformation: two unidirectional bitvector analyses
+  // (up-safe_par forward, down-safe_par backward) + earliest placement.
+  MotionResult result = parallel_code_motion(program);
+  std::cout << "=== transformed program ===\n" << to_text(result.graph)
+            << "\n";
+  std::cout << motion_report(result) << "\n";
+
+  // Cost model (Sec. 3.3.1): max across parallel components, sum along
+  // sequences; non-trivial assignments cost 1.
+  for (std::size_t trips : {0u, 4u}) {
+    LoopOracle before(trips), after(trips);
+    CostResult orig = execution_time(program, before);
+    CostResult moved = execution_time(result.graph, after);
+    std::printf("loop trips %zu: execution time %llu -> %llu\n", trips,
+                static_cast<unsigned long long>(orig.time),
+                static_cast<unsigned long long>(moved.time));
+  }
+
+  // Ground truth: the transformed program exposes no behaviour the original
+  // could not produce (sequential consistency, Remark 2.1 semantics).
+  EnumerationOptions opts;
+  opts.atomic_assignments = false;
+  auto verdict = check_sequential_consistency(program, result.graph, {}, opts);
+  std::cout << "sequentially consistent: "
+            << (verdict.sequentially_consistent ? "yes" : "NO") << " ("
+            << verdict.original_behaviours << " original behaviours, "
+            << verdict.transformed_behaviours << " transformed)\n";
+  return verdict.sequentially_consistent ? 0 : 1;
+}

@@ -1,0 +1,136 @@
+// Regenerates the headline tables of EXPERIMENTS.md in one run (the
+// microbenchmark timings live in bench/; this driver covers the cost-model
+// and placement tables, which are exact).
+//
+//   $ ./reproduce_experiments
+#include <cstdio>
+#include <iostream>
+
+#include "parcm.hpp"
+
+namespace {
+
+using namespace parcm;
+
+void fig2_table() {
+  std::puts("== Fig. 2 — computational vs. executional optimality ==");
+  std::puts("b   computations orig/naive/PCM   time orig/naive/PCM");
+  for (std::size_t b : {1u, 3u, 6u, 10u}) {
+    Graph g = families::fig2_family(b);
+    Graph naive = naive_parallel_code_motion(g).graph;
+    Graph pcm = parallel_code_motion(g).graph;
+    FixedOracle o1(0), o2(0), o3(0);
+    CostResult ro = execution_time(g, o1);
+    CostResult rn = execution_time(naive, o2);
+    CostResult rp = execution_time(pcm, o3);
+    std::printf("%-3zu %5llu / %llu / %llu             %5llu / %llu / %llu\n",
+                b, (unsigned long long)ro.computations,
+                (unsigned long long)rn.computations,
+                (unsigned long long)rp.computations,
+                (unsigned long long)ro.time, (unsigned long long)rn.time,
+                (unsigned long long)rp.time);
+  }
+  std::puts("");
+}
+
+void fig10_table() {
+  std::puts("== Fig. 10 — trip-count sweep (time original -> PCM) ==");
+  Graph g = figures::fig10();
+  Graph t = parallel_code_motion(g).graph;
+  std::puts("trips  orig  pcm  speedup");
+  for (std::size_t trips : {0u, 1u, 2u, 8u, 64u, 256u}) {
+    LoopOracle l1(trips), l2(trips);
+    CostResult a = execution_time(g, l1);
+    CostResult b = execution_time(t, l2);
+    std::printf("%5zu %5llu %4llu  %.1fx\n", trips,
+                (unsigned long long)a.time, (unsigned long long)b.time,
+                double(a.time) / double(b.time ? b.time : 1));
+  }
+  std::puts("");
+}
+
+void fig10_placements() {
+  std::puts("== Fig. 10 — placements ==");
+  Graph g = figures::fig10();
+  MotionResult pcm = parallel_code_motion(g);
+  for (const TermMotion& tm : pcm.terms) {
+    std::size_t root = 0;
+    for (NodeId n : tm.insert_nodes) {
+      root += pcm.graph.node(n).region == pcm.graph.root_region();
+    }
+    std::printf("  %-6s  %zu insertion(s), %zu in the root region, "
+                "%zu replacement(s)\n",
+                term_to_string(pcm.graph, tm.term_value).c_str(),
+                tm.insert_nodes.size(), root, tm.replaced.size());
+  }
+  std::puts("");
+}
+
+void product_blowup_table() {
+  std::puts("== C2 — product program blowup ==");
+  std::puts("comps x len   compact   product   blowup");
+  const std::pair<std::size_t, std::size_t> shapes[] = {
+      {2, 8}, {2, 16}, {3, 8}, {4, 4}, {5, 3}};
+  for (auto [c, l] : shapes) {
+    Graph g = families::par_wide(c, l);
+    ProductProgram p = build_product(g, 4u << 20);
+    std::printf("  %zu x %-8zu %5zu %9zu   %.1fx\n", c, l, g.num_nodes(),
+                p.num_configs,
+                double(p.num_configs) / double(g.num_nodes()));
+  }
+  std::puts("");
+}
+
+void consistency_table() {
+  std::puts("== Figs. 3/4 — sequential consistency verdicts ==");
+  struct Row {
+    const char* name;
+    const char* original;
+    const char* transformed;
+  };
+  const Row rows[] = {
+      {"Fig3 (b) vs (a)", "3a", "3b"},
+      {"Fig3 (d) vs (c)", "3c", "3d"},
+      {"Fig4 (b) vs (a)", "4", "4b"},
+      {"Fig4 (c) vs (a)", "4", "4c"},
+      {"Fig4 (d) vs (a)", "4", "4d"},
+  };
+  for (const Row& row : rows) {
+    Graph orig = lang::compile_or_throw(figures::figure_source(row.original));
+    Graph trans =
+        lang::compile_or_throw(figures::figure_source(row.transformed));
+    auto v = check_sequential_consistency(orig, trans, all_var_names(orig));
+    std::printf("  %-16s %s\n", row.name,
+                v.sequentially_consistent ? "consistent" : "INCONSISTENT");
+  }
+  std::puts("");
+}
+
+void enumeration_por_table() {
+  std::puts("== C6 — enumeration states, full vs partial-order reduction ==");
+  std::puts("comps x len   full   reduced");
+  const std::pair<std::size_t, std::size_t> shapes[] = {{2, 4}, {3, 3}, {4, 2}};
+  for (auto [c, l] : shapes) {
+    Graph g = families::par_wide(c, l, 2);
+    EnumerationOptions full;
+    EnumerationOptions red;
+    red.partial_order_reduction = true;
+    auto a = enumerate_executions(g, {"w"}, full);
+    auto b = enumerate_executions(g, {"w"}, red);
+    std::printf("  %zu x %-8zu %5zu %8zu\n", c, l, a.states_explored,
+                b.states_explored);
+  }
+  std::puts("");
+}
+
+}  // namespace
+
+int main() {
+  fig2_table();
+  fig10_table();
+  fig10_placements();
+  product_blowup_table();
+  consistency_table();
+  enumeration_por_table();
+  return 0;
+}

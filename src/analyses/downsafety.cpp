@@ -1,0 +1,66 @@
+#include "analyses/downsafety.hpp"
+
+namespace parcm {
+
+PackedProblem make_downsafety_problem(const Graph& g,
+                                      const LocalPredicates& preds,
+                                      SafetyVariant variant) {
+  PackedProblem p;
+  p.dir = Direction::kBackward;
+  p.policy = variant == SafetyVariant::kRefined ? SyncPolicy::kDownSafePar
+                                                : SyncPolicy::kStandard;
+  p.num_terms = preds.num_terms();
+  p.boundary = BitVector(p.num_terms);  // nothing anticipated after e*
+  p.gen.reserve(g.num_nodes());
+  p.kill.reserve(g.num_nodes());
+  p.destroy.reserve(g.num_nodes());
+  for (NodeId n : g.all_nodes()) {
+    // Barriers end the down-safe region: anticipability must not cross a
+    // synchronization phase, or an initialization hoisted into an earlier
+    // phase could become that phase's bottleneck and regress the execution
+    // time (the paper's "extremely efficient however less precise"
+    // treatment of explicit synchronization).
+    if (g.node(n).kind == NodeKind::kBarrier) {
+      p.gen.push_back(BitVector(p.num_terms));
+      p.kill.push_back(BitVector(p.num_terms, true));
+      p.destroy.push_back(BitVector(p.num_terms));
+      continue;
+    }
+    // Local function (backward): Const_tt if Comp (the computation happens
+    // before the assignment modifies anything), Const_ff if !Transp &&
+    // !Comp, Id otherwise.
+    BitVector gen = preds.comp(n);
+    if (variant == SafetyVariant::kRefined && preds.recursive(n) &&
+        g.pfg(n).valid()) {
+      // Implicit decomposition (Sec. 3.3.2): inside a parallel statement a
+      // recursive assignment x := t is conceptually x_t := t; x := x_t.
+      // Its occurrence of t is not replaceable without materializing that
+      // split — which would add non-atomic behaviours — so it generates no
+      // down-safety and acts as a pure destroyer instead.
+      gen.reset_all();
+    }
+    BitVector kill = preds.mod(n);
+    kill.and_not(gen);
+    p.kill.push_back(std::move(kill));
+    p.gen.push_back(std::move(gen));
+    // Interference: under the split, the x := x_t half destroys
+    // anticipability whenever the lhs is an operand — so a recursive
+    // assignment interleaved between n and the anticipated use kills the
+    // property. The naive (atomic) view misses exactly that (Figs. 3/4).
+    if (variant == SafetyVariant::kRefined) {
+      p.destroy.push_back(preds.mod(n));
+    } else {
+      BitVector d = preds.mod(n);
+      d.and_not(preds.comp(n));
+      p.destroy.push_back(std::move(d));
+    }
+  }
+  return p;
+}
+
+PackedResult compute_downsafety(const Graph& g, const LocalPredicates& preds,
+                                SafetyVariant variant) {
+  return solve_packed(g, make_downsafety_problem(g, preds, variant));
+}
+
+}  // namespace parcm

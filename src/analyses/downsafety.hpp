@@ -1,0 +1,30 @@
+// Down-safety (anticipability): a point n is down-safe for t if every path
+// from n to e* computes t before any modification of t's operands (paper
+// Sec. 1). Backward, must, boundary ff at e*.
+//
+// Variants:
+//  kNaive    standard synchronization, atomic destruction (a recursive
+//            assignment x := t "generates" for down-safety and is *not*
+//            counted as interference) — the refuted conjecture of [17].
+//  kRefined  this paper's down-safe_par: all-components synchronization rule
+//            plus the implicit decomposition of recursive assignments
+//            (Secs. 3.3.2/3.3.3) — interference destroys iff the statement
+//            assigns an operand, recursive or not.
+#pragma once
+
+#include "analyses/predicates.hpp"
+#include "analyses/upsafety.hpp"
+#include "dfa/framework.hpp"
+#include "dfa/packed.hpp"
+
+namespace parcm {
+
+PackedProblem make_downsafety_problem(const Graph& g,
+                                      const LocalPredicates& preds,
+                                      SafetyVariant variant);
+
+// out[n] = "n is down-safe for the term" (Comp(n) or anticipated after n).
+PackedResult compute_downsafety(const Graph& g, const LocalPredicates& preds,
+                                SafetyVariant variant);
+
+}  // namespace parcm

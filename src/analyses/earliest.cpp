@@ -1,0 +1,67 @@
+#include "analyses/earliest.hpp"
+
+namespace parcm {
+
+SafetyInfo compute_safety(const Graph& g, const LocalPredicates& preds,
+                          SafetyVariant variant) {
+  SafetyInfo info;
+  info.variant = variant;
+  info.num_terms = preds.num_terms();
+  info.up_result = compute_upsafety(g, preds, variant);
+  info.down_result = compute_downsafety(g, preds, variant);
+
+  info.upsafe.reserve(g.num_nodes());
+  info.dnsafe.reserve(g.num_nodes());
+  info.safe.reserve(g.num_nodes());
+  for (NodeId n : g.all_nodes()) {
+    // Up-safety holds *at* n if it holds on entry; down-safety holds at n
+    // if n computes t or t stays anticipated after n (the out value of the
+    // backward analysis).
+    info.upsafe.push_back(info.up_result.entry[n.index()]);
+    info.dnsafe.push_back(info.down_result.out[n.index()]);
+    info.safe.push_back(info.upsafe.back() | info.dnsafe.back());
+  }
+  return info;
+}
+
+MotionPredicates compute_motion_predicates(
+    const Graph& g, const LocalPredicates& preds, const SafetyInfo& safety,
+    const MotionPredicateOptions& options) {
+  MotionPredicates mp;
+  mp.earliest.reserve(g.num_nodes());
+  mp.replace.reserve(g.num_nodes());
+  std::size_t k = safety.num_terms;
+  for (NodeId n : g.all_nodes()) {
+    BitVector earliest = safety.dnsafe[n.index()];
+    if (n != g.start()) {
+      // Some predecessor must block the motion: it is unsafe, or it
+      // modifies an operand (placement there would compute a wrong value).
+      BitVector blocked(k);
+      for (NodeId m : g.preds(n)) {
+        BitVector ok = safety.safe[m.index()] & preds.transp(m);
+        ok.invert();
+        blocked |= ok;
+      }
+      if (options.parend_export_rule && g.node(n).kind == NodeKind::kParEnd) {
+        // A component exit "supports" the join only if the statement
+        // exports the value (the up-safe_par synchronization, Sec. 3.3.3):
+        // a component's own down-safety justifies its internal coverage but
+        // interference (and temp privatization) keeps that value from
+        // crossing the join. Const_ff summary => always blocked (the
+        // initialization after the join must not be suppressed — the Fig. 7
+        // pitfall); Const_tt => never blocked (an establishing component
+        // with clean siblings delivers the value).
+        const PackedFun& summary =
+            safety.up_result.stmt_summary[g.node(n).par_stmt.index()];
+        blocked |= summary.ff;
+        blocked.and_not(summary.tt);
+      }
+      earliest &= blocked;
+    }
+    mp.earliest.push_back(std::move(earliest));
+    mp.replace.push_back(preds.comp(n) & safety.safe[n.index()]);
+  }
+  return mp;
+}
+
+}  // namespace parcm

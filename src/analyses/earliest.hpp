@@ -1,0 +1,51 @@
+// Safety and placement predicates of the (parallel) busy code motion
+// transformation (paper Secs. 3.2 and 3.3.4):
+//
+//   Safe(n)     = up-safe(n) or down-safe(n)
+//   Earliest(n) = down-safe(n) and (n = s*, or some predecessor m fails
+//                 Safe(m) and Transp(m))
+//   Insert(n)   = Earliest(n)
+//   Replace(n)  = Comp(n) and Safe(n)
+//
+// With SafetyVariant::kRefined these are the paper's Safe_par /
+// Earliest_par; with kNaive they are the refuted straightforward transfer.
+#pragma once
+
+#include "analyses/downsafety.hpp"
+#include "analyses/predicates.hpp"
+#include "analyses/upsafety.hpp"
+
+namespace parcm {
+
+struct SafetyInfo {
+  SafetyVariant variant = SafetyVariant::kRefined;
+  std::size_t num_terms = 0;
+  // Per node, one bit per term.
+  std::vector<BitVector> upsafe;
+  std::vector<BitVector> dnsafe;
+  std::vector<BitVector> safe;
+  // Full solver results, for inspection (summaries, NonDest, ...).
+  PackedResult up_result;
+  PackedResult down_result;
+};
+
+SafetyInfo compute_safety(const Graph& g, const LocalPredicates& preds,
+                          SafetyVariant variant);
+
+struct MotionPredicates {
+  std::vector<BitVector> earliest;  // = insertion points
+  std::vector<BitVector> replace;
+};
+
+struct MotionPredicateOptions {
+  // At a ParEnd, let component exits support the join only when the
+  // statement exports the value (the up-safe_par summary). Disabling this
+  // reproduces the Fig. 7 suppression pitfall inside the refined variant.
+  bool parend_export_rule = true;
+};
+
+MotionPredicates compute_motion_predicates(
+    const Graph& g, const LocalPredicates& preds, const SafetyInfo& safety,
+    const MotionPredicateOptions& options = {});
+
+}  // namespace parcm

@@ -1,0 +1,60 @@
+#include "analyses/liveness.hpp"
+
+#include <deque>
+
+namespace parcm {
+
+LivenessResult compute_liveness(const Graph& g, VarId v) {
+  LivenessResult res;
+  res.live_in.assign(g.num_nodes(), 0);
+  res.live_out.assign(g.num_nodes(), 0);
+
+  auto uses = [&](NodeId n) {
+    const Node& node = g.node(n);
+    if (node.kind == NodeKind::kAssign) return node.rhs.uses_var(v);
+    if (node.kind == NodeKind::kTest) return node.cond->uses_var(v);
+    return false;
+  };
+  auto defs = [&](NodeId n) {
+    const Node& node = g.node(n);
+    return node.kind == NodeKind::kAssign && node.lhs == v;
+  };
+
+  std::deque<NodeId> worklist;
+  std::vector<char> queued(g.num_nodes(), 1);
+  for (NodeId n : g.all_nodes()) worklist.push_back(n);
+
+  while (!worklist.empty()) {
+    NodeId n = worklist.front();
+    worklist.pop_front();
+    queued[n.index()] = 0;
+
+    std::uint8_t out = 0;
+    for (NodeId m : g.succs(n)) out |= res.live_in[m.index()];
+    std::uint8_t in = uses(n) || (out && !defs(n));
+    if (in == res.live_in[n.index()] && out == res.live_out[n.index()]) {
+      continue;
+    }
+    res.live_in[n.index()] = in;
+    res.live_out[n.index()] = out;
+    for (NodeId m : g.preds(n)) {
+      if (!queued[m.index()]) {
+        queued[m.index()] = 1;
+        worklist.push_back(m);
+      }
+    }
+  }
+  return res;
+}
+
+std::size_t total_temp_lifetime(const Graph& g, const std::string& prefix) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < g.num_vars(); ++i) {
+    VarId v(static_cast<VarId::underlying>(i));
+    if (g.var_name(v).rfind(prefix, 0) != 0) continue;
+    total += compute_liveness(g, v).live_node_count();
+  }
+  return total;
+}
+
+}  // namespace parcm

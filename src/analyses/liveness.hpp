@@ -1,0 +1,33 @@
+// Classic backward may-liveness of a single variable, used to measure
+// temporary lifetimes (the register-pressure argument behind lazy code
+// motion). Interference is irrelevant for the metric, so the analysis runs
+// on plain graph edges and works for parallel graphs too.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/graph.hpp"
+
+namespace parcm {
+
+struct LivenessResult {
+  // live_in[n]: v may be read on some path from n before being overwritten.
+  std::vector<std::uint8_t> live_in;
+  std::vector<std::uint8_t> live_out;
+
+  std::size_t live_node_count() const {
+    std::size_t n = 0;
+    for (std::uint8_t b : live_in) n += b;
+    return n;
+  }
+};
+
+LivenessResult compute_liveness(const Graph& g, VarId v);
+
+// Sum of live_node_count over all temporaries introduced by a motion pass
+// (variables whose names start with `prefix`, default the "h_" convention).
+std::size_t total_temp_lifetime(const Graph& g,
+                                const std::string& prefix = "h_");
+
+}  // namespace parcm

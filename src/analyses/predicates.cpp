@@ -1,0 +1,35 @@
+#include "analyses/predicates.hpp"
+
+namespace parcm {
+
+LocalPredicates::LocalPredicates(const Graph& g, const TermTable& terms)
+    : num_terms_(terms.size()) {
+  // ops_of_var[v]: terms having variable v as an operand.
+  std::vector<BitVector> ops_of_var(g.num_vars(), BitVector(num_terms_));
+  for (TermId t : terms.all()) {
+    const Term& term = terms.term(t);
+    if (term.lhs.is_var()) ops_of_var[term.lhs.var_id().index()].set(t.index());
+    if (term.rhs.is_var()) ops_of_var[term.rhs.var_id().index()].set(t.index());
+  }
+
+  comp_.assign(g.num_nodes(), BitVector(num_terms_));
+  transp_.assign(g.num_nodes(), BitVector(num_terms_, true));
+  mod_.assign(g.num_nodes(), BitVector(num_terms_));
+  recursive_.assign(g.num_nodes(), false);
+
+  for (NodeId n : g.all_nodes()) {
+    const Node& node = g.node(n);
+    if (node.kind != NodeKind::kAssign) continue;
+    TermId t = terms.term_of(n);
+    if (t.valid()) comp_[n.index()].set(t.index());
+    // Variables referenced by ops_of_var but never assigned keep full
+    // transparency; assignments kill the terms using their lhs.
+    if (node.lhs.valid() && node.lhs.index() < ops_of_var.size()) {
+      mod_[n.index()] = ops_of_var[node.lhs.index()];
+      transp_[n.index()].and_not(mod_[n.index()]);
+    }
+    recursive_[n.index()] = node.rhs.uses_var(node.lhs);
+  }
+}
+
+}  // namespace parcm

@@ -1,0 +1,44 @@
+// Local predicates Comp and Transp per (node, term), packed over the term
+// universe, plus the interference-destruction predicate in its two flavours
+// (paper Sec. 3.3.2).
+#pragma once
+
+#include <vector>
+
+#include "ir/graph.hpp"
+#include "ir/terms.hpp"
+#include "support/bitvector.hpp"
+
+namespace parcm {
+
+class LocalPredicates {
+ public:
+  LocalPredicates(const Graph& g, const TermTable& terms);
+
+  std::size_t num_terms() const { return num_terms_; }
+
+  // Comp(n): node n's right-hand side is the term (paper: n contains a
+  // computation of t).
+  const BitVector& comp(NodeId n) const { return comp_[n.index()]; }
+  // Transp(n): node n does not assign any operand of the term.
+  const BitVector& transp(NodeId n) const { return transp_[n.index()]; }
+  // ~Transp(n), precomputed.
+  const BitVector& mod(NodeId n) const { return mod_[n.index()]; }
+
+  bool comp(NodeId n, TermId t) const { return comp_[n.index()].test(t.index()); }
+  bool transp(NodeId n, TermId t) const {
+    return transp_[n.index()].test(t.index());
+  }
+
+  // True iff n is a recursive assignment (lhs occurs in its own rhs term).
+  bool recursive(NodeId n) const { return recursive_[n.index()]; }
+
+ private:
+  std::size_t num_terms_;
+  std::vector<BitVector> comp_;
+  std::vector<BitVector> transp_;
+  std::vector<BitVector> mod_;
+  std::vector<bool> recursive_;
+};
+
+}  // namespace parcm

@@ -1,0 +1,36 @@
+#include "analyses/upsafety.hpp"
+
+namespace parcm {
+
+PackedProblem make_upsafety_problem(const Graph& g,
+                                    const LocalPredicates& preds,
+                                    SafetyVariant variant) {
+  PackedProblem p;
+  p.dir = Direction::kForward;
+  p.policy = variant == SafetyVariant::kRefined ? SyncPolicy::kUpSafePar
+                                                : SyncPolicy::kStandard;
+  p.num_terms = preds.num_terms();
+  p.boundary = BitVector(p.num_terms);  // nothing available before s*
+  p.gen.reserve(g.num_nodes());
+  p.kill.reserve(g.num_nodes());
+  p.destroy.reserve(g.num_nodes());
+  for (NodeId n : g.all_nodes()) {
+    // Local function: Const_tt if Comp && Transp, Const_ff if !Transp
+    // (covers recursive assignments: they compute t but leave it
+    // unavailable), Id otherwise.
+    BitVector gen = preds.comp(n) & preds.transp(n);
+    p.gen.push_back(std::move(gen));
+    p.kill.push_back(preds.mod(n));
+    // Interference destroys availability iff the interleaved statement
+    // assigns an operand — identical under the atomic and the split view.
+    p.destroy.push_back(preds.mod(n));
+  }
+  return p;
+}
+
+PackedResult compute_upsafety(const Graph& g, const LocalPredicates& preds,
+                              SafetyVariant variant) {
+  return solve_packed(g, make_upsafety_problem(g, preds, variant));
+}
+
+}  // namespace parcm

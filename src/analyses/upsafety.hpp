@@ -1,0 +1,30 @@
+// Up-safety (availability): a point n is up-safe for t if every program
+// path reaching n computes t after the last modification of t's operands
+// (paper Sec. 1). Forward, must, boundary ff at s*.
+//
+// Variants:
+//  kNaive    the straightforward transfer of [17]'s conjecture — standard
+//            synchronization. PMFP = PMOP of plain availability, but the
+//            property is too weak to justify suppressing initializations in
+//            parallel programs (pitfall P3, Figs. 6/7).
+//  kRefined  this paper's up-safe_par — the strengthened synchronization of
+//            Sec. 3.3.3, usable for code motion.
+#pragma once
+
+#include "analyses/predicates.hpp"
+#include "dfa/framework.hpp"
+#include "dfa/packed.hpp"
+
+namespace parcm {
+
+enum class SafetyVariant { kNaive, kRefined };
+
+PackedProblem make_upsafety_problem(const Graph& g,
+                                    const LocalPredicates& preds,
+                                    SafetyVariant variant);
+
+// entry[n] = "n is up-safe for the term" (value at forward entry of n).
+PackedResult compute_upsafety(const Graph& g, const LocalPredicates& preds,
+                              SafetyVariant variant);
+
+}  // namespace parcm

@@ -1,0 +1,2 @@
+// direction.hpp is header-only; this TU anchors the module in the build.
+#include "dfa/direction.hpp"

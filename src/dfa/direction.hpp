@@ -1,0 +1,67 @@
+// Direction abstraction: backward analyses run on the reversed graph, where
+// ParEnd plays the role of a parallel statement's entry and ParBegin its
+// synchronizing exit. All solvers are written against this view.
+#pragma once
+
+#include <vector>
+
+#include "ir/graph.hpp"
+
+namespace parcm {
+
+enum class Direction { kForward, kBackward };
+
+class DirectedView {
+ public:
+  DirectedView(const Graph& g, Direction dir) : g_(&g), dir_(dir) {}
+
+  const Graph& graph() const { return *g_; }
+  Direction direction() const { return dir_; }
+  bool forward() const { return dir_ == Direction::kForward; }
+
+  // Analysis information flows from entry() toward exit().
+  NodeId entry() const { return forward() ? g_->start() : g_->end(); }
+  NodeId exit() const { return forward() ? g_->end() : g_->start(); }
+
+  std::vector<NodeId> dir_preds(NodeId n) const {
+    return forward() ? g_->preds(n) : g_->succs(n);
+  }
+  std::vector<NodeId> dir_succs(NodeId n) const {
+    return forward() ? g_->succs(n) : g_->preds(n);
+  }
+
+  // The node through which flow enters / leaves a parallel statement.
+  NodeId stmt_entry(ParStmtId s) const {
+    return forward() ? g_->par_stmt(s).begin : g_->par_stmt(s).end;
+  }
+  NodeId stmt_exit(ParStmtId s) const {
+    return forward() ? g_->par_stmt(s).end : g_->par_stmt(s).begin;
+  }
+
+  bool is_stmt_entry(NodeId n) const {
+    NodeKind k = g_->node(n).kind;
+    return forward() ? k == NodeKind::kParBegin : k == NodeKind::kParEnd;
+  }
+  bool is_stmt_exit(NodeId n) const {
+    NodeKind k = g_->node(n).kind;
+    return forward() ? k == NodeKind::kParEnd : k == NodeKind::kParBegin;
+  }
+
+  // Nodes of component r adjacent to the statement's entry / exit in flow
+  // direction. In the forward view the entry set is the single component
+  // entry; backward it is the set of component exits.
+  std::vector<NodeId> component_entries(RegionId r) const {
+    if (forward()) return {g_->component_entry(r)};
+    return g_->component_exits(r);
+  }
+  std::vector<NodeId> component_exits_dir(RegionId r) const {
+    if (forward()) return g_->component_exits(r);
+    return {g_->component_entry(r)};
+  }
+
+ private:
+  const Graph* g_;
+  Direction dir_;
+};
+
+}  // namespace parcm

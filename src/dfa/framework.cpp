@@ -1,0 +1,28 @@
+#include "dfa/framework.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace parcm {
+
+BitProblem extract_term_problem(const PackedProblem& p, std::size_t term) {
+  PARCM_CHECK(term < p.num_terms, "term index out of range");
+  BitProblem b;
+  b.dir = p.dir;
+  b.policy = p.policy;
+  b.boundary = p.boundary.test(term);
+  b.local.reserve(p.gen.size());
+  b.destroy.reserve(p.gen.size());
+  for (std::size_t n = 0; n < p.gen.size(); ++n) {
+    if (p.gen[n].test(term)) {
+      b.local.push_back(BVFun::kConstTT);
+    } else if (p.kill[n].test(term)) {
+      b.local.push_back(BVFun::kConstFF);
+    } else {
+      b.local.push_back(BVFun::kId);
+    }
+    b.destroy.push_back(p.destroy[n].test(term));
+  }
+  return b;
+}
+
+}  // namespace parcm

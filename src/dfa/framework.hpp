@@ -1,0 +1,88 @@
+// Problem/result types shared by the hierarchical PMFP solvers.
+//
+// A unidirectional bitvector problem is given by one F_B element per node
+// (the local semantic functional), a per-node interference-destruction
+// predicate feeding NonDest, a boundary value at the directional entry, and
+// a synchronization policy — the only place the paper's refinements differ
+// from the original framework of [17]:
+//
+//   kStandard    the rule of [17]; PMFP coincides with PMOP (Theorem 2.4)
+//   kUpSafePar   paper Sec. 3.3.3: exit is Const_tt only if some component
+//                delivers Const_tt and no node of a *sibling* component
+//                destroys the information
+//   kDownSafePar paper Sec. 3.3.3: entry is Const_tt only if *every*
+//                component delivers Const_tt and no node of *any* component
+//                destroys the information
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dfa/direction.hpp"
+#include "dfa/lattice.hpp"
+#include "support/bitvector.hpp"
+
+namespace parcm {
+
+enum class SyncPolicy { kStandard, kUpSafePar, kDownSafePar };
+
+const char* sync_policy_name(SyncPolicy p);
+
+// --- scalar (single-term) problem -------------------------------------------
+
+struct BitProblem {
+  Direction dir = Direction::kForward;
+  SyncPolicy policy = SyncPolicy::kStandard;
+  // Local semantic function of each node (indexed by NodeId).
+  std::vector<BVFun> local;
+  // True if the node destroys the information when interleaved (the paper's
+  // implicit recursive-assignment split lives here: with the split, a node
+  // destroys iff it assigns an operand of the term).
+  std::vector<bool> destroy;
+  // Value at the directional entry node (s* forward, e* backward).
+  bool boundary = false;
+};
+
+struct BitResult {
+  // Value at the directional entry of each node (before its statement in
+  // flow direction) and after applying its local function. uint8_t instead
+  // of vector<bool> so results have addressable storage.
+  std::vector<std::uint8_t> entry;
+  std::vector<std::uint8_t> out;
+  // NonDest predicate per node (diagnostic; true = no interference).
+  std::vector<std::uint8_t> nondest;
+  // Synchronized summary of each parallel statement.
+  std::vector<BVFun> stmt_summary;
+  std::size_t relaxations = 0;
+};
+
+// --- packed (all terms at once) problem --------------------------------------
+
+struct PackedProblem {
+  Direction dir = Direction::kForward;
+  SyncPolicy policy = SyncPolicy::kStandard;
+  std::size_t num_terms = 0;
+  // Per node: local function as masks. gen bit => Const_tt, kill bit =>
+  // Const_ff, neither => Id (masks disjoint).
+  std::vector<BitVector> gen;
+  std::vector<BitVector> kill;
+  // Per node: terms destroyed under interference.
+  std::vector<BitVector> destroy;
+  BitVector boundary;
+};
+
+struct PackedResult {
+  std::vector<BitVector> entry;
+  std::vector<BitVector> out;
+  // Per node: terms with no interfering destruction.
+  std::vector<BitVector> nondest;
+  std::vector<PackedFun> stmt_summary;
+  std::size_t relaxations = 0;
+};
+
+// Single-term slice of a packed problem, for the scalar solver (used in
+// differential tests: solve_bit on every slice must equal solve_packed).
+BitProblem extract_term_problem(const PackedProblem& p, std::size_t term);
+
+}  // namespace parcm

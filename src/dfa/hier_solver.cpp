@@ -1,0 +1,273 @@
+#include "dfa/hier_solver.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/diagnostics.hpp"
+
+namespace parcm {
+
+const char* sync_policy_name(SyncPolicy p) {
+  switch (p) {
+    case SyncPolicy::kStandard:
+      return "standard";
+    case SyncPolicy::kUpSafePar:
+      return "up-safe-par";
+    case SyncPolicy::kDownSafePar:
+      return "down-safe-par";
+  }
+  return "?";
+}
+
+BVFun apply_sync_policy(SyncPolicy policy, const std::vector<BVFun>& ends,
+                        const std::vector<bool>& destroys) {
+  PARCM_CHECK(ends.size() == destroys.size(), "sync policy arity mismatch");
+  bool all_id = std::all_of(ends.begin(), ends.end(),
+                            [](BVFun f) { return f == BVFun::kId; });
+  switch (policy) {
+    case SyncPolicy::kStandard: {
+      if (std::any_of(ends.begin(), ends.end(),
+                      [](BVFun f) { return f == BVFun::kConstFF; })) {
+        return BVFun::kConstFF;
+      }
+      return all_id ? BVFun::kId : BVFun::kConstTT;
+    }
+    case SyncPolicy::kUpSafePar: {
+      // Const_tt iff some component establishes the information and no node
+      // of any *sibling* component can destroy it.
+      for (std::size_t i = 0; i < ends.size(); ++i) {
+        if (ends[i] != BVFun::kConstTT) continue;
+        bool sibling_destroys = false;
+        for (std::size_t j = 0; j < ends.size(); ++j) {
+          if (j != i && destroys[j]) sibling_destroys = true;
+        }
+        if (!sibling_destroys) return BVFun::kConstTT;
+      }
+      return all_id ? BVFun::kId : BVFun::kConstFF;
+    }
+    case SyncPolicy::kDownSafePar: {
+      // Const_tt iff *every* component establishes the information and no
+      // node of *any* component can destroy it (this is what stops motion
+      // out of a single — possibly non-bottleneck — component).
+      bool all_tt = std::all_of(ends.begin(), ends.end(),
+                                [](BVFun f) { return f == BVFun::kConstTT; });
+      bool any_destroys =
+          std::any_of(destroys.begin(), destroys.end(), [](bool d) { return d; });
+      if (all_tt && !any_destroys) return BVFun::kConstTT;
+      return all_id ? BVFun::kId : BVFun::kConstFF;
+    }
+  }
+  PARCM_CHECK(false, "unknown sync policy");
+}
+
+namespace {
+
+// Step 1+2: per-statement summaries, innermost first.
+class SummaryPass {
+ public:
+  SummaryPass(const DirectedView& view, const BitProblem& p)
+      : view_(view), g_(view.graph()), p_(p) {}
+
+  std::vector<BVFun> run(std::size_t* relaxations) {
+    summaries_.assign(g_.num_par_stmts(), BVFun::kId);
+
+    // Innermost first = decreasing region depth of the parent region.
+    std::vector<ParStmtId> order;
+    for (std::size_t i = 0; i < g_.num_par_stmts(); ++i) {
+      order.push_back(ParStmtId(static_cast<ParStmtId::underlying>(i)));
+    }
+    std::sort(order.begin(), order.end(), [&](ParStmtId a, ParStmtId b) {
+      return g_.region_depth(g_.par_stmt(a).parent_region) >
+             g_.region_depth(g_.par_stmt(b).parent_region);
+    });
+
+    for (ParStmtId s : order) {
+      const ParStmt& stmt = g_.par_stmt(s);
+      std::vector<BVFun> ends;
+      std::vector<bool> destroys;
+      for (RegionId comp : stmt.components) {
+        ends.push_back(component_effect(s, comp, relaxations));
+        bool d = false;
+        for (NodeId m : g_.nodes_in_region_recursive(comp)) {
+          if (p_.destroy[m.index()]) d = true;
+        }
+        destroys.push_back(d);
+      }
+      summaries_[s.index()] = apply_sync_policy(p_.policy, ends, destroys);
+    }
+    return std::move(summaries_);
+  }
+
+ private:
+  // Functional MFP over F_B inside one component region: the effect of
+  // executing from the statement's directional entry through node n, met
+  // over all paths. Nested statements contribute their precomputed summary.
+  BVFun component_effect(ParStmtId s, RegionId comp, std::size_t* relaxations) {
+    NodeId stmt_entry = view_.stmt_entry(s);
+    const std::vector<NodeId>& members = g_.region(comp).nodes;
+
+    std::vector<BVFun> eff(g_.num_nodes(), BVFun::kConstTT);  // top of F_B
+    std::deque<NodeId> worklist(members.begin(), members.end());
+    std::vector<char> queued(g_.num_nodes(), 0);
+    for (NodeId n : members) queued[n.index()] = 1;
+
+    auto in_comp = [&](NodeId m) { return g_.node(m).region == comp; };
+
+    while (!worklist.empty()) {
+      NodeId n = worklist.front();
+      worklist.pop_front();
+      queued[n.index()] = 0;
+      ++*relaxations;
+
+      BVFun value;
+      if (view_.is_stmt_exit(n)) {
+        // Directional exit of a nested statement: skip across it via the
+        // nested summary applied to the value at its directional entry.
+        ParStmtId nested = g_.node(n).par_stmt;
+        value = compose(summaries_[nested.index()],
+                        eff[view_.stmt_entry(nested).index()]);
+      } else {
+        BVFun pre = BVFun::kConstTT;
+        for (NodeId m : view_.dir_preds(n)) {
+          if (m == stmt_entry) {
+            pre = meet(pre, BVFun::kId);
+          } else if (in_comp(m)) {
+            pre = meet(pre, eff[m.index()]);
+          } else {
+            PARCM_CHECK(false, "component pred outside region");
+          }
+        }
+        value = compose(p_.local[n.index()], pre);
+      }
+
+      if (value != eff[n.index()]) {
+        eff[n.index()] = value;
+        for (NodeId m : view_.dir_succs(n)) {
+          if (!in_comp(m)) continue;
+          if (view_.is_stmt_exit(m) &&
+              n != view_.stmt_entry(g_.node(m).par_stmt)) {
+            continue;  // nested exits depend only on their entry's value
+          }
+          if (!queued[m.index()]) {
+            queued[m.index()] = 1;
+            worklist.push_back(m);
+          }
+        }
+        if (view_.is_stmt_entry(n)) {
+          NodeId exit = view_.stmt_exit(g_.node(n).par_stmt);
+          if (!queued[exit.index()]) {
+            queued[exit.index()] = 1;
+            worklist.push_back(exit);
+          }
+        }
+      }
+    }
+
+    BVFun end_effect = BVFun::kConstTT;
+    for (NodeId m : view_.component_exits_dir(comp)) {
+      end_effect = meet(end_effect, eff[m.index()]);
+    }
+    return end_effect;
+  }
+
+  const DirectedView& view_;
+  const Graph& g_;
+  const BitProblem& p_;
+  std::vector<BVFun> summaries_;
+};
+
+}  // namespace
+
+BitResult solve_bit(const Graph& g, const BitProblem& p) {
+  PARCM_CHECK(p.local.size() == g.num_nodes(), "local functional size");
+  PARCM_CHECK(p.destroy.size() == g.num_nodes(), "destroy predicate size");
+  DirectedView view(g, p.dir);
+
+  BitResult res;
+  res.relaxations = 0;
+
+  // NonDest(n) per Sec. 2: no interleaving predecessor destroys. Computed
+  // from per-component aggregated destroy flags (linear, not quadratic).
+  std::vector<char> region_destroy(g.num_regions(), 0);
+  for (std::size_t ri = 0; ri < g.num_regions(); ++ri) {
+    RegionId r(static_cast<RegionId::underlying>(ri));
+    for (NodeId n : g.nodes_in_region_recursive(r)) {
+      if (p.destroy[n.index()]) region_destroy[ri] = 1;
+    }
+  }
+  res.nondest.assign(g.num_nodes(), true);
+  for (NodeId n : g.all_nodes()) {
+    for (const Graph::Enclosing& enc : g.enclosing_stmts(n)) {
+      for (RegionId comp : g.par_stmt(enc.stmt).components) {
+        if (comp != enc.component && region_destroy[comp.index()]) {
+          res.nondest[n.index()] = false;
+        }
+      }
+    }
+  }
+
+  // Steps 1 + 2.
+  SummaryPass summaries(view, p);
+  res.stmt_summary = summaries.run(&res.relaxations);
+
+  // Step 3: value-level greatest fixpoint of Definition 2.3.
+  res.entry.assign(g.num_nodes(), true);
+  res.out.assign(g.num_nodes(), true);
+  NodeId dir_entry = view.entry();
+  res.entry[dir_entry.index()] = p.boundary;
+  res.out[dir_entry.index()] =
+      apply_fun(p.local[dir_entry.index()], p.boundary);
+
+  std::deque<NodeId> worklist;
+  std::vector<char> queued(g.num_nodes(), 0);
+  for (NodeId n : g.all_nodes()) {
+    if (n == dir_entry) continue;
+    worklist.push_back(n);
+    queued[n.index()] = 1;
+  }
+
+  while (!worklist.empty()) {
+    NodeId n = worklist.front();
+    worklist.pop_front();
+    queued[n.index()] = 0;
+    ++res.relaxations;
+
+    bool pre;
+    if (view.is_stmt_exit(n)) {
+      ParStmtId s = g.node(n).par_stmt;
+      pre = apply_fun(res.stmt_summary[s.index()],
+                  res.out[view.stmt_entry(s).index()]);
+    } else {
+      pre = true;
+      for (NodeId m : view.dir_preds(n)) pre = pre && res.out[m.index()];
+    }
+    pre = pre && res.nondest[n.index()];
+
+    bool new_out = apply_fun(p.local[n.index()], pre);
+    if (pre == res.entry[n.index()] && new_out == res.out[n.index()]) {
+      continue;
+    }
+    res.entry[n.index()] = pre;
+    res.out[n.index()] = new_out;
+
+    auto enqueue = [&](NodeId m) {
+      if (m != dir_entry && !queued[m.index()]) {
+        queued[m.index()] = 1;
+        worklist.push_back(m);
+      }
+    };
+    for (NodeId m : view.dir_succs(n)) {
+      if (view.is_stmt_exit(m) && n != view.stmt_entry(g.node(m).par_stmt)) {
+        continue;  // statement exits consume the entry's value, not exits'
+      }
+      enqueue(m);
+    }
+    if (view.is_stmt_entry(n)) {
+      enqueue(view.stmt_exit(g.node(n).par_stmt));
+    }
+  }
+
+  return res;
+}
+
+}  // namespace parcm

@@ -1,0 +1,31 @@
+// Scalar hierarchical PMFP_BV solver — the three-step procedure A of [17]
+// with this paper's pluggable synchronization step (Secs. 2 and 3.3.3).
+//
+//  step 1  innermost-first functional MFP over F_B computes, for every
+//          parallel component, the meet-over-paths effect of the component
+//          from the statement's directional entry to the component's end;
+//  step 2  the SyncPolicy combines component end effects (and the
+//          destroys-scan over component node sets) into the statement's
+//          global semantics [G]*;
+//  step 3  a value-level worklist evaluates the equation system of
+//          Definition 2.3: ordinary nodes meet their directional
+//          predecessors, statement exits apply [G]* to the value entering
+//          the statement, and every node meets Const_NonDest.
+//
+// This per-term solver is the reference implementation; dfa/packed.hpp runs
+// the identical algorithm word-parallel over all terms.
+#pragma once
+
+#include "dfa/framework.hpp"
+#include "ir/regions.hpp"
+
+namespace parcm {
+
+BitResult solve_bit(const Graph& g, const BitProblem& problem);
+
+// Synchronization step in isolation (used by tests; `ends` are the component
+// end effects, `destroys` the per-component recursive destroys-scan).
+BVFun apply_sync_policy(SyncPolicy policy, const std::vector<BVFun>& ends,
+                        const std::vector<bool>& destroys);
+
+}  // namespace parcm

@@ -1,0 +1,37 @@
+#include "dfa/lattice.hpp"
+
+namespace parcm {
+
+const char* bvfun_name(BVFun f) {
+  switch (f) {
+    case BVFun::kConstFF:
+      return "Const_ff";
+    case BVFun::kId:
+      return "Id";
+    case BVFun::kConstTT:
+      return "Const_tt";
+  }
+  return "?";
+}
+
+PackedFun PackedFun::composed(const PackedFun& g, const PackedFun& f) {
+  // For each term: if g is a constant it wins, otherwise f's value passes
+  // through. Derived word-wise from Main Lemma 2.2.
+  PackedFun out;
+  BitVector pass_tt = f.tt;
+  pass_tt.and_not(g.ff);
+  out.tt = g.tt | pass_tt;
+  BitVector pass_ff = f.ff;
+  pass_ff.and_not(g.tt);
+  out.ff = g.ff | pass_ff;
+  return out;
+}
+
+PackedFun PackedFun::met(const PackedFun& f, const PackedFun& g) {
+  PackedFun out;
+  out.tt = f.tt & g.tt;
+  out.ff = f.ff | g.ff;
+  return out;
+}
+
+}  // namespace parcm

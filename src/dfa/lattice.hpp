@@ -1,0 +1,80 @@
+// The semantic domain of unidirectional bitvector problems (paper Sec. 2).
+//
+// F_B, the monotone Boolean functions B -> B, has exactly three elements:
+// Const_ff, Id, Const_tt. Under the pointwise order they form the chain
+// Const_ff < Id < Const_tt, closed under composition (Main Lemma 2.2:
+// a composition equals its last non-Id factor). PackedFun carries one such
+// function per term in two machine-word masks for the word-parallel engine.
+#pragma once
+
+#include <cstdint>
+
+#include "support/bitvector.hpp"
+
+namespace parcm {
+
+enum class BVFun : std::uint8_t {
+  kConstFF = 0,
+  kId = 1,
+  kConstTT = 2,
+};
+
+const char* bvfun_name(BVFun f);
+
+inline bool apply_fun(BVFun f, bool b) {
+  switch (f) {
+    case BVFun::kConstFF:
+      return false;
+    case BVFun::kId:
+      return b;
+    case BVFun::kConstTT:
+      return true;
+  }
+  return b;
+}
+
+// g after f (first f, then g).
+inline BVFun compose(BVFun g, BVFun f) { return g == BVFun::kId ? f : g; }
+
+// Pointwise meet; on the chain this is the minimum.
+inline BVFun meet(BVFun f, BVFun g) { return f < g ? f : g; }
+
+inline bool is_destructive(BVFun f) { return f == BVFun::kConstFF; }
+
+// One F_B element per term, packed: bit set in tt => Const_tt, bit set in
+// ff => Const_ff, neither => Id. The masks are kept disjoint.
+struct PackedFun {
+  BitVector tt;
+  BitVector ff;
+
+  static PackedFun identity(std::size_t num_terms) {
+    return PackedFun{BitVector(num_terms), BitVector(num_terms)};
+  }
+  static PackedFun top(std::size_t num_terms) {
+    // Greatest element of F_B^terms: Const_tt everywhere.
+    return PackedFun{BitVector(num_terms, true), BitVector(num_terms)};
+  }
+
+  // (g after f): tt' = g.tt | (~g.ff & f.tt); ff' = g.ff | (~g.tt & f.ff).
+  static PackedFun composed(const PackedFun& g, const PackedFun& f);
+
+  // Pointwise meet on the chain: tt' = f.tt & g.tt; ff' = f.ff | g.ff.
+  static PackedFun met(const PackedFun& f, const PackedFun& g);
+
+  BitVector apply(const BitVector& b) const {
+    BitVector out = b;
+    out.and_not(ff);
+    out |= tt;
+    return out;
+  }
+
+  BVFun at(std::size_t term) const {
+    if (tt.test(term)) return BVFun::kConstTT;
+    if (ff.test(term)) return BVFun::kConstFF;
+    return BVFun::kId;
+  }
+
+  bool operator==(const PackedFun&) const = default;
+};
+
+}  // namespace parcm

@@ -1,0 +1,283 @@
+#include "dfa/packed.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/diagnostics.hpp"
+
+namespace parcm {
+
+PackedFun apply_sync_policy_packed(SyncPolicy policy, std::size_t num_terms,
+                                   const std::vector<PackedFun>& ends,
+                                   const std::vector<BitVector>& destroys) {
+  PARCM_CHECK(ends.size() == destroys.size(), "sync policy arity mismatch");
+  std::size_t k = ends.size();
+
+  // Terms on which *every* component end effect is Id.
+  BitVector all_id(num_terms, true);
+  for (const PackedFun& f : ends) {
+    all_id.and_not(f.tt);
+    all_id.and_not(f.ff);
+  }
+
+  PackedFun out;
+  switch (policy) {
+    case SyncPolicy::kStandard: {
+      BitVector any_ff(num_terms);
+      for (const PackedFun& f : ends) any_ff |= f.ff;
+      out.ff = any_ff;
+      out.tt = BitVector(num_terms, true);
+      out.tt.and_not(any_ff);
+      out.tt.and_not(all_id);
+      return out;
+    }
+    case SyncPolicy::kUpSafePar: {
+      // tt where some component ends Const_tt and no sibling destroys.
+      // others_destroy[i] = OR of destroys[j], j != i, via prefix/suffix ORs.
+      std::vector<BitVector> prefix(k + 1, BitVector(num_terms));
+      std::vector<BitVector> suffix(k + 1, BitVector(num_terms));
+      for (std::size_t i = 0; i < k; ++i) prefix[i + 1] = prefix[i] | destroys[i];
+      for (std::size_t i = k; i-- > 0;) suffix[i] = suffix[i + 1] | destroys[i];
+      BitVector tt(num_terms);
+      for (std::size_t i = 0; i < k; ++i) {
+        BitVector cand = ends[i].tt;
+        cand.and_not(prefix[i] | suffix[i + 1]);
+        tt |= cand;
+      }
+      out.tt = tt;
+      out.ff = BitVector(num_terms, true);
+      out.ff.and_not(tt);
+      out.ff.and_not(all_id);
+      return out;
+    }
+    case SyncPolicy::kDownSafePar: {
+      BitVector tt(num_terms, true);
+      for (const PackedFun& f : ends) tt &= f.tt;
+      for (const BitVector& d : destroys) tt.and_not(d);
+      out.tt = tt;
+      out.ff = BitVector(num_terms, true);
+      out.ff.and_not(tt);
+      out.ff.and_not(all_id);
+      return out;
+    }
+  }
+  PARCM_CHECK(false, "unknown sync policy");
+}
+
+namespace {
+
+class PackedSummaryPass {
+ public:
+  PackedSummaryPass(const DirectedView& view, const PackedProblem& p)
+      : view_(view), g_(view.graph()), p_(p) {}
+
+  std::vector<PackedFun> run(std::size_t* relaxations) {
+    summaries_.assign(g_.num_par_stmts(), PackedFun::identity(p_.num_terms));
+
+    std::vector<ParStmtId> order;
+    for (std::size_t i = 0; i < g_.num_par_stmts(); ++i) {
+      order.push_back(ParStmtId(static_cast<ParStmtId::underlying>(i)));
+    }
+    std::sort(order.begin(), order.end(), [&](ParStmtId a, ParStmtId b) {
+      return g_.region_depth(g_.par_stmt(a).parent_region) >
+             g_.region_depth(g_.par_stmt(b).parent_region);
+    });
+
+    for (ParStmtId s : order) {
+      const ParStmt& stmt = g_.par_stmt(s);
+      std::vector<PackedFun> ends;
+      std::vector<BitVector> destroys;
+      for (RegionId comp : stmt.components) {
+        ends.push_back(component_effect(s, comp, relaxations));
+        BitVector d(p_.num_terms);
+        for (NodeId m : g_.nodes_in_region_recursive(comp)) {
+          d |= p_.destroy[m.index()];
+        }
+        destroys.push_back(std::move(d));
+      }
+      summaries_[s.index()] =
+          apply_sync_policy_packed(p_.policy, p_.num_terms, ends, destroys);
+    }
+    return std::move(summaries_);
+  }
+
+ private:
+  PackedFun local_fun(NodeId n) const {
+    return PackedFun{p_.gen[n.index()], p_.kill[n.index()]};
+  }
+
+  PackedFun component_effect(ParStmtId s, RegionId comp,
+                             std::size_t* relaxations) {
+    NodeId stmt_entry = view_.stmt_entry(s);
+    const std::vector<NodeId>& members = g_.region(comp).nodes;
+
+    std::vector<PackedFun> eff(g_.num_nodes(), PackedFun::top(p_.num_terms));
+    std::deque<NodeId> worklist(members.begin(), members.end());
+    std::vector<char> queued(g_.num_nodes(), 0);
+    for (NodeId n : members) queued[n.index()] = 1;
+
+    auto in_comp = [&](NodeId m) { return g_.node(m).region == comp; };
+
+    while (!worklist.empty()) {
+      NodeId n = worklist.front();
+      worklist.pop_front();
+      queued[n.index()] = 0;
+      ++*relaxations;
+
+      PackedFun value;
+      if (view_.is_stmt_exit(n)) {
+        ParStmtId nested = g_.node(n).par_stmt;
+        value = PackedFun::composed(summaries_[nested.index()],
+                                    eff[view_.stmt_entry(nested).index()]);
+      } else {
+        PackedFun pre = PackedFun::top(p_.num_terms);
+        for (NodeId m : view_.dir_preds(n)) {
+          if (m == stmt_entry) {
+            pre = PackedFun::met(pre, PackedFun::identity(p_.num_terms));
+          } else if (in_comp(m)) {
+            pre = PackedFun::met(pre, eff[m.index()]);
+          } else {
+            PARCM_CHECK(false, "component pred outside region");
+          }
+        }
+        value = PackedFun::composed(local_fun(n), pre);
+      }
+
+      if (!(value == eff[n.index()])) {
+        eff[n.index()] = value;
+        for (NodeId m : view_.dir_succs(n)) {
+          if (!in_comp(m)) continue;
+          if (view_.is_stmt_exit(m) &&
+              n != view_.stmt_entry(g_.node(m).par_stmt)) {
+            continue;
+          }
+          if (!queued[m.index()]) {
+            queued[m.index()] = 1;
+            worklist.push_back(m);
+          }
+        }
+        if (view_.is_stmt_entry(n)) {
+          NodeId exit = view_.stmt_exit(g_.node(n).par_stmt);
+          if (!queued[exit.index()]) {
+            queued[exit.index()] = 1;
+            worklist.push_back(exit);
+          }
+        }
+      }
+    }
+
+    PackedFun end_effect = PackedFun::top(p_.num_terms);
+    for (NodeId m : view_.component_exits_dir(comp)) {
+      end_effect = PackedFun::met(end_effect, eff[m.index()]);
+    }
+    return end_effect;
+  }
+
+  const DirectedView& view_;
+  const Graph& g_;
+  const PackedProblem& p_;
+  std::vector<PackedFun> summaries_;
+};
+
+}  // namespace
+
+PackedResult solve_packed(const Graph& g, const PackedProblem& p) {
+  PARCM_CHECK(p.gen.size() == g.num_nodes() && p.kill.size() == g.num_nodes(),
+              "packed local functional size");
+  PARCM_CHECK(p.destroy.size() == g.num_nodes(), "packed destroy size");
+  DirectedView view(g, p.dir);
+
+  PackedResult res;
+  res.relaxations = 0;
+
+  // NonDest via per-component aggregated destroy masks: iterating the raw
+  // interleaving-predecessor lists would be quadratic in the component
+  // size, defeating the framework's "as efficiently as sequential" claim.
+  std::vector<BitVector> region_destroy(g.num_regions(),
+                                        BitVector(p.num_terms));
+  for (std::size_t ri = 0; ri < g.num_regions(); ++ri) {
+    RegionId r(static_cast<RegionId::underlying>(ri));
+    for (NodeId n : g.nodes_in_region_recursive(r)) {
+      region_destroy[ri] |= p.destroy[n.index()];
+    }
+  }
+  res.nondest.assign(g.num_nodes(), BitVector(p.num_terms, true));
+  for (NodeId n : g.all_nodes()) {
+    for (const Graph::Enclosing& enc : g.enclosing_stmts(n)) {
+      for (RegionId comp : g.par_stmt(enc.stmt).components) {
+        if (comp != enc.component) {
+          res.nondest[n.index()].and_not(region_destroy[comp.index()]);
+        }
+      }
+    }
+  }
+
+  PackedSummaryPass summaries(view, p);
+  res.stmt_summary = summaries.run(&res.relaxations);
+
+  res.entry.assign(g.num_nodes(), BitVector(p.num_terms, true));
+  res.out.assign(g.num_nodes(), BitVector(p.num_terms, true));
+  NodeId dir_entry = view.entry();
+  res.entry[dir_entry.index()] = p.boundary;
+  {
+    BitVector o = p.boundary;
+    o.and_not(p.kill[dir_entry.index()]);
+    o |= p.gen[dir_entry.index()];
+    res.out[dir_entry.index()] = std::move(o);
+  }
+
+  std::deque<NodeId> worklist;
+  std::vector<char> queued(g.num_nodes(), 0);
+  for (NodeId n : g.all_nodes()) {
+    if (n == dir_entry) continue;
+    worklist.push_back(n);
+    queued[n.index()] = 1;
+  }
+
+  while (!worklist.empty()) {
+    NodeId n = worklist.front();
+    worklist.pop_front();
+    queued[n.index()] = 0;
+    ++res.relaxations;
+
+    BitVector pre(p.num_terms, true);
+    if (view.is_stmt_exit(n)) {
+      ParStmtId s = g.node(n).par_stmt;
+      pre = res.stmt_summary[s.index()].apply(
+          res.out[view.stmt_entry(s).index()]);
+    } else {
+      for (NodeId m : view.dir_preds(n)) pre &= res.out[m.index()];
+    }
+    pre &= res.nondest[n.index()];
+
+    BitVector new_out = pre;
+    new_out.and_not(p.kill[n.index()]);
+    new_out |= p.gen[n.index()];
+
+    if (pre == res.entry[n.index()] && new_out == res.out[n.index()]) {
+      continue;
+    }
+    res.entry[n.index()] = std::move(pre);
+    res.out[n.index()] = std::move(new_out);
+
+    auto enqueue = [&](NodeId m) {
+      if (m != dir_entry && !queued[m.index()]) {
+        queued[m.index()] = 1;
+        worklist.push_back(m);
+      }
+    };
+    for (NodeId m : view.dir_succs(n)) {
+      if (view.is_stmt_exit(m) && n != view.stmt_entry(g.node(m).par_stmt)) {
+        continue;
+      }
+      enqueue(m);
+    }
+    if (view.is_stmt_entry(n)) {
+      enqueue(view.stmt_exit(g.node(n).par_stmt));
+    }
+  }
+
+  return res;
+}
+
+}  // namespace parcm

@@ -1,0 +1,24 @@
+// Word-parallel hierarchical PMFP_BV solver.
+//
+// Runs the identical three-step algorithm as dfa/hier_solver.hpp but for all
+// terms of the universe simultaneously: local functions are (gen, kill) mask
+// pairs, F_B elements are (tt, ff) mask pairs, and every meet / composition
+// / transfer is a handful of 64-bit word operations per 64 terms. This is
+// the engine behind the paper's "as efficiently as for sequential programs"
+// claim; the scalar solver is its differential-testing oracle.
+#pragma once
+
+#include "dfa/framework.hpp"
+#include "ir/regions.hpp"
+
+namespace parcm {
+
+PackedResult solve_packed(const Graph& g, const PackedProblem& problem);
+
+// Packed synchronization step (exposed for tests): combines per-component
+// end effects and destroys-scan masks into the statement summary.
+PackedFun apply_sync_policy_packed(SyncPolicy policy, std::size_t num_terms,
+                                   const std::vector<PackedFun>& ends,
+                                   const std::vector<BitVector>& destroys);
+
+}  // namespace parcm

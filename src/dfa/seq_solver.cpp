@@ -1,0 +1,65 @@
+#include "dfa/seq_solver.hpp"
+
+#include <deque>
+
+#include "support/diagnostics.hpp"
+
+namespace parcm {
+
+SeqResult solve_seq(const Graph& g, const SeqProblem& p) {
+  PARCM_CHECK(g.num_par_stmts() == 0,
+              "solve_seq requires a sequential graph (use solve_packed)");
+  PARCM_CHECK(p.gen.size() == g.num_nodes() && p.kill.size() == g.num_nodes(),
+              "seq local functional size");
+  DirectedView view(g, p.dir);
+
+  SeqResult res;
+  res.entry.assign(g.num_nodes(), BitVector(p.num_terms, true));
+  res.out.assign(g.num_nodes(), BitVector(p.num_terms, true));
+  NodeId dir_entry = view.entry();
+  res.entry[dir_entry.index()] = p.boundary;
+  {
+    BitVector o = p.boundary;
+    o.and_not(p.kill[dir_entry.index()]);
+    o |= p.gen[dir_entry.index()];
+    res.out[dir_entry.index()] = std::move(o);
+  }
+
+  std::deque<NodeId> worklist;
+  std::vector<char> queued(g.num_nodes(), 0);
+  for (NodeId n : g.all_nodes()) {
+    if (n == dir_entry) continue;
+    worklist.push_back(n);
+    queued[n.index()] = 1;
+  }
+
+  while (!worklist.empty()) {
+    NodeId n = worklist.front();
+    worklist.pop_front();
+    queued[n.index()] = 0;
+    ++res.relaxations;
+
+    BitVector pre(p.num_terms, true);
+    for (NodeId m : view.dir_preds(n)) pre &= res.out[m.index()];
+
+    BitVector new_out = pre;
+    new_out.and_not(p.kill[n.index()]);
+    new_out |= p.gen[n.index()];
+
+    if (pre == res.entry[n.index()] && new_out == res.out[n.index()]) {
+      continue;
+    }
+    res.entry[n.index()] = std::move(pre);
+    res.out[n.index()] = std::move(new_out);
+    for (NodeId m : view.dir_succs(n)) {
+      if (m != dir_entry && !queued[m.index()]) {
+        queued[m.index()] = 1;
+        worklist.push_back(m);
+      }
+    }
+  }
+
+  return res;
+}
+
+}  // namespace parcm

@@ -1,0 +1,33 @@
+// Plain sequential bitvector MFP solver.
+//
+// Operates on graphs without parallel statements (sequential CFGs and
+// product programs). Serves three roles: the sequential baseline the paper
+// compares against ("as efficiently as for sequential ones"), the MOP
+// reference on product programs (distributive bitvector => MFP = MOP), and
+// an independent oracle for the hierarchical solvers on parallel-free
+// graphs.
+#pragma once
+
+#include "dfa/framework.hpp"
+#include "ir/graph.hpp"
+
+namespace parcm {
+
+struct SeqProblem {
+  Direction dir = Direction::kForward;
+  std::size_t num_terms = 0;
+  std::vector<BitVector> gen;
+  std::vector<BitVector> kill;
+  BitVector boundary;
+};
+
+struct SeqResult {
+  std::vector<BitVector> entry;  // value at directional entry of each node
+  std::vector<BitVector> out;    // after the node's transfer function
+  std::size_t relaxations = 0;
+};
+
+// Requires g.num_par_stmts() == 0.
+SeqResult solve_seq(const Graph& g, const SeqProblem& problem);
+
+}  // namespace parcm

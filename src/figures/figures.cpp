@@ -1,0 +1,259 @@
+#include "figures/figures.hpp"
+
+#include "lang/lower.hpp"
+#include "support/diagnostics.hpp"
+
+namespace parcm::figures {
+
+namespace {
+
+const char* kFig1 = R"(
+a := 1; b := 2;
+if (*) { x := a + b @n3; } else { skip @n5; }
+if (*) { y := a + b @n8; } else { skip @n9; }
+z := x + y @n10;
+)";
+
+const char* kFig1Hoistable = R"(
+a := 1; b := 2;
+if (*) { x := a + b @n3; } else { u := a + b @n5; }
+y := a + b @n8;
+)";
+
+const char* kFig2 = R"(
+b := 1; c := 2;
+par {
+  x := c + b @n3;
+} and {
+  u := u + 1 @n5;
+  u := u + 1 @n6;
+  u := u + 1 @n7;
+}
+d := c + b @n10;
+)";
+
+const char* kFig3a = R"(
+c := 2; b := 3;
+par {
+  z := c + b @n3;
+} and {
+  c := c + b @n5;
+}
+)";
+
+const char* kFig3c = R"(
+c := 2; b := 3;
+par {
+  c := c + b @n3;
+  y := c + b @n4;
+} and {
+  c := c + b @n5;
+  z := c + b @n6;
+}
+)";
+
+// Fig. 3(b): the naive hoist applied to program A — still sequentially
+// consistent (behaviours shrink but stay within the argument program's).
+const char* kFig3b = R"(
+c := 2; b := 3;
+h := c + b;
+par {
+  z := h @n3;
+} and {
+  c := h @n5;
+}
+)";
+
+// Fig. 3(d): the naive hoist applied to program B — y = z = 5 always,
+// impossible for any interleaving of (c) under either assignment semantics.
+const char* kFig3d = R"(
+c := 2; b := 3;
+h := c + b;
+par {
+  c := h @n3;
+  y := h @n4;
+} and {
+  c := h @n5;
+  z := h @n6;
+}
+)";
+
+const char* kFig4 = R"(
+a := 2; b := 3;
+par {
+  a := a + b @n3;
+  x := a + b @n4;
+} and {
+  y := a + b @n5;
+}
+)";
+
+// Fig. 4(b)/(c): hoisting a single occurrence each — individually
+// sequentially consistent.
+const char* kFig4b = R"(
+a := 2; b := 3;
+h := a + b;
+par {
+  a := a + b @n3;
+  x := a + b @n4;
+} and {
+  y := h @n5;
+}
+)";
+
+const char* kFig4c = R"(
+a := 2; b := 3;
+h := a + b;
+par {
+  a := h @n3;
+  x := a + b @n4;
+} and {
+  y := a + b @n5;
+}
+)";
+
+// Fig. 4(d): the combination — every interleaving assigns the stale value 5
+// to the uses at nodes 4 and 5, impossible for (a): x's own thread already
+// executed a := a + b, so x = 8 on every interleaving of the original.
+const char* kFig4d = R"(
+a := 2; b := 3;
+h := a + b;
+par {
+  a := h @n3;
+  x := h @n4;
+} and {
+  y := h @n5;
+}
+)";
+
+const char* kFig5 = R"(
+a := 1; b := 2;
+x := a + b @n2;
+if (*) { y := a + b @n4; } else { a := 7 @n5; z := a + b @n6; }
+w := a + b @n8;
+)";
+
+const char* kFig6 = R"(
+a := 1; b := 2;
+x := a + b @n3;
+par {
+  y := a + b @n5;
+  a := 5 @n6;
+  u := a + b @n7;
+} and {
+  z := a + b @n9;
+  b := 7 @n10;
+  v := a + b @n11;
+}
+w := a + b @n16;
+)";
+
+const char* kFig8 = R"(
+a := 1; b := 2;
+par {
+  x := a + b @n5;
+  skip @n6;
+} and {
+  c := 3 @n7;
+  d := 4 @n8;
+}
+w := a + b @n12;
+)";
+
+const char* kFig8Negative = R"(
+a := 1; b := 2;
+par {
+  x := a + b @n5;
+  skip @n6;
+} and {
+  c := 3 @n7;
+  a := 4 @n8;
+}
+w := a + b @n12;
+)";
+
+const char* kFig9 = R"(
+a := 1; b := 2;
+par {
+  x := a + b @n6;
+} and {
+  y := a + b @n10;
+} and {
+  z := a + b @n14;
+}
+w := a + b @n16;
+)";
+
+const char* kFig9Negative = R"(
+a := 1; b := 2; c := 3; d := 4;
+par {
+  x := a + b @n6;
+} and {
+  u := c + d @n10;
+}
+w := a + b @n16;
+)";
+
+const char* kFig10 = R"(
+a := 1; b := 2; c := 3; d := 4; e := 5; f := 6;
+g := 7; h := 8; j := 9; k := 10;
+if (*) { p := a + b @n6; } else { skip @n7; }
+par {
+  q := a + b @n10;
+  r := g + h @n11;
+  while (*) { r := g + h @n12; }
+  s := c + d @n13;
+} and {
+  t := a + b @n20;
+  u := j + k @n21;
+  while (*) { u := j + k @n22; }
+}
+if (*) { v1 := e + f @n30; } else { skip @n31; }
+v2 := e + f @n32;
+)";
+
+}  // namespace
+
+Graph fig1() { return lang::compile_or_throw(kFig1); }
+Graph fig1_hoistable() { return lang::compile_or_throw(kFig1Hoistable); }
+Graph fig2() { return lang::compile_or_throw(kFig2); }
+Graph fig3a() { return lang::compile_or_throw(kFig3a); }
+Graph fig3b() { return lang::compile_or_throw(kFig3b); }
+Graph fig3c() { return lang::compile_or_throw(kFig3c); }
+Graph fig3d() { return lang::compile_or_throw(kFig3d); }
+Graph fig4() { return lang::compile_or_throw(kFig4); }
+Graph fig4b() { return lang::compile_or_throw(kFig4b); }
+Graph fig4c() { return lang::compile_or_throw(kFig4c); }
+Graph fig4d() { return lang::compile_or_throw(kFig4d); }
+Graph fig5() { return lang::compile_or_throw(kFig5); }
+Graph fig6() { return lang::compile_or_throw(kFig6); }
+Graph fig7() { return fig6(); }
+Graph fig8() { return lang::compile_or_throw(kFig8); }
+Graph fig8_negative() { return lang::compile_or_throw(kFig8Negative); }
+Graph fig9() { return lang::compile_or_throw(kFig9); }
+Graph fig9_negative() { return lang::compile_or_throw(kFig9Negative); }
+Graph fig10() { return lang::compile_or_throw(kFig10); }
+
+std::string figure_source(const std::string& id) {
+  if (id == "1") return kFig1;
+  if (id == "1h") return kFig1Hoistable;
+  if (id == "2") return kFig2;
+  if (id == "3a") return kFig3a;
+  if (id == "3b") return kFig3b;
+  if (id == "3c") return kFig3c;
+  if (id == "3d") return kFig3d;
+  if (id == "4") return kFig4;
+  if (id == "4b") return kFig4b;
+  if (id == "4c") return kFig4c;
+  if (id == "4d") return kFig4d;
+  if (id == "5") return kFig5;
+  if (id == "6" || id == "7") return kFig6;
+  if (id == "8") return kFig8;
+  if (id == "8n") return kFig8Negative;
+  if (id == "9") return kFig9;
+  if (id == "9n") return kFig9Negative;
+  if (id == "10") return kFig10;
+  PARCM_CHECK(false, "unknown figure id: " + id);
+}
+
+}  // namespace parcm::figures

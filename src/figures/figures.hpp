@@ -1,0 +1,93 @@
+// Executable reconstructions of every figure of the paper.
+//
+// The paper's figures are drawings; the exact node sets are reconstructed
+// here from the prose so that every *claim* the paper attaches to a figure
+// is checkable by tests and benchmarks (see DESIGN.md's experiment index
+// and EXPERIMENTS.md for the claim-by-claim record). Node labels (@nX)
+// follow the paper's numbering where the prose names nodes.
+#pragma once
+
+#include <string>
+
+#include "ir/graph.hpp"
+
+namespace parcm::figures {
+
+// Fig. 1 — sequential code motion. A computation in one branch and a
+// partially redundant one behind a second branch: BCM may not move anything
+// across the unsafe joins, and the partially redundant occurrence at "node
+// 8" remains (it cannot be eliminated without impairing some executions).
+Graph fig1();
+
+// Companion to Fig. 1: the classic profitable case — a+b computed in both
+// branches is hoisted above the branch by BCM, halving the per-path count.
+Graph fig1_hoistable();
+
+// Fig. 2 — computational vs. executional optimality. c+b is computed in a
+// cheap parallel component and again after the join; the bottleneck sibling
+// is an unhoistable chain of recursive u := u + 1 steps. The naive
+// as-early-as-possible placement (= Fig. 2b) hoists c+b into sequential
+// code: computationally optimal, executionally no better than the original.
+// PCM (= Fig. 2c) keeps it in the component where it is free.
+Graph fig2();
+
+// Fig. 3 — loss of sequential consistency I. fig3a: one recursive
+// assignment (program A); the hoist shown in the paper's Fig. 3(b)
+// (= fig3b) is still sequentially consistent. fig3c: both occurrences
+// recursive (program B); the hoist of Fig. 3(d) (= fig3d) produces final
+// states impossible for ANY interleaving of the argument program,
+// regardless of assignment atomicity.
+Graph fig3a();
+Graph fig3b();
+Graph fig3c();
+Graph fig3d();
+
+// Fig. 4 — loss of sequential consistency II. Two occurrences of a + b in
+// parallel components, one preceded (in its thread) by the recursive
+// a := a + b: hoisting occurrences independently (fig4b, fig4c) is fine,
+// hoisting both onto one temporary (fig4d) forces the stale value into x
+// although x's thread already updated a.
+Graph fig4();
+Graph fig4b();
+Graph fig4c();
+Graph fig4d();
+
+// Fig. 5 — sequential up-/down-safety facts (dominating / post-dominating
+// computing sets); used by the sequential safety property tests.
+Graph fig5();
+
+// Fig. 6 — per-interleaving safety. Each component computes a+b, modifies
+// an operand, and computes again: the parallel statement's entry is
+// down-safe and its exit up-safe on *every* interleaving (witnessed by
+// different occurrences), while no internal node is safe. Fig. 7 draws the
+// transformation consequences from the same program: the naive earliest
+// placement before the statement cannot be guaranteed to be used, and the
+// naive suppression of the initialization after the join corrupts the
+// semantics. fig7() is therefore an alias of fig6().
+Graph fig6();
+Graph fig7();
+
+// Fig. 8 — up-safety refinement: one component establishes a + b and no
+// sibling node destroys it, so the exit is up-safe_par and the use after
+// the join needs no initialization. fig8_negative adds a destroying sibling.
+Graph fig8();
+Graph fig8_negative();
+
+// Fig. 9 — down-safety refinement: entry is down-safe_par only when every
+// component computes the term and none modifies an operand (M = {6,10,14}).
+// fig9_negative: only one component computes, so hoisting out would move
+// work from a free component into sequential code and is refused.
+Graph fig9();
+Graph fig9_negative();
+
+// Fig. 10 — the power of the complete transformation: a+b moves to "node
+// 1", e+f moves across the (transparent) parallel statement, g+h and j+k
+// hoist in front of their loops inside their components, c+d stays inside
+// the parallel statement where it is free.
+Graph fig10();
+
+// Textual source of each figure (fig numbers "1", "1h", "2", "3a", "3c",
+// "4", ..., "10"); useful for examples and docs.
+std::string figure_source(const std::string& id);
+
+}  // namespace parcm::figures

@@ -1,0 +1,142 @@
+#include "ir/builder.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace parcm {
+
+GraphBuilder::GraphBuilder() : region_(graph_.root_region()) {
+  tails_ = {graph_.start()};
+}
+
+NodeId GraphBuilder::append(NodeId n) {
+  for (NodeId t : tails_) graph_.add_edge(t, n);
+  tails_ = {n};
+  last_ = n;
+  return n;
+}
+
+NodeId GraphBuilder::assign(VarId lhs, Rhs rhs) {
+  return append(graph_.new_assign(region_, lhs, std::move(rhs)));
+}
+
+NodeId GraphBuilder::assign(const std::string& lhs, Operand a, BinOp op,
+                            Operand b) {
+  return assign(var(lhs), Rhs(Term{op, a, b}));
+}
+
+NodeId GraphBuilder::assign(const std::string& lhs, Operand a) {
+  return assign(var(lhs), Rhs(a));
+}
+
+NodeId GraphBuilder::skip() {
+  return append(graph_.new_node(NodeKind::kSkip, region_));
+}
+
+NodeId GraphBuilder::barrier() {
+  PARCM_CHECK(graph_.region(region_).owner.valid(),
+              "barrier outside a parallel component");
+  return append(graph_.new_node(NodeKind::kBarrier, region_));
+}
+
+GraphBuilder& GraphBuilder::labeled(const std::string& label) {
+  PARCM_CHECK(last_.valid(), "labeled() before any statement");
+  graph_.node(last_).label = label;
+  return *this;
+}
+
+void GraphBuilder::run_block(NodeId from, const BlockFn& block,
+                             std::vector<NodeId>* collected_tails) {
+  tails_ = {from};
+  if (block) block();
+  collected_tails->insert(collected_tails->end(), tails_.begin(),
+                          tails_.end());
+}
+
+void GraphBuilder::if_nondet(const BlockFn& then_block,
+                             const BlockFn& else_block) {
+  NodeId branch = append(graph_.new_node(NodeKind::kSkip, region_));
+  std::vector<NodeId> joined;
+  run_block(branch, then_block, &joined);
+  run_block(branch, else_block, &joined);
+  tails_ = std::move(joined);
+}
+
+void GraphBuilder::if_cond(Rhs cond, const BlockFn& then_block,
+                           const BlockFn& else_block) {
+  NodeId test = append(graph_.new_test(region_, std::move(cond)));
+  // Materialized branch entries pin the true/false edge order even when a
+  // block is empty (out_edges[0] must be the true branch).
+  NodeId then_entry = graph_.new_node(NodeKind::kSkip, region_);
+  graph_.add_edge(test, then_entry);
+  NodeId else_entry = graph_.new_node(NodeKind::kSkip, region_);
+  graph_.add_edge(test, else_entry);
+  std::vector<NodeId> joined;
+  run_block(then_entry, then_block, &joined);
+  run_block(else_entry, else_block, &joined);
+  tails_ = std::move(joined);
+}
+
+void GraphBuilder::choose(const std::vector<BlockFn>& alternatives) {
+  PARCM_CHECK(alternatives.size() >= 2, "choose needs >= 2 alternatives");
+  NodeId branch = append(graph_.new_node(NodeKind::kSkip, region_));
+  std::vector<NodeId> joined;
+  for (const BlockFn& alt : alternatives) run_block(branch, alt, &joined);
+  tails_ = std::move(joined);
+}
+
+void GraphBuilder::while_nondet(const BlockFn& body) {
+  NodeId header = append(graph_.new_node(NodeKind::kSkip, region_));
+  std::vector<NodeId> body_tails;
+  run_block(header, body, &body_tails);
+  for (NodeId t : body_tails) {
+    if (t != header) graph_.add_edge(t, header);
+  }
+  tails_ = {header};
+}
+
+void GraphBuilder::while_cond(Rhs cond, const BlockFn& body) {
+  NodeId header = append(graph_.new_test(region_, std::move(cond)));
+  // First out-edge of the header test = "true" = enter the body; the
+  // materialized entry keeps that true even for an empty body.
+  NodeId body_entry = graph_.new_node(NodeKind::kSkip, region_);
+  graph_.add_edge(header, body_entry);
+  std::vector<NodeId> body_tails;
+  run_block(body_entry, body, &body_tails);
+  for (NodeId t : body_tails) graph_.add_edge(t, header);
+  // Next appended statement receives the second ("false") edge.
+  tails_ = {header};
+}
+
+void GraphBuilder::par(const std::vector<BlockFn>& components) {
+  PARCM_CHECK(components.size() >= 2, "par needs >= 2 components");
+  ParStmtId stmt = graph_.add_par_stmt(region_);
+  const ParStmt& ps = graph_.par_stmt(stmt);
+  NodeId begin = ps.begin;
+  NodeId end = ps.end;
+  for (NodeId t : tails_) graph_.add_edge(t, begin);
+
+  RegionId saved_region = region_;
+  for (const BlockFn& comp : components) {
+    RegionId r = graph_.add_component(stmt);
+    region_ = r;
+    // Component entry must be a node inside the component; materialize a
+    // skip so even an empty component is well-formed.
+    NodeId entry = graph_.new_node(NodeKind::kSkip, r);
+    graph_.add_edge(begin, entry);
+    std::vector<NodeId> comp_tails;
+    run_block(entry, comp, &comp_tails);
+    for (NodeId t : comp_tails) graph_.add_edge(t, end);
+  }
+  region_ = saved_region;
+  tails_ = {end};
+  last_ = end;
+}
+
+Graph GraphBuilder::finish() {
+  PARCM_CHECK(!finished_, "finish() called twice");
+  finished_ = true;
+  for (NodeId t : tails_) graph_.add_edge(t, graph_.end());
+  return std::move(graph_);
+}
+
+}  // namespace parcm

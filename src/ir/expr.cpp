@@ -1,0 +1,38 @@
+#include "ir/expr.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace parcm {
+
+const char* bin_op_symbol(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "/";
+    case BinOp::kLt:
+      return "<";
+    case BinOp::kLe:
+      return "<=";
+    case BinOp::kGt:
+      return ">";
+    case BinOp::kGe:
+      return ">=";
+    case BinOp::kEq:
+      return "==";
+    case BinOp::kNe:
+      return "!=";
+  }
+  PARCM_CHECK(false, "unknown BinOp");
+}
+
+bool Rhs::uses_var(VarId v) const {
+  if (is_term()) return term_->has_operand(v);
+  return trivial_.is_var() && trivial_.var_id() == v;
+}
+
+}  // namespace parcm

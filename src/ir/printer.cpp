@@ -1,0 +1,112 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+namespace parcm {
+
+std::string operand_to_string(const Graph& g, const Operand& op) {
+  if (op.is_var()) return g.var_name(op.var_id());
+  return std::to_string(op.const_value());
+}
+
+std::string term_to_string(const Graph& g, const Term& t) {
+  return operand_to_string(g, t.lhs) + " " + bin_op_symbol(t.op) + " " +
+         operand_to_string(g, t.rhs);
+}
+
+std::string rhs_to_string(const Graph& g, const Rhs& rhs) {
+  if (rhs.is_term()) return term_to_string(g, rhs.term());
+  return operand_to_string(g, rhs.trivial());
+}
+
+std::string statement_to_string(const Graph& g, NodeId n) {
+  const Node& node = g.node(n);
+  switch (node.kind) {
+    case NodeKind::kStart:
+      return "start";
+    case NodeKind::kEnd:
+      return "end";
+    case NodeKind::kSkip:
+      return "skip";
+    case NodeKind::kSynthetic:
+      return "skip*";
+    case NodeKind::kAssign:
+      return g.var_name(node.lhs) + " := " + rhs_to_string(g, node.rhs);
+    case NodeKind::kTest:
+      return "if (" + rhs_to_string(g, *node.cond) + ")";
+    case NodeKind::kParBegin:
+      return "parbegin";
+    case NodeKind::kParEnd:
+      return "parend";
+    case NodeKind::kBarrier:
+      return "barrier";
+  }
+  return "?";
+}
+
+std::string to_text(const Graph& g) {
+  std::ostringstream os;
+  for (NodeId n : g.all_nodes()) {
+    const Node& node = g.node(n);
+    for (int i = 0; i < g.region_depth(node.region); ++i) os << "  ";
+    os << "n" << n.value() << ": " << statement_to_string(g, n);
+    if (!node.label.empty()) os << "  [" << node.label << "]";
+    os << " ->";
+    for (NodeId m : g.succs(n)) os << " n" << m.value();
+    os << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+void emit_region(const Graph& g, RegionId r, std::ostringstream& os,
+                 int indent) {
+  std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  for (NodeId n : g.region(r).nodes) {
+    os << pad << "n" << n.value() << " [label=\"" << n.value() << ": "
+       << statement_to_string(g, n) << "\"";
+    const Node& node = g.node(n);
+    if (node.kind == NodeKind::kParBegin || node.kind == NodeKind::kParEnd) {
+      os << ", shape=ellipse";
+    } else if (node.kind == NodeKind::kStart || node.kind == NodeKind::kEnd) {
+      os << ", shape=doublecircle";
+    } else {
+      os << ", shape=box";
+    }
+    os << "];\n";
+  }
+  for (ParStmtId s : g.region(r).child_stmts) {
+    const ParStmt& stmt = g.par_stmt(s);
+    for (RegionId comp : stmt.components) {
+      os << pad << "subgraph cluster_r" << comp.value() << " {\n";
+      os << pad << "  style=dashed;\n";
+      emit_region(g, comp, os, indent + 1);
+      os << pad << "}\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_dot(const Graph& g, const std::string& title) {
+  std::ostringstream os;
+  os << "digraph \"" << title << "\" {\n";
+  os << "  node [fontname=\"monospace\"];\n";
+  emit_region(g, g.root_region(), os, 1);
+  for (std::size_t i = 0; i < g.num_edges_total(); ++i) {
+    const Edge& e = g.edge(EdgeId(static_cast<EdgeId::underlying>(i)));
+    if (!e.valid) continue;
+    os << "  n" << e.from.value() << " -> n" << e.to.value();
+    const Node& from = g.node(e.from);
+    if (from.kind == NodeKind::kTest && from.out_edges.size() == 2) {
+      os << " [label=\""
+         << (from.out_edges[0].index() == i ? "T" : "F") << "\"]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace parcm

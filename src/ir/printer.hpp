@@ -1,0 +1,23 @@
+// Textual and DOT rendering of parallel flow graphs.
+#pragma once
+
+#include <string>
+
+#include "ir/graph.hpp"
+
+namespace parcm {
+
+// Single-statement rendering: "x := a + b", "if (x < y)", "skip", ...
+std::string statement_to_string(const Graph& g, NodeId n);
+std::string operand_to_string(const Graph& g, const Operand& op);
+std::string term_to_string(const Graph& g, const Term& t);
+std::string rhs_to_string(const Graph& g, const Rhs& rhs);
+
+// Node-list dump: one line per node with successors, indented by parallel
+// nesting depth. Stable output used by golden tests.
+std::string to_text(const Graph& g);
+
+// Graphviz rendering with one cluster per parallel statement.
+std::string to_dot(const Graph& g, const std::string& title = "parcm");
+
+}  // namespace parcm

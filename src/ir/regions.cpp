@@ -1,0 +1,36 @@
+#include "ir/regions.hpp"
+
+#include <algorithm>
+
+namespace parcm {
+
+InterleavingInfo::InterleavingInfo(const Graph& g) : g_(&g) {
+  comp_nodes_.resize(g.num_regions());
+  for (std::size_t r = 0; r < g.num_regions(); ++r) {
+    comp_nodes_[r] = g.nodes_in_region_recursive(
+        RegionId(static_cast<RegionId::underlying>(r)));
+  }
+}
+
+std::vector<NodeId> InterleavingInfo::preds(NodeId n) const {
+  std::vector<NodeId> out;
+  for (const Graph::Enclosing& enc : g_->enclosing_stmts(n)) {
+    const ParStmt& stmt = g_->par_stmt(enc.stmt);
+    for (RegionId comp : stmt.components) {
+      if (comp == enc.component) continue;
+      const auto& nodes = comp_nodes_[comp.index()];
+      out.insert(out.end(), nodes.begin(), nodes.end());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+RegionId component_containing(const Graph& g, ParStmtId stmt, NodeId n) {
+  for (const Graph::Enclosing& enc : g.enclosing_stmts(n)) {
+    if (enc.stmt == stmt) return enc.component;
+  }
+  return RegionId();
+}
+
+}  // namespace parcm

@@ -1,0 +1,48 @@
+#include "ir/terms.hpp"
+
+#include "ir/printer.hpp"
+#include "support/diagnostics.hpp"
+
+namespace parcm {
+
+TermTable::TermTable(const Graph& g) {
+  node_term_.resize(g.num_nodes());
+  for (NodeId n : g.all_nodes()) {
+    const Node& node = g.node(n);
+    if (node.kind != NodeKind::kAssign || !node.rhs.is_term()) continue;
+    const Term& t = node.rhs.term();
+    TermId id = find(t);
+    if (!id.valid()) {
+      id = TermId(static_cast<TermId::underlying>(terms_.size()));
+      terms_.push_back(t);
+    }
+    node_term_[n.index()] = id;
+  }
+}
+
+TermId TermTable::find(const Term& t) const {
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    if (terms_[i] == t) return TermId(static_cast<TermId::underlying>(i));
+  }
+  return TermId();
+}
+
+TermId TermTable::find(const Graph& g, const std::string& text) const {
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    if (term_to_string(g, terms_[i]) == text) {
+      return TermId(static_cast<TermId::underlying>(i));
+    }
+  }
+  PARCM_CHECK(false, "no term printing as: " + text);
+}
+
+std::vector<TermId> TermTable::all() const {
+  std::vector<TermId> out;
+  out.reserve(terms_.size());
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    out.push_back(TermId(static_cast<TermId::underlying>(i)));
+  }
+  return out;
+}
+
+}  // namespace parcm

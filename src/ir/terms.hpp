@@ -1,0 +1,42 @@
+// The term universe of a graph: every distinct binary right-hand side.
+//
+// Code motion treats each term (computation pattern) independently; the
+// packed dataflow engine analyzes all of them simultaneously, one bit per
+// term.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ir/graph.hpp"
+
+namespace parcm {
+
+class TermTable {
+ public:
+  // Collects the distinct terms of all assignment right-hand sides of g, in
+  // first-occurrence order. Test conditions are not collected: conditions
+  // are not subject to code motion in the paper's model.
+  explicit TermTable(const Graph& g);
+
+  std::size_t size() const { return terms_.size(); }
+  const Term& term(TermId t) const { return terms_[t.index()]; }
+
+  // Term computed by node n (its RHS), or invalid if n computes no term.
+  TermId term_of(NodeId n) const { return node_term_[n.index()]; }
+
+  // Id of a term equal to t, or invalid.
+  TermId find(const Term& t) const;
+  // Id of the term that prints as `text` under g's variable names, e.g.
+  // "a + b"; throws if absent.
+  TermId find(const Graph& g, const std::string& text) const;
+
+  std::vector<TermId> all() const;
+
+ private:
+  std::vector<Term> terms_;
+  std::vector<TermId> node_term_;
+};
+
+}  // namespace parcm

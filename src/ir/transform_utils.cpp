@@ -1,0 +1,103 @@
+#include "ir/transform_utils.hpp"
+
+#include "ir/printer.hpp"
+#include "support/diagnostics.hpp"
+
+namespace parcm {
+
+RegionId edge_region(const Graph& g, EdgeId e) {
+  NodeId from = g.edge(e).from;
+  NodeId to = g.edge(e).to;
+  return g.node(to).kind == NodeKind::kParEnd ? g.node(from).region
+                                              : g.node(to).region;
+}
+
+void wire_on_edge(Graph& g, EdgeId e, NodeId fresh) {
+  PARCM_CHECK(g.node(fresh).region == edge_region(g, e),
+              "wire_on_edge: node in wrong region");
+  PARCM_CHECK(g.node(fresh).in_edges.empty() &&
+                  g.node(fresh).out_edges.empty(),
+              "wire_on_edge requires a fresh node");
+  NodeId to = g.edge(e).to;
+  // Retarget in place so the edge keeps its slot in the source's out list.
+  g.edge(e).to = fresh;
+  auto& to_in = g.node(to).in_edges;
+  for (std::size_t i = 0; i < to_in.size(); ++i) {
+    if (to_in[i] == e) {
+      to_in.erase(to_in.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  g.node(fresh).in_edges.push_back(e);
+  g.add_edge(fresh, to);
+}
+
+NodeId split_edge(Graph& g, EdgeId e) {
+  NodeId mid = g.new_node(NodeKind::kSynthetic, edge_region(g, e));
+  wire_on_edge(g, e, mid);
+  return mid;
+}
+
+std::size_t split_join_edges(Graph& g) {
+  std::size_t inserted = 0;
+  for (NodeId n : g.all_nodes()) {
+    if (g.node(n).kind == NodeKind::kParEnd) continue;
+    if (g.in_degree(n) <= 1) continue;
+    // Copy: split_edge mutates the in-edge list.
+    std::vector<EdgeId> incoming = g.node(n).in_edges;
+    for (EdgeId e : incoming) {
+      // Already split (a dedicated synthetic feeds only this edge)?
+      NodeId from = g.edge(e).from;
+      if (g.node(from).kind == NodeKind::kSynthetic &&
+          g.out_degree(from) == 1) {
+        continue;
+      }
+      split_edge(g, e);
+      ++inserted;
+    }
+  }
+  return inserted;
+}
+
+NodeId find_node(const Graph& g,
+                 const std::function<bool(const Graph&, NodeId)>& pred) {
+  for (NodeId n : g.all_nodes()) {
+    if (pred(g, n)) return n;
+  }
+  return NodeId();
+}
+
+std::vector<NodeId> find_nodes(
+    const Graph& g, const std::function<bool(const Graph&, NodeId)>& pred) {
+  std::vector<NodeId> out;
+  for (NodeId n : g.all_nodes()) {
+    if (pred(g, n)) out.push_back(n);
+  }
+  return out;
+}
+
+NodeId node_of_statement(const Graph& g, const std::string& text) {
+  NodeId found;
+  for (NodeId n : g.all_nodes()) {
+    if (statement_to_string(g, n) == text) {
+      PARCM_CHECK(!found.valid(), "ambiguous statement: " + text);
+      found = n;
+    }
+  }
+  PARCM_CHECK(found.valid(), "no node with statement: " + text);
+  return found;
+}
+
+NodeId node_of_label(const Graph& g, const std::string& label) {
+  NodeId found;
+  for (NodeId n : g.all_nodes()) {
+    if (g.node(n).label == label) {
+      PARCM_CHECK(!found.valid(), "ambiguous label: " + label);
+      found = n;
+    }
+  }
+  PARCM_CHECK(found.valid(), "no node with label: " + label);
+  return found;
+}
+
+}  // namespace parcm

@@ -1,0 +1,44 @@
+// Graph surgery shared by the code motion transformations.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ir/graph.hpp"
+
+namespace parcm {
+
+// Inserts a synthetic skip node on every edge (m, n) where n has more than
+// one predecessor, except when n is a ParEnd node (the paper's precondition
+// for code motion: such join edges would otherwise block placements).
+// Returns the number of synthetic nodes inserted.
+std::size_t split_join_edges(Graph& g);
+
+// Region a node spliced into edge e must live in: the target's region,
+// unless the target is a ParEnd (then the source's region), so region
+// discipline holds for ParBegin->entry and exit->ParEnd edges.
+RegionId edge_region(const Graph& g, EdgeId e);
+
+// Rewires edge e through `fresh` (a fresh node in edge_region(g, e)); the
+// edge keeps its slot in the source's out-edge list, so test-branch order
+// and oracle-visible branch structure are preserved.
+void wire_on_edge(Graph& g, EdgeId e, NodeId fresh);
+
+// Inserts a synthetic skip node in the middle of edge e.
+NodeId split_edge(Graph& g, EdgeId e);
+
+// First node satisfying pred, or invalid id.
+NodeId find_node(const Graph& g,
+                 const std::function<bool(const Graph&, NodeId)>& pred);
+// All nodes satisfying pred.
+std::vector<NodeId> find_nodes(
+    const Graph& g, const std::function<bool(const Graph&, NodeId)>& pred);
+
+// The unique assignment node whose statement prints as `text` (e.g.
+// "x := a + b"); throws if absent or ambiguous. Figure tests use this to
+// address paper nodes without depending on internal numbering.
+NodeId node_of_statement(const Graph& g, const std::string& text);
+// The unique node carrying `label`; throws if absent or ambiguous.
+NodeId node_of_label(const Graph& g, const std::string& label);
+
+}  // namespace parcm

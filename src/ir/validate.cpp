@@ -1,0 +1,190 @@
+#include "ir/validate.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace parcm {
+
+namespace {
+
+std::string node_desc(const Graph& g, NodeId n) {
+  std::ostringstream os;
+  os << "node " << n.value() << " (" << node_kind_name(g.node(n).kind);
+  if (!g.node(n).label.empty()) os << " '" << g.node(n).label << "'";
+  os << ")";
+  return os.str();
+}
+
+}  // namespace
+
+bool validate(const Graph& g, DiagnosticSink& sink,
+              const ValidateOptions& options) {
+  bool was_ok = sink.ok();
+
+  // Start / end shape.
+  if (g.node(g.start()).kind != NodeKind::kStart) {
+    sink.error("start node has wrong kind");
+  }
+  if (g.node(g.end()).kind != NodeKind::kEnd) {
+    sink.error("end node has wrong kind");
+  }
+  if (g.in_degree(g.start()) != 0) {
+    sink.error("start node has incoming edges");
+  }
+  if (g.out_degree(g.end()) != 0) {
+    sink.error("end node has outgoing edges");
+  }
+
+  for (NodeId n : g.all_nodes()) {
+    const Node& node = g.node(n);
+
+    // Kind-uniqueness of start/end.
+    if (node.kind == NodeKind::kStart && n != g.start()) {
+      sink.error("extra start node: " + node_desc(g, n));
+    }
+    if (node.kind == NodeKind::kEnd && n != g.end()) {
+      sink.error("extra end node: " + node_desc(g, n));
+    }
+    if (node.kind == NodeKind::kTest) {
+      if (node.out_edges.size() != 2) {
+        sink.error(node_desc(g, n) + ": test node must have 2 out-edges");
+      }
+      if (!node.cond.has_value()) {
+        sink.error(node_desc(g, n) + ": test node without condition");
+      }
+    }
+    if (node.kind != NodeKind::kEnd && node.out_edges.empty()) {
+      sink.error(node_desc(g, n) + ": dead-end node (no out-edges)");
+    }
+    if (node.kind == NodeKind::kBarrier) {
+      if (!g.pfg(n).valid()) {
+        sink.error(node_desc(g, n) + ": barrier outside a parallel component");
+      }
+      if (node.out_edges.size() != 1) {
+        sink.error(node_desc(g, n) + ": barrier must have one out-edge");
+      }
+    }
+
+    // Region membership bookkeeping.
+    const Region& reg = g.region(node.region);
+    if (std::find(reg.nodes.begin(), reg.nodes.end(), n) == reg.nodes.end()) {
+      sink.error(node_desc(g, n) + ": missing from its region's node list");
+    }
+
+    // Edge region discipline.
+    for (EdgeId e : node.out_edges) {
+      const Edge& ed = g.edge(e);
+      if (!ed.valid) {
+        sink.error(node_desc(g, n) + ": references removed edge");
+        continue;
+      }
+      if (ed.from != n) {
+        sink.error(node_desc(g, n) + ": out-edge with wrong source");
+      }
+      const Node& to = g.node(ed.to);
+      bool same_region = to.region == node.region;
+      bool enters_component =
+          node.kind == NodeKind::kParBegin && to.region.valid() &&
+          g.region(to.region).owner == node.par_stmt;
+      bool exits_component =
+          to.kind == NodeKind::kParEnd && node.region.valid() &&
+          g.region(node.region).owner == to.par_stmt;
+      if (!same_region && !enters_component && !exits_component) {
+        sink.error(node_desc(g, n) + " -> " + node_desc(g, ed.to) +
+                   ": edge crosses a region boundary");
+      }
+    }
+    for (EdgeId e : node.in_edges) {
+      const Edge& ed = g.edge(e);
+      if (!ed.valid || ed.to != n) {
+        sink.error(node_desc(g, n) + ": corrupt in-edge list");
+      }
+    }
+  }
+
+  // Parallel statement shape.
+  for (std::size_t i = 0; i < g.num_par_stmts(); ++i) {
+    const ParStmt& s = g.par_stmt(ParStmtId(static_cast<ParStmtId::underlying>(i)));
+    if (s.components.size() < 2) {
+      sink.error("parallel statement with fewer than 2 components");
+    }
+    if (g.node(s.begin).kind != NodeKind::kParBegin ||
+        g.node(s.end).kind != NodeKind::kParEnd) {
+      sink.error("parallel statement with mis-kinded begin/end nodes");
+    }
+    // One edge from ParBegin into each component; component nonempty with a
+    // unique entry and at least one exit to ParEnd.
+    for (RegionId comp : s.components) {
+      const Region& reg = g.region(comp);
+      if (reg.nodes.empty()) {
+        sink.error("empty parallel component region");
+        continue;
+      }
+      int entries = 0;
+      for (NodeId t : g.succs(s.begin)) {
+        if (g.node(t).region == comp) ++entries;
+      }
+      if (entries != 1) {
+        sink.error("component must have exactly one entry edge from ParBegin");
+      }
+      if (g.component_exits(comp).empty()) {
+        sink.error("component has no exit edge to ParEnd");
+      }
+    }
+    if (g.out_degree(s.begin) != s.components.size()) {
+      sink.error("ParBegin out-degree differs from component count");
+    }
+  }
+
+  if (options.check_reachability) {
+    // Forward reachability from start.
+    std::vector<char> fwd(g.num_nodes(), 0);
+    std::vector<NodeId> stack{g.start()};
+    fwd[g.start().index()] = 1;
+    while (!stack.empty()) {
+      NodeId n = stack.back();
+      stack.pop_back();
+      for (NodeId m : g.succs(n)) {
+        if (!fwd[m.index()]) {
+          fwd[m.index()] = 1;
+          stack.push_back(m);
+        }
+      }
+    }
+    // Backward reachability from end.
+    std::vector<char> bwd(g.num_nodes(), 0);
+    stack.push_back(g.end());
+    bwd[g.end().index()] = 1;
+    while (!stack.empty()) {
+      NodeId n = stack.back();
+      stack.pop_back();
+      for (NodeId m : g.preds(n)) {
+        if (!bwd[m.index()]) {
+          bwd[m.index()] = 1;
+          stack.push_back(m);
+        }
+      }
+    }
+    for (NodeId n : g.all_nodes()) {
+      if (!fwd[n.index()]) {
+        sink.error(node_desc(g, n) + ": unreachable from start");
+      }
+      if (!bwd[n.index()]) {
+        sink.error(node_desc(g, n) + ": cannot reach end");
+      }
+    }
+  }
+
+  return was_ok && sink.ok();
+}
+
+void validate_or_throw(const Graph& g, const ValidateOptions& options) {
+  DiagnosticSink sink;
+  if (!validate(g, sink, options)) {
+    internal_error(__FILE__, __LINE__,
+                   "graph validation failed:\n" + sink.to_string());
+  }
+}
+
+}  // namespace parcm

@@ -1,0 +1,24 @@
+// Structural well-formedness checks for parallel flow graphs.
+#pragma once
+
+#include "ir/graph.hpp"
+#include "support/diagnostics.hpp"
+
+namespace parcm {
+
+struct ValidateOptions {
+  // Require every node reachable from start and the end reachable from every
+  // node (the paper's analyses assume terminating paths to e*).
+  bool check_reachability = true;
+};
+
+// Appends any violations to `sink`; returns sink.ok() on entry && no new
+// violations.
+bool validate(const Graph& g, DiagnosticSink& sink,
+              const ValidateOptions& options = {});
+
+// Convenience wrapper that throws InternalError on violation. Use in tests
+// and after transformations.
+void validate_or_throw(const Graph& g, const ValidateOptions& options = {});
+
+}  // namespace parcm

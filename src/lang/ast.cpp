@@ -1,0 +1,3 @@
+// ast.hpp is header-only; this TU exists so the build system has a stable
+// object for the module and future out-of-line helpers.
+#include "lang/ast.hpp"

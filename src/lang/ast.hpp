@@ -1,0 +1,69 @@
+// Abstract syntax tree of the parcm language.
+//
+// The AST is name-based (variables are strings); lowering interns names into
+// the graph's symbol table. Statements own their children via unique_ptr-
+// free value vectors — the tree is acyclic and cheap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/expr.hpp"
+
+namespace parcm::lang {
+
+struct AOperand {
+  bool is_var = false;
+  std::string name;        // when is_var
+  std::int64_t value = 0;  // when !is_var
+
+  static AOperand var(std::string n) { return AOperand{true, std::move(n), 0}; }
+  static AOperand constant(std::int64_t v) { return AOperand{false, {}, v}; }
+};
+
+// Right-hand side / condition expression: `a` or `a op b`.
+struct AExpr {
+  AOperand a;
+  std::optional<BinOp> op;
+  AOperand b;
+
+  bool is_binary() const { return op.has_value(); }
+};
+
+// A condition is nondeterministic (`*`) or an expression.
+struct ACond {
+  bool nondet = false;
+  AExpr expr;
+};
+
+enum class StmtKind { kAssign, kSkip, kIf, kWhile, kPar, kChoose, kBarrier };
+
+struct Stmt;
+using Block = std::vector<Stmt>;
+
+struct Stmt {
+  StmtKind kind;
+
+  // kAssign
+  std::string lhs;
+  AExpr rhs;
+  // kAssign / kSkip: optional @label
+  std::string label;
+
+  // kIf / kWhile
+  ACond cond;
+
+  // kIf: blocks[0] = then, blocks[1] = else (possibly empty).
+  // kWhile: blocks[0] = body.
+  // kPar / kChoose: one block per component / alternative.
+  std::vector<Block> blocks;
+};
+
+struct Program {
+  Block body;
+};
+
+}  // namespace parcm::lang

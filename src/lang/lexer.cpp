@@ -1,0 +1,190 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace parcm::lang {
+
+const char* tok_kind_name(TokKind kind) {
+  switch (kind) {
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kNumber: return "number";
+    case TokKind::kAssignOp: return "':='";
+    case TokKind::kSemi: return "';'";
+    case TokKind::kLParen: return "'('";
+    case TokKind::kRParen: return "')'";
+    case TokKind::kLBrace: return "'{'";
+    case TokKind::kRBrace: return "'}'";
+    case TokKind::kAt: return "'@'";
+    case TokKind::kPlus: return "'+'";
+    case TokKind::kMinus: return "'-'";
+    case TokKind::kStar: return "'*'";
+    case TokKind::kSlash: return "'/'";
+    case TokKind::kLt: return "'<'";
+    case TokKind::kLe: return "'<='";
+    case TokKind::kGt: return "'>'";
+    case TokKind::kGe: return "'>='";
+    case TokKind::kEqEq: return "'=='";
+    case TokKind::kNe: return "'!='";
+    case TokKind::kKwSkip: return "'skip'";
+    case TokKind::kKwIf: return "'if'";
+    case TokKind::kKwElse: return "'else'";
+    case TokKind::kKwWhile: return "'while'";
+    case TokKind::kKwPar: return "'par'";
+    case TokKind::kKwAnd: return "'and'";
+    case TokKind::kKwChoose: return "'choose'";
+    case TokKind::kKwOr: return "'or'";
+    case TokKind::kKwBarrier: return "'barrier'";
+    case TokKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+const std::unordered_map<std::string_view, TokKind>& keywords() {
+  static const std::unordered_map<std::string_view, TokKind> kw = {
+      {"skip", TokKind::kKwSkip},     {"if", TokKind::kKwIf},
+      {"else", TokKind::kKwElse},     {"while", TokKind::kKwWhile},
+      {"par", TokKind::kKwPar},       {"and", TokKind::kKwAnd},
+      {"choose", TokKind::kKwChoose}, {"or", TokKind::kKwOr},
+      {"barrier", TokKind::kKwBarrier},
+  };
+  return kw;
+}
+}  // namespace
+
+std::vector<Token> lex(std::string_view source, DiagnosticSink& sink) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int col = 1;
+  std::size_t i = 0;
+  auto loc = [&] { return SourceLoc{line, col}; };
+  auto advance = [&](std::size_t k = 1) {
+    for (std::size_t j = 0; j < k && i < source.size(); ++j, ++i) {
+      if (source[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+  auto push = [&](TokKind kind, SourceLoc at, std::string text = {},
+                  std::int64_t num = 0) {
+    tokens.push_back(Token{kind, std::move(text), num, at});
+  };
+
+  while (i < source.size()) {
+    char ch = source[i];
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      advance();
+      continue;
+    }
+    // Comments: // to end of line.
+    if (ch == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      while (i < source.size() && source[i] != '\n') advance();
+      continue;
+    }
+    SourceLoc at = loc();
+    if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '_') {
+      std::size_t start = i;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) ||
+              source[i] == '_')) {
+        advance();
+      }
+      std::string_view word = source.substr(start, i - start);
+      auto it = keywords().find(word);
+      if (it != keywords().end()) {
+        push(it->second, at, std::string(word));
+      } else {
+        push(TokKind::kIdent, at, std::string(word));
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(ch))) {
+      std::size_t start = i;
+      while (i < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[i]))) {
+        advance();
+      }
+      std::string text(source.substr(start, i - start));
+      std::int64_t value = 0;
+      try {
+        value = std::stoll(text);
+      } catch (const std::exception&) {
+        sink.error(at, "integer literal out of range: " + text);
+      }
+      push(TokKind::kNumber, at, text, value);
+      continue;
+    }
+    auto two = [&](char second) {
+      return i + 1 < source.size() && source[i + 1] == second;
+    };
+    switch (ch) {
+      case ':':
+        if (two('=')) {
+          advance(2);
+          push(TokKind::kAssignOp, at);
+        } else {
+          advance();
+          sink.error(at, "expected ':='");
+        }
+        continue;
+      case ';': advance(); push(TokKind::kSemi, at); continue;
+      case '(': advance(); push(TokKind::kLParen, at); continue;
+      case ')': advance(); push(TokKind::kRParen, at); continue;
+      case '{': advance(); push(TokKind::kLBrace, at); continue;
+      case '}': advance(); push(TokKind::kRBrace, at); continue;
+      case '@': advance(); push(TokKind::kAt, at); continue;
+      case '+': advance(); push(TokKind::kPlus, at); continue;
+      case '-': advance(); push(TokKind::kMinus, at); continue;
+      case '*': advance(); push(TokKind::kStar, at); continue;
+      case '/': advance(); push(TokKind::kSlash, at); continue;
+      case '<':
+        if (two('=')) {
+          advance(2);
+          push(TokKind::kLe, at);
+        } else {
+          advance();
+          push(TokKind::kLt, at);
+        }
+        continue;
+      case '>':
+        if (two('=')) {
+          advance(2);
+          push(TokKind::kGe, at);
+        } else {
+          advance();
+          push(TokKind::kGt, at);
+        }
+        continue;
+      case '=':
+        if (two('=')) {
+          advance(2);
+          push(TokKind::kEqEq, at);
+        } else {
+          advance();
+          sink.error(at, "expected '==' (assignment is ':=')");
+        }
+        continue;
+      case '!':
+        if (two('=')) {
+          advance(2);
+          push(TokKind::kNe, at);
+        } else {
+          advance();
+          sink.error(at, "expected '!='");
+        }
+        continue;
+      default:
+        sink.error(at, std::string("unexpected character '") + ch + "'");
+        advance();
+        continue;
+    }
+  }
+  push(TokKind::kEof, loc());
+  return tokens;
+}
+
+}  // namespace parcm::lang

@@ -1,0 +1,63 @@
+// Lexer for the parcm parallel imperative language.
+//
+// Grammar summary (see parser.hpp for the full grammar):
+//   x := a + b;   skip;   if (cond) {..} else {..}   while (cond) {..}
+//   par {..} and {..}     choose {..} or {..}
+// A condition is `*` (nondeterministic) or an expression. An optional
+// `@name` before `;` labels the node for figure reconstructions.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace parcm::lang {
+
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kAssignOp,  // :=
+  kSemi,
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kAt,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEqEq,
+  kNe,
+  kKwSkip,
+  kKwIf,
+  kKwElse,
+  kKwWhile,
+  kKwPar,
+  kKwAnd,
+  kKwChoose,
+  kKwOr,
+  kKwBarrier,
+  kEof,
+};
+
+const char* tok_kind_name(TokKind kind);
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  std::int64_t number = 0;
+  SourceLoc loc;
+};
+
+// Tokenizes `source`; appends errors (bad characters, malformed numbers) to
+// sink. Always ends with a kEof token.
+std::vector<Token> lex(std::string_view source, DiagnosticSink& sink);
+
+}  // namespace parcm::lang

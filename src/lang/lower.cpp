@@ -1,0 +1,107 @@
+#include "lang/lower.hpp"
+
+#include "ir/builder.hpp"
+#include "lang/parser.hpp"
+
+namespace parcm::lang {
+
+namespace {
+
+class Lowerer {
+ public:
+  explicit Lowerer(const Program& program) : program_(program) {}
+
+  Graph run() {
+    lower_block(program_.body);
+    return builder_.finish();
+  }
+
+ private:
+  Operand lower_operand(const AOperand& op) {
+    if (op.is_var) return builder_.v(op.name);
+    return GraphBuilder::c(op.value);
+  }
+
+  Rhs lower_expr(const AExpr& e) {
+    if (e.is_binary()) {
+      return Rhs(Term{*e.op, lower_operand(e.a), lower_operand(e.b)});
+    }
+    return Rhs(lower_operand(e.a));
+  }
+
+  GraphBuilder::BlockFn block_fn(const Block& block) {
+    return [this, &block] { lower_block(block); };
+  }
+
+  void lower_block(const Block& block) {
+    for (const Stmt& s : block) lower_stmt(s);
+  }
+
+  void lower_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kAssign:
+        builder_.assign(builder_.var(s.lhs), lower_expr(s.rhs));
+        if (!s.label.empty()) builder_.labeled(s.label);
+        return;
+      case StmtKind::kSkip:
+        builder_.skip();
+        if (!s.label.empty()) builder_.labeled(s.label);
+        return;
+      case StmtKind::kBarrier:
+        builder_.barrier();
+        if (!s.label.empty()) builder_.labeled(s.label);
+        return;
+      case StmtKind::kIf:
+        if (s.cond.nondet) {
+          builder_.if_nondet(block_fn(s.blocks[0]), block_fn(s.blocks[1]));
+        } else {
+          builder_.if_cond(lower_expr(s.cond.expr), block_fn(s.blocks[0]),
+                           block_fn(s.blocks[1]));
+        }
+        return;
+      case StmtKind::kWhile:
+        if (s.cond.nondet) {
+          builder_.while_nondet(block_fn(s.blocks[0]));
+        } else {
+          builder_.while_cond(lower_expr(s.cond.expr), block_fn(s.blocks[0]));
+        }
+        return;
+      case StmtKind::kPar: {
+        std::vector<GraphBuilder::BlockFn> comps;
+        comps.reserve(s.blocks.size());
+        for (const Block& b : s.blocks) comps.push_back(block_fn(b));
+        builder_.par(comps);
+        return;
+      }
+      case StmtKind::kChoose: {
+        std::vector<GraphBuilder::BlockFn> alts;
+        alts.reserve(s.blocks.size());
+        for (const Block& b : s.blocks) alts.push_back(block_fn(b));
+        builder_.choose(alts);
+        return;
+      }
+    }
+  }
+
+  const Program& program_;
+  GraphBuilder builder_;
+};
+
+}  // namespace
+
+Graph lower(const Program& program) { return Lowerer(program).run(); }
+
+Graph compile(std::string_view source, DiagnosticSink& sink) {
+  auto program = parse(source, sink);
+  if (!program) return Graph();
+  return lower(*program);
+}
+
+Graph compile_or_throw(std::string_view source) {
+  DiagnosticSink sink;
+  auto program = parse(source, sink);
+  PARCM_CHECK(program.has_value(), "parse failed:\n" + sink.to_string());
+  return lower(*program);
+}
+
+}  // namespace parcm::lang

@@ -1,0 +1,23 @@
+// Lowering from the language AST to a parallel flow graph.
+#pragma once
+
+#include <string_view>
+
+#include "ir/graph.hpp"
+#include "lang/ast.hpp"
+#include "support/diagnostics.hpp"
+
+namespace parcm::lang {
+
+// Lowers a parsed program through GraphBuilder.
+Graph lower(const Program& program);
+
+// Parse + lower; errors go to sink and an empty (start->end) graph is
+// returned on failure.
+Graph compile(std::string_view source, DiagnosticSink& sink);
+
+// Parse + lower; throws InternalError with the diagnostics on failure.
+// The workhorse for tests, figures, and examples.
+Graph compile_or_throw(std::string_view source);
+
+}  // namespace parcm::lang

@@ -1,0 +1,250 @@
+#include "lang/parser.hpp"
+
+#include "lang/lexer.hpp"
+
+namespace parcm::lang {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, DiagnosticSink& sink)
+      : tokens_(std::move(tokens)), sink_(sink) {}
+
+  std::optional<Program> parse_program() {
+    Program p;
+    while (!at(TokKind::kEof) && !failed_) {
+      if (auto s = parse_stmt()) p.body.push_back(std::move(*s));
+    }
+    if (failed_) return std::nullopt;
+    return p;
+  }
+
+ private:
+  const Token& cur() const { return tokens_[pos_]; }
+  bool at(TokKind kind) const { return cur().kind == kind; }
+  const Token& advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  bool expect(TokKind kind) {
+    if (at(kind)) {
+      advance();
+      return true;
+    }
+    fail(std::string("expected ") + tok_kind_name(kind) + ", found " +
+         tok_kind_name(cur().kind));
+    return false;
+  }
+
+  void fail(const std::string& message) {
+    if (!failed_) sink_.error(cur().loc, message);
+    failed_ = true;
+  }
+
+  std::optional<BinOp> peek_bin_op() const {
+    switch (cur().kind) {
+      case TokKind::kPlus: return BinOp::kAdd;
+      case TokKind::kMinus: return BinOp::kSub;
+      case TokKind::kStar: return BinOp::kMul;
+      case TokKind::kSlash: return BinOp::kDiv;
+      case TokKind::kLt: return BinOp::kLt;
+      case TokKind::kLe: return BinOp::kLe;
+      case TokKind::kGt: return BinOp::kGt;
+      case TokKind::kGe: return BinOp::kGe;
+      case TokKind::kEqEq: return BinOp::kEq;
+      case TokKind::kNe: return BinOp::kNe;
+      default: return std::nullopt;
+    }
+  }
+
+  std::optional<AOperand> parse_operand() {
+    if (at(TokKind::kIdent)) {
+      return AOperand::var(advance().text);
+    }
+    if (at(TokKind::kNumber)) {
+      return AOperand::constant(advance().number);
+    }
+    if (at(TokKind::kMinus)) {
+      advance();
+      if (!at(TokKind::kNumber)) {
+        fail("expected number after unary '-'");
+        return std::nullopt;
+      }
+      return AOperand::constant(-advance().number);
+    }
+    fail("expected operand (identifier or number)");
+    return std::nullopt;
+  }
+
+  std::optional<AExpr> parse_expr() {
+    auto a = parse_operand();
+    if (!a) return std::nullopt;
+    AExpr e;
+    e.a = std::move(*a);
+    if (auto op = peek_bin_op()) {
+      advance();
+      auto b = parse_operand();
+      if (!b) return std::nullopt;
+      e.op = op;
+      e.b = std::move(*b);
+    }
+    return e;
+  }
+
+  std::optional<ACond> parse_cond() {
+    if (!expect(TokKind::kLParen)) return std::nullopt;
+    ACond c;
+    if (at(TokKind::kStar) && tokens_[pos_ + 1].kind == TokKind::kRParen) {
+      advance();
+      c.nondet = true;
+    } else {
+      auto e = parse_expr();
+      if (!e) return std::nullopt;
+      c.expr = std::move(*e);
+    }
+    if (!expect(TokKind::kRParen)) return std::nullopt;
+    return c;
+  }
+
+  std::optional<Block> parse_block() {
+    if (!expect(TokKind::kLBrace)) return std::nullopt;
+    Block b;
+    while (!at(TokKind::kRBrace) && !at(TokKind::kEof) && !failed_) {
+      if (auto s = parse_stmt()) b.push_back(std::move(*s));
+    }
+    if (!expect(TokKind::kRBrace)) return std::nullopt;
+    return b;
+  }
+
+  std::string parse_optional_label() {
+    if (!at(TokKind::kAt)) return {};
+    advance();
+    if (!at(TokKind::kIdent) && !at(TokKind::kNumber)) {
+      fail("expected label name after '@'");
+      return {};
+    }
+    return advance().text;
+  }
+
+  std::optional<Stmt> parse_stmt() {
+    switch (cur().kind) {
+      case TokKind::kKwSkip: {
+        advance();
+        Stmt s;
+        s.kind = StmtKind::kSkip;
+        s.label = parse_optional_label();
+        if (!expect(TokKind::kSemi)) return std::nullopt;
+        return s;
+      }
+      case TokKind::kKwBarrier: {
+        advance();
+        Stmt s;
+        s.kind = StmtKind::kBarrier;
+        s.label = parse_optional_label();
+        if (!expect(TokKind::kSemi)) return std::nullopt;
+        return s;
+      }
+      case TokKind::kIdent: {
+        Stmt s;
+        s.kind = StmtKind::kAssign;
+        s.lhs = advance().text;
+        if (!expect(TokKind::kAssignOp)) return std::nullopt;
+        auto e = parse_expr();
+        if (!e) return std::nullopt;
+        s.rhs = std::move(*e);
+        s.label = parse_optional_label();
+        if (!expect(TokKind::kSemi)) return std::nullopt;
+        return s;
+      }
+      case TokKind::kKwIf: {
+        advance();
+        Stmt s;
+        s.kind = StmtKind::kIf;
+        auto c = parse_cond();
+        if (!c) return std::nullopt;
+        s.cond = std::move(*c);
+        auto then_b = parse_block();
+        if (!then_b) return std::nullopt;
+        s.blocks.push_back(std::move(*then_b));
+        if (at(TokKind::kKwElse)) {
+          advance();
+          auto else_b = parse_block();
+          if (!else_b) return std::nullopt;
+          s.blocks.push_back(std::move(*else_b));
+        } else {
+          s.blocks.emplace_back();
+        }
+        return s;
+      }
+      case TokKind::kKwWhile: {
+        advance();
+        Stmt s;
+        s.kind = StmtKind::kWhile;
+        auto c = parse_cond();
+        if (!c) return std::nullopt;
+        s.cond = std::move(*c);
+        auto body = parse_block();
+        if (!body) return std::nullopt;
+        s.blocks.push_back(std::move(*body));
+        return s;
+      }
+      case TokKind::kKwPar: {
+        advance();
+        Stmt s;
+        s.kind = StmtKind::kPar;
+        auto first = parse_block();
+        if (!first) return std::nullopt;
+        s.blocks.push_back(std::move(*first));
+        while (at(TokKind::kKwAnd)) {
+          advance();
+          auto comp = parse_block();
+          if (!comp) return std::nullopt;
+          s.blocks.push_back(std::move(*comp));
+        }
+        if (s.blocks.size() < 2) {
+          fail("'par' needs at least two components ('par {..} and {..}')");
+          return std::nullopt;
+        }
+        return s;
+      }
+      case TokKind::kKwChoose: {
+        advance();
+        Stmt s;
+        s.kind = StmtKind::kChoose;
+        auto first = parse_block();
+        if (!first) return std::nullopt;
+        s.blocks.push_back(std::move(*first));
+        while (at(TokKind::kKwOr)) {
+          advance();
+          auto alt = parse_block();
+          if (!alt) return std::nullopt;
+          s.blocks.push_back(std::move(*alt));
+        }
+        if (s.blocks.size() < 2) {
+          fail("'choose' needs at least two alternatives");
+          return std::nullopt;
+        }
+        return s;
+      }
+      default:
+        fail(std::string("unexpected ") + tok_kind_name(cur().kind) +
+             " at statement start");
+        return std::nullopt;
+    }
+  }
+
+  std::vector<Token> tokens_;
+  DiagnosticSink& sink_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+std::optional<Program> parse(std::string_view source, DiagnosticSink& sink) {
+  std::vector<Token> tokens = lex(source, sink);
+  if (!sink.ok()) return std::nullopt;
+  Parser parser(std::move(tokens), sink);
+  return parser.parse_program();
+}
+
+}  // namespace parcm::lang

@@ -1,0 +1,31 @@
+// Recursive-descent parser for the parcm language.
+//
+// Grammar:
+//   program := stmt*
+//   stmt    := ident ":=" expr label? ";"
+//            | "skip" label? ";"
+//            | "barrier" label? ";"   (inside a par component only)
+//            | "if" "(" cond ")" block ("else" block)?
+//            | "while" "(" cond ")" block
+//            | "par" block ("and" block)+
+//            | "choose" block ("or" block)+
+//   block   := "{" stmt* "}"
+//   cond    := "*" | expr
+//   expr    := operand (binop operand)?
+//   operand := ident | number
+//   label   := "@" ident
+//   binop   := "+" | "-" | "*" | "/" | "<" | "<=" | ">" | ">=" | "==" | "!="
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "lang/ast.hpp"
+#include "support/diagnostics.hpp"
+
+namespace parcm::lang {
+
+// Returns the program, or nullopt with errors in sink.
+std::optional<Program> parse(std::string_view source, DiagnosticSink& sink);
+
+}  // namespace parcm::lang

@@ -1,0 +1,14 @@
+#include "motion/bcm.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace parcm {
+
+MotionResult busy_code_motion(const Graph& g) {
+  PARCM_CHECK(g.num_par_stmts() == 0,
+              "busy_code_motion is the sequential baseline; use "
+              "parallel_code_motion for parallel programs");
+  return run_code_motion(g, CodeMotionConfig{SafetyVariant::kRefined});
+}
+
+}  // namespace parcm

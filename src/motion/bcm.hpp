@@ -1,0 +1,15 @@
+// Busy code motion (Knoop/Rüthing/Steffen PLDI'92) — the sequential
+// as-early-as-possible placement the paper builds on. On a sequential graph
+// the naive and refined variants coincide; busy_code_motion checks the
+// graph is parallel-free so benchmarks and tests can use it as the honest
+// sequential baseline.
+#pragma once
+
+#include "motion/code_motion.hpp"
+
+namespace parcm {
+
+// Requires g.num_par_stmts() == 0.
+MotionResult busy_code_motion(const Graph& g);
+
+}  // namespace parcm

@@ -1,0 +1,416 @@
+#include "motion/code_motion.hpp"
+
+#include <deque>
+
+#include "ir/regions.hpp"
+#include "ir/transform_utils.hpp"
+#include "support/diagnostics.hpp"
+
+namespace parcm {
+
+std::size_t MotionResult::num_insertions() const {
+  std::size_t n = 0;
+  for (const TermMotion& t : terms) n += t.insert_nodes.size();
+  return n;
+}
+
+std::size_t MotionResult::num_replacements() const {
+  std::size_t n = 0;
+  for (const TermMotion& t : terms) n += t.replaced.size();
+  return n;
+}
+
+namespace {
+
+const char* op_word(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "add";
+    case BinOp::kSub: return "sub";
+    case BinOp::kMul: return "mul";
+    case BinOp::kDiv: return "div";
+    case BinOp::kLt: return "lt";
+    case BinOp::kLe: return "le";
+    case BinOp::kGt: return "gt";
+    case BinOp::kGe: return "ge";
+    case BinOp::kEq: return "eq";
+    case BinOp::kNe: return "ne";
+  }
+  return "op";
+}
+
+std::string operand_word(const Graph& g, const Operand& op) {
+  if (op.is_var()) return g.var_name(op.var_id());
+  std::int64_t v = op.const_value();
+  return v < 0 ? "m" + std::to_string(-v) : std::to_string(v);
+}
+
+}  // namespace
+
+std::string fresh_temp_name(const Graph& g, const Term& t) {
+  std::string base = "h_" + operand_word(g, t.lhs) + "_" + op_word(t.op) +
+                     "_" + operand_word(g, t.rhs);
+  std::string name = base;
+  int suffix = 0;
+  while (g.find_var(name).has_value()) {
+    name = base + "_" + std::to_string(++suffix);
+  }
+  return name;
+}
+
+namespace {
+
+// Component-private temporaries (refined variant): inside a parallel
+// statement where some node modifies an operand of the term, sibling
+// components may write stale values into the shared temporary while another
+// component (or the code after the join) still relies on it. Renaming every
+// in-component access to a per-component temp removes the race; zero-cost
+// trivial copies bridge the two legitimate cross-boundary flows — an
+// upstream value entering a component (h_C := h at the component entry) and
+// the unique operand-modifying component establishing up-safety at the exit
+// (h := h_C after the ParEnd). Processes statements innermost-first so an
+// outer rename uniformly captures inner bridges.
+void privatize_term(Graph& out, const LocalPredicates& preds,
+                    const SafetyInfo& safety, TermMotion& motion) {
+  TermId t = motion.term;
+  std::size_t ti = t.index();
+
+  std::vector<ParStmtId> order;
+  for (std::size_t i = 0; i < out.num_par_stmts(); ++i) {
+    order.push_back(ParStmtId(static_cast<ParStmtId::underlying>(i)));
+  }
+  std::sort(order.begin(), order.end(), [&](ParStmtId a, ParStmtId b) {
+    return out.region_depth(out.par_stmt(a).parent_region) >
+           out.region_depth(out.par_stmt(b).parent_region);
+  });
+
+  // Nodes created by the transformation (>= analyzed count) have no
+  // LocalPredicates entry; they are temp initializations and trivial
+  // copies, which never modify the term's operands.
+  std::size_t analyzed = safety.upsafe.size();
+  auto subtree_dirty = [&](RegionId r) {
+    for (NodeId n : out.nodes_in_region_recursive(r)) {
+      if (n.index() < analyzed && preds.mod(n).test(ti)) return true;
+    }
+    return false;
+  };
+
+  for (ParStmtId s : order) {
+    const ParStmt& stmt = out.par_stmt(s);
+    bool dirty = false;
+    std::vector<char> comp_dirty;
+    for (RegionId comp : stmt.components) {
+      bool d = subtree_dirty(comp);
+      comp_dirty.push_back(d);
+      dirty = dirty || d;
+    }
+    if (!dirty) continue;
+
+    RegionId dirty_comp;
+    int dirty_count = 0;
+    std::vector<std::pair<RegionId, VarId>> renamed;
+    for (std::size_t ci = 0; ci < stmt.components.size(); ++ci) {
+      RegionId comp = stmt.components[ci];
+      if (comp_dirty[ci]) {
+        ++dirty_count;
+        dirty_comp = comp;
+      }
+      // Rename accesses of the shared temp within this component.
+      bool any_access = false;
+      std::vector<NodeId> members = out.nodes_in_region_recursive(comp);
+      for (NodeId n : members) {
+        Node& node = out.node(n);
+        if (node.kind != NodeKind::kAssign) continue;
+        if (node.lhs == motion.temp ||
+            (node.rhs.is_trivial() && node.rhs.trivial().is_var() &&
+             node.rhs.trivial().var_id() == motion.temp)) {
+          any_access = true;
+          break;
+        }
+      }
+      if (!any_access) continue;
+
+      VarId priv = out.intern_var(out.var_name(motion.temp) + "_c" +
+                                  std::to_string(comp.value()));
+      for (NodeId n : members) {
+        Node& node = out.node(n);
+        if (node.kind != NodeKind::kAssign) continue;
+        if (node.lhs == motion.temp) node.lhs = priv;
+        if (node.rhs.is_trivial() && node.rhs.trivial().is_var() &&
+            node.rhs.trivial().var_id() == motion.temp) {
+          node.rhs = Rhs(Operand::var(priv));
+        }
+      }
+      // Entry bridge: carry an upstream value of the shared temp in.
+      NodeId bridge = out.new_assign(comp, priv, Rhs(Operand::var(motion.temp)));
+      out.splice_before(bridge, out.component_entry(comp));
+      motion.bridge_nodes.push_back(bridge);
+      renamed.emplace_back(comp, priv);
+      motion.private_temps.emplace_back(comp, priv);
+    }
+
+    // Exit bridge: the statement exit is up-safe_par only via the unique
+    // operand-modifying component; code after the join reads the shared
+    // temp, so copy the establishing component's value out.
+    if (s.index() < safety.up_result.stmt_summary.size() &&
+        safety.up_result.stmt_summary[s.index()].tt.test(ti) &&
+        dirty_count == 1) {
+      for (const auto& [comp, priv] : renamed) {
+        if (comp != dirty_comp) continue;
+        NodeId end = stmt.end;
+        std::vector<EdgeId> outgoing = out.node(end).out_edges;
+        for (EdgeId e : outgoing) {
+          NodeId bridge = out.new_assign(edge_region(out, e), motion.temp,
+                                         Rhs(Operand::var(priv)));
+          wire_on_edge(out, e, bridge);
+          motion.bridge_nodes.push_back(bridge);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+MotionResult run_code_motion(const Graph& g, const CodeMotionConfig& config) {
+  MotionResult res{g, 0, {}, {}, {}};
+  Graph& out = res.graph;
+
+  res.synthetic_nodes = split_join_edges(out);
+
+  TermTable terms(out);
+  LocalPredicates preds(out, terms);
+  InterleavingInfo itlv(out);
+  res.safety = compute_safety(out, preds, config.variant);
+  MotionPredicateOptions mp_options;
+  mp_options.parend_export_rule = config.parend_export_rule;
+  res.predicates = compute_motion_predicates(out, preds, res.safety,
+                                             mp_options);
+
+  // Node set is about to grow; iterate over a snapshot of the analyzed ids.
+  std::vector<NodeId> analyzed = out.all_nodes();
+
+  // Per component region: terms computed / modified anywhere in its subtree.
+  // Down-safety legitimately flows backward across a ParEnd into components
+  // that are completely transparent for a term (the anticipated use lies
+  // behind the join), which makes their entries Earliest. An insertion
+  // there is never needed for coverage — no replacement inside the
+  // component consumes it and the post-join uses are covered by the
+  // establishing components or their own insertions — and it would move a
+  // computation *into* a parallel component that never performed it
+  // (potentially the bottleneck). Suppress those insertions.
+  std::vector<BitVector> region_comp(out.num_regions(),
+                                     BitVector(terms.size()));
+  std::vector<BitVector> region_mod(out.num_regions(),
+                                    BitVector(terms.size()));
+  for (std::size_t ri = 0; ri < out.num_regions(); ++ri) {
+    RegionId r(static_cast<RegionId::underlying>(ri));
+    for (NodeId n : out.nodes_in_region_recursive(r)) {
+      region_comp[ri] |= preds.comp(n);
+      region_mod[ri] |= preds.mod(n);
+    }
+  }
+  auto useless_insert = [&](NodeId n, TermId t) {
+    for (const Graph::Enclosing& enc : out.enclosing_stmts(n)) {
+      std::size_t c = enc.component.index();
+      if (!region_comp[c].test(t.index()) && !region_mod[c].test(t.index())) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // A second profitability pass: in parallel programs the Earliest frontier
+  // need not be an antichain — interference (NonDest) can end a down-safe
+  // region inside a component and a fresh anchor fires again behind the
+  // join, so a path through the component would initialize the temporary
+  // twice, violating the executional-improvement guarantee the busy formula
+  // enjoys sequentially. Anchors therefore *sink*: an anchor stays only
+  // where every continuation must reach a consumer (a replacement) before a
+  // kill, another anchor or the end; otherwise it moves down to the
+  // frontier where that becomes true (in the worst case, onto the consumers
+  // themselves — the cost-neutral in-place initialization). Descents never
+  // enter a ParBegin: placing one anchor per component would multiply the
+  // computation across sibling executions, so the anchor stops at the
+  // statement entry. Paths on which the BFS dies need no anchor at all —
+  // which also erases anchors made fully redundant by a later one.
+
+  // Helpers over the (possibly already grown) graph: nodes materialized for
+  // earlier terms are temp initializations and trivial copies — transparent,
+  // never consumers, never anchors.
+  auto is_replace = [&](NodeId n, TermId t) {
+    return n.index() < analyzed.size() &&
+           res.predicates.replace[n.index()].test(t.index());
+  };
+  auto is_transp = [&](NodeId n, TermId t) {
+    return n.index() >= analyzed.size() || preds.transp(n, t);
+  };
+
+  // Least-fixpoint MUSTUSE: every maximal path from n reaches a replacement
+  // of t before a kill or an anchor of the blocking set (loops stay false:
+  // the frontier then sinks to the consumer, which is always sound).
+  auto compute_mustuse = [&](TermId t, const std::vector<char>& blocking) {
+    std::vector<char> mustuse(out.num_nodes(), 0);
+    std::deque<NodeId> worklist;
+    std::vector<char> queued(out.num_nodes(), 0);
+    auto enqueue_preds = [&](NodeId n) {
+      for (NodeId m : out.preds(n)) {
+        if (!queued[m.index()]) {
+          queued[m.index()] = 1;
+          worklist.push_back(m);
+        }
+      }
+    };
+    for (NodeId n : out.all_nodes()) {
+      if (is_replace(n, t)) {
+        mustuse[n.index()] = 1;
+        enqueue_preds(n);
+      }
+    }
+    while (!worklist.empty()) {
+      NodeId n = worklist.front();
+      worklist.pop_front();
+      queued[n.index()] = 0;
+      if (mustuse[n.index()] || is_replace(n, t)) continue;
+      if (!is_transp(n, t) ||
+          (n.index() < analyzed.size() && blocking[n.index()]) ||
+          out.node(n).out_edges.empty()) {
+        continue;
+      }
+      bool v = true;
+      for (NodeId m : out.succs(n)) v = v && mustuse[m.index()];
+      if (v) {
+        mustuse[n.index()] = 1;
+        enqueue_preds(n);
+      }
+    }
+    return mustuse;
+  };
+
+  // Sinks anchor a against the blocking set; returns the frontier (empty if
+  // every path dies first).
+  auto sink_anchor = [&](NodeId a, TermId t, const std::vector<char>& blocking,
+                         const std::vector<char>& mustuse) {
+    std::vector<NodeId> frontier;
+    if (is_replace(a, t)) {
+      frontier.push_back(a);
+      return frontier;
+    }
+    if (is_transp(a, t)) {
+      bool keep = !out.node(a).out_edges.empty();
+      for (NodeId m : out.succs(a)) keep = keep && mustuse[m.index()];
+      if (keep) {
+        frontier.push_back(a);
+        return frontier;
+      }
+    }
+    std::vector<char> visited(out.num_nodes(), 0);
+    std::vector<NodeId> stack;
+    auto push = [&](NodeId m) {
+      if (!visited[m.index()]) {
+        visited[m.index()] = 1;
+        stack.push_back(m);
+      }
+    };
+    if (!is_transp(a, t)) {
+      // The anchor's own node kills the value; nothing to sink past.
+      return frontier;
+    }
+    for (NodeId m : out.succs(a)) push(m);
+    while (!stack.empty()) {
+      NodeId n = stack.back();
+      stack.pop_back();
+      if (out.node(n).kind == NodeKind::kParBegin || mustuse[n.index()] ||
+          is_replace(n, t)) {
+        frontier.push_back(n);
+        continue;
+      }
+      if (!is_transp(n, t)) continue;  // value dead on this path
+      if (n.index() < analyzed.size() && blocking[n.index()]) continue;
+      for (NodeId m : out.succs(n)) push(m);
+    }
+    return frontier;
+  };
+
+  for (TermId t : terms.all()) {
+    TermMotion motion;
+    motion.term = t;
+    motion.term_value = terms.term(t);
+    motion.temp = out.intern_var(fresh_temp_name(out, motion.term_value));
+
+    std::vector<char> in_set(out.num_nodes(), 0);
+    std::vector<NodeId> candidates;
+    for (NodeId n : analyzed) {
+      if (!res.predicates.earliest[n.index()].test(t.index())) continue;
+      if (useless_insert(n, t)) continue;
+      in_set[n.index()] = 1;
+      candidates.push_back(n);
+    }
+    // Sink each candidate against the current set (sequential updates keep
+    // mutually-blocking anchors from vanishing together).
+    std::vector<NodeId> anchors;
+    if (config.sink_anchors) {
+      for (NodeId a : candidates) {
+        in_set[a.index()] = 0;
+        std::vector<char> mustuse = compute_mustuse(t, in_set);
+        for (NodeId m : sink_anchor(a, t, in_set, mustuse)) {
+          if (!in_set[m.index()]) {
+            in_set[m.index()] = 1;
+            anchors.push_back(m);
+          }
+        }
+      }
+    }
+    for (NodeId a : candidates) {
+      if (in_set[a.index()]) anchors.push_back(a);
+    }
+    std::sort(anchors.begin(), anchors.end());
+    anchors.erase(std::unique(anchors.begin(), anchors.end()), anchors.end());
+    // Drop anchors that another anchor made stale (a sunk frontier landing
+    // on a node already in the set was deduped by in_set above).
+    for (NodeId n : anchors) {
+      if (!in_set[n.index()]) continue;
+      motion.insert_points.push_back(n);
+      // "Insert at n" = initialize before n's statement runs. The start
+      // node has no incoming edges, and inserting *before* a ParEnd would
+      // pull the initialization inside the synchronization, so those two
+      // anchor on each outgoing edge instead (edge-wise placement keeps the
+      // node's branch structure intact for path pairing).
+      if (n == out.start() || out.node(n).kind == NodeKind::kParEnd) {
+        std::vector<EdgeId> outgoing = out.node(n).out_edges;
+        for (EdgeId e : outgoing) {
+          NodeId init = out.new_assign(edge_region(out, e), motion.temp,
+                                       Rhs(motion.term_value));
+          wire_on_edge(out, e, init);
+          motion.insert_nodes.push_back(init);
+        }
+      } else {
+        NodeId init = out.new_assign(out.node(n).region, motion.temp,
+                                     Rhs(motion.term_value));
+        out.splice_before(init, n);
+        motion.insert_nodes.push_back(init);
+      }
+    }
+
+    for (NodeId n : analyzed) {
+      if (!res.predicates.replace[n.index()].test(t.index())) continue;
+      PARCM_CHECK(out.node(n).kind == NodeKind::kAssign,
+                  "replacement at a non-assignment");
+      out.node(n).rhs = Rhs(Operand::var(motion.temp));
+      motion.replaced.push_back(n);
+    }
+
+    if (config.variant == SafetyVariant::kRefined && config.privatize_temps &&
+        out.num_par_stmts() > 0 &&
+        (!motion.insert_nodes.empty() || !motion.replaced.empty())) {
+      privatize_term(out, preds, res.safety, motion);
+    }
+
+    if (!motion.insert_nodes.empty() || !motion.replaced.empty()) {
+      res.terms.push_back(std::move(motion));
+    }
+  }
+
+  return res;
+}
+
+}  // namespace parcm

@@ -1,0 +1,140 @@
+#include "motion/dce.hpp"
+
+#include <deque>
+
+#include "support/diagnostics.hpp"
+
+namespace parcm {
+
+namespace {
+
+// Variables read by node n (rhs operands, test condition).
+BitVector uses_mask(const Graph& g, NodeId n, std::size_t num_vars) {
+  BitVector mask(num_vars);
+  const Node& node = g.node(n);
+  auto add = [&](const Rhs& rhs) {
+    if (rhs.is_term()) {
+      if (rhs.term().lhs.is_var()) mask.set(rhs.term().lhs.var_id().index());
+      if (rhs.term().rhs.is_var()) mask.set(rhs.term().rhs.var_id().index());
+    } else if (rhs.trivial().is_var()) {
+      mask.set(rhs.trivial().var_id().index());
+    }
+  };
+  if (node.kind == NodeKind::kAssign) add(node.rhs);
+  if (node.kind == NodeKind::kTest) add(*node.cond);
+  return mask;
+}
+
+}  // namespace
+
+ParallelLiveness compute_parallel_liveness(const Graph& g,
+                                           const BitVector& observed) {
+  std::size_t k = g.num_vars();
+  PARCM_CHECK(observed.size() == k, "observed mask size");
+
+  std::vector<BitVector> use(g.num_nodes(), BitVector(k));
+  std::vector<BitVector> def(g.num_nodes(), BitVector(k));
+  for (NodeId n : g.all_nodes()) {
+    use[n.index()] = uses_mask(g, n, k);
+    if (g.node(n).kind == NodeKind::kAssign) {
+      def[n.index()].set(g.node(n).lhs.index());
+    }
+  }
+
+  // Interference: a read anywhere in a sibling component may execute after
+  // any point of this component. Aggregate read masks per component.
+  std::vector<BitVector> region_use(g.num_regions(), BitVector(k));
+  for (std::size_t ri = 0; ri < g.num_regions(); ++ri) {
+    RegionId r(static_cast<RegionId::underlying>(ri));
+    for (NodeId n : g.nodes_in_region_recursive(r)) {
+      region_use[ri] |= use[n.index()];
+    }
+  }
+  std::vector<BitVector> sibling_use(g.num_nodes(), BitVector(k));
+  for (NodeId n : g.all_nodes()) {
+    for (const Graph::Enclosing& enc : g.enclosing_stmts(n)) {
+      for (RegionId comp : g.par_stmt(enc.stmt).components) {
+        if (comp != enc.component) {
+          sibling_use[n.index()] |= region_use[comp.index()];
+        }
+      }
+    }
+  }
+
+  ParallelLiveness res;
+  res.live_in.assign(g.num_nodes(), BitVector(k));
+  res.live_out.assign(g.num_nodes(), BitVector(k));
+  res.live_out[g.end().index()] = observed;
+  {
+    BitVector in = observed;
+    in |= use[g.end().index()];
+    res.live_in[g.end().index()] = std::move(in);
+  }
+
+  std::deque<NodeId> worklist;
+  std::vector<char> queued(g.num_nodes(), 0);
+  for (NodeId n : g.all_nodes()) {
+    worklist.push_back(n);
+    queued[n.index()] = 1;
+  }
+  while (!worklist.empty()) {
+    NodeId n = worklist.front();
+    worklist.pop_front();
+    queued[n.index()] = 0;
+
+    BitVector out(k);
+    if (n == g.end()) {
+      out = observed;
+    } else {
+      for (NodeId m : g.succs(n)) out |= res.live_in[m.index()];
+    }
+    out |= sibling_use[n.index()];
+    BitVector in = out;
+    in.and_not(def[n.index()]);
+    in |= use[n.index()];
+    if (in == res.live_in[n.index()] && out == res.live_out[n.index()]) {
+      continue;
+    }
+    res.live_in[n.index()] = std::move(in);
+    res.live_out[n.index()] = std::move(out);
+    for (NodeId m : g.preds(n)) {
+      if (!queued[m.index()]) {
+        queued[m.index()] = 1;
+        worklist.push_back(m);
+      }
+    }
+  }
+  return res;
+}
+
+DceResult eliminate_dead_assignments(const Graph& g,
+                                     const DceOptions& options) {
+  DceResult res{g, {}, 0};
+  Graph& out = res.graph;
+
+  BitVector observed(out.num_vars(), options.observed.empty());
+  for (const std::string& name : options.observed) {
+    if (auto v = out.find_var(name)) observed.set(v->index());
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++res.rounds;
+    ParallelLiveness live = compute_parallel_liveness(out, observed);
+    for (NodeId n : out.all_nodes()) {
+      Node& node = out.node(n);
+      if (node.kind != NodeKind::kAssign) continue;
+      if (live.live_out[n.index()].test(node.lhs.index())) continue;
+      // Dead: no interleaving reads the value before it is overwritten.
+      node.kind = NodeKind::kSkip;
+      node.rhs = Rhs();
+      node.lhs = VarId();
+      res.eliminated.push_back(n);
+      changed = true;
+    }
+  }
+  return res;
+}
+
+}  // namespace parcm

@@ -1,0 +1,58 @@
+// Dead assignment elimination for explicitly parallel programs.
+//
+// The paper's conclusions list the classical bitvector-based optimizations
+// its framework carries to the parallel setting — code motion, strength
+// reduction, partial dead-code elimination, assignment motion. This module
+// implements the dead-code side: an assignment x := e is eliminated when x
+// is dead after it, i.e. no continuation of any interleaving reads x before
+// it is overwritten (and x is not observable at the end).
+//
+// Liveness is a *may* (union) problem, so unlike the must-analyses of the
+// code motion pipeline it needs no hierarchical synchronization: the union
+// over interleavings equals the union over graph paths, plus interference —
+// a read of x anywhere in a sibling component may execute after any point
+// of the component, which conservatively makes x live throughout. The
+// sibling-read masks are aggregated per component exactly like NonDest.
+//
+// Elimination cascades (removing a dead assignment may kill the last use
+// feeding another one — "faint" variables), so the transformation iterates
+// to a fixpoint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/graph.hpp"
+#include "support/bitvector.hpp"
+
+namespace parcm {
+
+struct DceOptions {
+  // Variables observable after e*; they stay live at the end. Empty means
+  // every variable of the program is observable (the conservative default —
+  // only assignments that are definitely overwritten die).
+  std::vector<std::string> observed;
+};
+
+struct DceResult {
+  Graph graph;
+  // Assignment nodes turned into skips, per elimination round.
+  std::vector<NodeId> eliminated;
+  std::size_t rounds = 0;
+};
+
+DceResult eliminate_dead_assignments(const Graph& g,
+                                     const DceOptions& options = {});
+
+// The liveness analysis behind it: one bit per variable.
+struct ParallelLiveness {
+  // live at entry / exit of each node (graph paths + interference).
+  std::vector<BitVector> live_in;
+  std::vector<BitVector> live_out;
+};
+
+ParallelLiveness compute_parallel_liveness(const Graph& g,
+                                           const BitVector& observed);
+
+}  // namespace parcm

@@ -1,0 +1,164 @@
+#include "motion/lcm.hpp"
+
+#include <deque>
+
+#include "ir/regions.hpp"
+#include "ir/transform_utils.hpp"
+#include "support/diagnostics.hpp"
+
+namespace parcm {
+
+LcmInternals compute_lcm_internals(const Graph& g, const TermTable& terms,
+                                   const LocalPredicates& preds,
+                                   const MotionPredicates& mp) {
+  std::size_t k = terms.size();
+  LcmInternals res;
+
+  // Delayability (forward, must): an initialization placed at the earliest
+  // points can be postponed to n's entry iff on *every* path an earliest
+  // point has been passed and no original computation consumed the value
+  // since. delay_out kills at computations (they are the consumers).
+  res.delay_in.assign(g.num_nodes(), BitVector(k, true));
+  std::vector<BitVector> delay_out(g.num_nodes(), BitVector(k, true));
+  res.delay_in[g.start().index()] = mp.earliest[g.start().index()];
+  {
+    BitVector out = res.delay_in[g.start().index()];
+    out.and_not(preds.comp(g.start()));
+    delay_out[g.start().index()] = std::move(out);
+  }
+  std::deque<NodeId> worklist;
+  std::vector<char> queued(g.num_nodes(), 0);
+  for (NodeId n : g.all_nodes()) {
+    if (n == g.start()) continue;
+    worklist.push_back(n);
+    queued[n.index()] = 1;
+  }
+  while (!worklist.empty()) {
+    NodeId n = worklist.front();
+    worklist.pop_front();
+    queued[n.index()] = 0;
+    BitVector in(k, true);
+    for (NodeId m : g.preds(n)) in &= delay_out[m.index()];
+    in |= mp.earliest[n.index()];
+    BitVector out = in;
+    out.and_not(preds.comp(n));
+    if (in == res.delay_in[n.index()] && out == delay_out[n.index()]) {
+      continue;
+    }
+    res.delay_in[n.index()] = std::move(in);
+    delay_out[n.index()] = std::move(out);
+    for (NodeId m : g.succs(n)) {
+      if (m != g.start() && !queued[m.index()]) {
+        queued[m.index()] = 1;
+        worklist.push_back(m);
+      }
+    }
+  }
+
+  // Latest: the frontier of delayability — delayed here, but not delayable
+  // into every successor (or consumed right here).
+  res.latest.assign(g.num_nodes(), BitVector(k));
+  for (NodeId n : g.all_nodes()) {
+    BitVector all_succs_delayed(k, true);
+    for (NodeId m : g.succs(n)) all_succs_delayed &= res.delay_in[m.index()];
+    BitVector frontier = all_succs_delayed;
+    frontier.invert();
+    frontier |= preds.comp(n);
+    res.latest[n.index()] = res.delay_in[n.index()] & frontier;
+  }
+
+  // Usefulness (backward, may): some later computation consumes the value
+  // initialized at n — i.e. a path from n reaches a Comp node that is not
+  // itself a latest point, without first crossing another latest point.
+  res.useful.assign(g.num_nodes(), BitVector(k));
+  for (NodeId n : g.all_nodes()) {
+    worklist.push_back(n);
+    queued[n.index()] = 1;
+  }
+  while (!worklist.empty()) {
+    NodeId n = worklist.front();
+    worklist.pop_front();
+    queued[n.index()] = 0;
+    BitVector out(k);
+    for (NodeId m : g.succs(n)) {
+      // Consumers below a later latest point belong to that insertion.
+      BitVector not_latest = res.latest[m.index()];
+      not_latest.invert();
+      out |= (preds.comp(m) | res.useful[m.index()]) & not_latest;
+    }
+    if (out == res.useful[n.index()]) continue;
+    res.useful[n.index()] = std::move(out);
+    for (NodeId m : g.preds(n)) {
+      if (!queued[m.index()]) {
+        queued[m.index()] = 1;
+        worklist.push_back(m);
+      }
+    }
+  }
+  return res;
+}
+
+MotionResult lazy_code_motion(const Graph& g) {
+  PARCM_CHECK(g.num_par_stmts() == 0,
+              "lazy_code_motion is sequential-only; the parallel "
+              "transformation is parallel_code_motion");
+
+  MotionResult res{g, 0, {}, {}, {}};
+  Graph& out = res.graph;
+  res.synthetic_nodes = split_join_edges(out);
+
+  TermTable terms(out);
+  LocalPredicates preds(out, terms);
+  InterleavingInfo itlv(out);
+  res.safety = compute_safety(out, preds, SafetyVariant::kRefined);
+  res.predicates = compute_motion_predicates(out, preds, res.safety);
+  LcmInternals lcm = compute_lcm_internals(out, terms, preds, res.predicates);
+
+  std::vector<NodeId> analyzed = out.all_nodes();
+  for (TermId t : terms.all()) {
+    TermMotion motion;
+    motion.term = t;
+    motion.term_value = terms.term(t);
+    motion.temp = out.intern_var(fresh_temp_name(out, motion.term_value));
+
+    for (NodeId n : analyzed) {
+      std::size_t ti = t.index();
+      bool latest = lcm.latest[n.index()].test(ti);
+      bool useful = lcm.useful[n.index()].test(ti);
+      bool comp = preds.comp(n, t);
+      // Isolation: a latest point whose temporary no later computation
+      // consumes serves only its own replacement — keep the original.
+      bool insert = latest && (useful || !comp);
+      bool replace =
+          comp && res.predicates.replace[n.index()].test(ti) &&
+          !(latest && !useful);
+      if (insert) {
+        motion.insert_points.push_back(n);
+        if (n == out.start()) {
+          std::vector<EdgeId> outgoing = out.node(n).out_edges;
+          for (EdgeId e : outgoing) {
+            NodeId init = out.new_assign(edge_region(out, e), motion.temp,
+                                         Rhs(motion.term_value));
+            wire_on_edge(out, e, init);
+            motion.insert_nodes.push_back(init);
+          }
+        } else {
+          NodeId init = out.new_assign(out.node(n).region, motion.temp,
+                                       Rhs(motion.term_value));
+          out.splice_before(init, n);
+          motion.insert_nodes.push_back(init);
+        }
+      }
+      if (replace) {
+        out.node(n).rhs = Rhs(Operand::var(motion.temp));
+        motion.replaced.push_back(n);
+      }
+    }
+    if (!motion.insert_nodes.empty() || !motion.replaced.empty()) {
+      res.terms.push_back(std::move(motion));
+    }
+  }
+  return res;
+}
+
+}  // namespace parcm

@@ -1,0 +1,13 @@
+#include "motion/pcm.hpp"
+
+namespace parcm {
+
+MotionResult parallel_code_motion(const Graph& g) {
+  return run_code_motion(g, CodeMotionConfig{SafetyVariant::kRefined});
+}
+
+MotionResult naive_parallel_code_motion(const Graph& g) {
+  return run_code_motion(g, CodeMotionConfig{SafetyVariant::kNaive});
+}
+
+}  // namespace parcm

@@ -1,0 +1,20 @@
+// The paper's transformation (Sec. 3.3.4) and its refuted naive counterpart
+// (the conjecture of [17], kept as the pitfall baseline for Figures 2-7).
+#pragma once
+
+#include "motion/code_motion.hpp"
+
+namespace parcm {
+
+// Parallel busy code motion with up-safe_par / down-safe_par and the
+// implicit recursive-assignment decomposition: admissible (safe + correct)
+// and executionally at-least-as-good on every parallel program path.
+MotionResult parallel_code_motion(const Graph& g);
+
+// The straightforward as-early-as-possible transfer: computationally
+// optimal on interleavings but potentially executionally worse (Fig. 2) and
+// semantically wrong in the presence of recursive assignments or
+// interference (Figs. 3, 4, 7). For demonstration and benchmarking only.
+MotionResult naive_parallel_code_motion(const Graph& g);
+
+}  // namespace parcm

@@ -1,0 +1,93 @@
+#include "motion/pipeline.hpp"
+
+#include <sstream>
+
+#include "analyses/constprop.hpp"
+#include "ir/validate.hpp"
+#include "motion/dce.hpp"
+#include "motion/pcm.hpp"
+#include "motion/sinking.hpp"
+
+namespace parcm {
+
+std::string PipelineResult::to_string() const {
+  std::ostringstream os;
+  os << "pipeline (" << passes.size() << " passes)\n";
+  for (const PassStats& p : passes) {
+    os << "  " << p.name << ": " << p.nodes_before << " -> " << p.nodes_after
+       << " nodes, " << p.actions << " action(s)\n";
+  }
+  return os.str();
+}
+
+Pipeline& Pipeline::add(std::string name, PassFn pass) {
+  passes_.push_back(Pass{std::move(name), std::move(pass)});
+  return *this;
+}
+
+Pipeline& Pipeline::add_pcm() {
+  return add("pcm", [](const Graph& g, std::size_t* actions) {
+    MotionResult r = parallel_code_motion(g);
+    *actions = r.num_insertions() + r.num_replacements();
+    return std::move(r.graph);
+  });
+}
+
+Pipeline& Pipeline::add_constprop() {
+  return add("constprop", [](const Graph& g, std::size_t* actions) {
+    ConstPropResult r = propagate_constants(g);
+    *actions = r.operands_folded + r.rhs_folded;
+    return std::move(r.graph);
+  });
+}
+
+Pipeline& Pipeline::add_dce(std::vector<std::string> observed) {
+  return add("dce", [observed = std::move(observed)](const Graph& g,
+                                                     std::size_t* actions) {
+    DceOptions opts;
+    opts.observed = observed;
+    DceResult r = eliminate_dead_assignments(g, opts);
+    *actions = r.eliminated.size();
+    return std::move(r.graph);
+  });
+}
+
+Pipeline& Pipeline::add_sinking() {
+  return add("sinking", [](const Graph& g, std::size_t* actions) {
+    SinkingResult r = sink_partially_dead_assignments(g);
+    *actions = r.sunk.size();
+    return std::move(r.graph);
+  });
+}
+
+Pipeline& Pipeline::add_validate() {
+  return add("validate", [](const Graph& g, std::size_t* actions) {
+    validate_or_throw(g);
+    *actions = 0;
+    return g;
+  });
+}
+
+PipelineResult Pipeline::run(const Graph& g) const {
+  PipelineResult res{g, {}};
+  for (const Pass& pass : passes_) {
+    PassStats stats;
+    stats.name = pass.name;
+    stats.nodes_before = res.graph.num_nodes();
+    std::size_t actions = 0;
+    res.graph = pass.fn(res.graph, &actions);
+    stats.nodes_after = res.graph.num_nodes();
+    stats.actions = actions;
+    res.passes.push_back(std::move(stats));
+  }
+  return res;
+}
+
+Pipeline default_pipeline() {
+  Pipeline p;
+  p.add_pcm().add_validate().add_constprop().add_validate().add_sinking()
+      .add_validate().add_dce().add_validate();
+  return p;
+}
+
+}  // namespace parcm

@@ -1,0 +1,62 @@
+// Pass pipeline: chain the library's transformations with per-pass
+// statistics and optional end-to-end verification.
+//
+// The default pipeline is the classical redundancy-removal stack enabled by
+// the paper's framework: parallel code motion (partial redundancy
+// elimination), constant propagation, dead assignment elimination.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/graph.hpp"
+
+namespace parcm {
+
+struct PassStats {
+  std::string name;
+  std::size_t nodes_before = 0;
+  std::size_t nodes_after = 0;
+  // Pass-specific headline number (insertions, folds, eliminations, ...).
+  std::size_t actions = 0;
+};
+
+struct PipelineResult {
+  Graph graph;
+  std::vector<PassStats> passes;
+
+  std::string to_string() const;
+};
+
+class Pipeline {
+ public:
+  using PassFn = std::function<Graph(const Graph&, std::size_t* actions)>;
+
+  Pipeline& add(std::string name, PassFn pass);
+
+  // Built-in passes.
+  Pipeline& add_pcm();        // parallel busy code motion (the paper)
+  Pipeline& add_constprop();  // interference-aware constant propagation
+  Pipeline& add_dce(std::vector<std::string> observed = {});
+  Pipeline& add_sinking();    // partial dead-code elimination (sinking)
+  Pipeline& add_validate();   // structural check between passes
+
+  // Runs every pass in order on a copy of g.
+  PipelineResult run(const Graph& g) const;
+
+  std::size_t size() const { return passes_.size(); }
+
+ private:
+  struct Pass {
+    std::string name;
+    PassFn fn;
+  };
+  std::vector<Pass> passes_;
+};
+
+// PCM -> constant propagation -> DCE (with every variable observable),
+// validating between passes.
+Pipeline default_pipeline();
+
+}  // namespace parcm

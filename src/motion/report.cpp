@@ -1,0 +1,54 @@
+#include "motion/report.hpp"
+
+#include <sstream>
+
+#include "ir/printer.hpp"
+
+namespace parcm {
+
+std::string motion_report(const MotionResult& result) {
+  const Graph& g = result.graph;
+  std::ostringstream os;
+  os << "code motion report ("
+     << (result.safety.variant == SafetyVariant::kRefined ? "refined/PCM"
+                                                          : "naive")
+     << ")\n";
+  os << "  synthetic join nodes: " << result.synthetic_nodes << "\n";
+  os << "  terms moved: " << result.terms.size() << ", insertions: "
+     << result.num_insertions() << ", replacements: "
+     << result.num_replacements() << "\n";
+  for (const TermMotion& tm : result.terms) {
+    os << "  term `" << term_to_string(g, tm.term_value) << "` -> temp "
+       << g.var_name(tm.temp) << "\n";
+    os << "    insert at:";
+    for (NodeId n : tm.insert_points) {
+      os << " n" << n.value() << "(" << statement_to_string(g, n) << ")";
+    }
+    os << "\n    replace at:";
+    for (NodeId n : tm.replaced) os << " n" << n.value();
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string safety_table(const Graph& g, const MotionResult& result,
+                         TermId term) {
+  std::ostringstream os;
+  std::size_t t = term.index();
+  os << "node  up dn safe early repl  statement\n";
+  for (NodeId n : g.all_nodes()) {
+    if (n.index() >= result.safety.upsafe.size()) break;  // inserted nodes
+    auto flag = [&](const std::vector<BitVector>& v) {
+      return v[n.index()].test(t) ? '1' : '.';
+    };
+    os << "n" << n.value() << (n.value() < 10 ? "    " : "   ")
+       << flag(result.safety.upsafe) << "  " << flag(result.safety.dnsafe)
+       << "  " << flag(result.safety.safe) << "    "
+       << flag(result.predicates.earliest) << "     "
+       << flag(result.predicates.replace) << "    "
+       << statement_to_string(g, n) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace parcm

@@ -1,0 +1,18 @@
+// Human-readable transformation reports (used by examples and the CLI).
+#pragma once
+
+#include <string>
+
+#include "motion/code_motion.hpp"
+
+namespace parcm {
+
+// Per-term insertions/replacements plus totals.
+std::string motion_report(const MotionResult& result);
+
+// Per-node safety table for one term: Comp/Transp/up-safe/down-safe/
+// earliest/replace. Heavy; intended for small (figure-sized) programs.
+std::string safety_table(const Graph& g, const MotionResult& result,
+                         TermId term);
+
+}  // namespace parcm

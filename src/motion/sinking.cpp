@@ -1,0 +1,220 @@
+#include "motion/sinking.hpp"
+
+#include <deque>
+
+#include "ir/transform_utils.hpp"
+#include "motion/dce.hpp"
+#include "support/bitvector.hpp"
+#include "support/diagnostics.hpp"
+
+namespace parcm {
+
+namespace {
+
+// Variables with a potentially-parallel (write, access) pair.
+BitVector contested_vars(const Graph& g) {
+  std::size_t k = g.num_vars();
+  std::vector<BitVector> access(g.num_regions(), BitVector(k));
+  std::vector<BitVector> write(g.num_regions(), BitVector(k));
+  for (std::size_t ri = 0; ri < g.num_regions(); ++ri) {
+    RegionId r(static_cast<RegionId::underlying>(ri));
+    for (NodeId n : g.nodes_in_region_recursive(r)) {
+      const Node& node = g.node(n);
+      auto touch = [&](const Rhs& rhs) {
+        if (rhs.is_term()) {
+          if (rhs.term().lhs.is_var()) access[ri].set(rhs.term().lhs.var_id().index());
+          if (rhs.term().rhs.is_var()) access[ri].set(rhs.term().rhs.var_id().index());
+        } else if (rhs.trivial().is_var()) {
+          access[ri].set(rhs.trivial().var_id().index());
+        }
+      };
+      if (node.kind == NodeKind::kAssign) {
+        access[ri].set(node.lhs.index());
+        write[ri].set(node.lhs.index());
+        touch(node.rhs);
+      } else if (node.kind == NodeKind::kTest) {
+        touch(*node.cond);
+      }
+    }
+  }
+  BitVector contested(k);
+  for (std::size_t si = 0; si < g.num_par_stmts(); ++si) {
+    const ParStmt& s =
+        g.par_stmt(ParStmtId(static_cast<ParStmtId::underlying>(si)));
+    for (RegionId a : s.components) {
+      for (RegionId b : s.components) {
+        if (a == b) continue;
+        contested |= write[a.index()] & access[b.index()];
+      }
+    }
+  }
+  return contested;
+}
+
+class Sinker {
+ public:
+  explicit Sinker(Graph& g) : g_(g) {}
+
+  // Attempts to sink assignment node a; returns true if applied.
+  bool try_sink(NodeId a, std::size_t* placed, std::size_t* dropped) {
+    const Node& node = g_.node(a);
+    PARCM_CHECK(node.kind == NodeKind::kAssign, "sinking a non-assignment");
+    x_ = node.lhs;
+    rhs_ = node.rhs;
+
+    // Clean(n): the assignment commutes with n and may move past it.
+    auto clean = [&](NodeId n) {
+      const Node& m = g_.node(n);
+      if (m.kind == NodeKind::kParBegin || m.kind == NodeKind::kParEnd ||
+          m.kind == NodeKind::kBarrier || m.kind == NodeKind::kEnd) {
+        return false;
+      }
+      if (m.kind == NodeKind::kAssign) {
+        if (m.lhs == x_) return false;            // redefinition
+        if (m.rhs.uses_var(x_)) return false;     // use of x
+        if (rhs_.uses_var(m.lhs)) return false;   // operand modified
+        return true;
+      }
+      if (m.kind == NodeKind::kTest) return !m.cond->uses_var(x_);
+      return true;  // skip / synthetic / start
+    };
+
+    // D(n): greatest fixpoint over nodes reachable from a.
+    std::vector<char> reachable(g_.num_nodes(), 0);
+    {
+      std::vector<NodeId> stack{a};
+      reachable[a.index()] = 1;
+      while (!stack.empty()) {
+        NodeId n = stack.back();
+        stack.pop_back();
+        for (NodeId m : g_.succs(n)) {
+          if (!reachable[m.index()]) {
+            reachable[m.index()] = 1;
+            stack.push_back(m);
+          }
+        }
+      }
+    }
+    std::vector<char> d(g_.num_nodes(), 0);
+    for (NodeId n : g_.all_nodes()) {
+      d[n.index()] = reachable[n.index()] && n != a;
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (NodeId n : g_.all_nodes()) {
+        if (!d[n.index()]) continue;
+        bool v = true;
+        for (NodeId m : g_.preds(n)) {
+          bool ok = m == a || (d[m.index()] && clean(m));
+          v = v && ok;
+        }
+        if (!v) {
+          d[n.index()] = 0;
+          changed = true;
+        }
+      }
+    }
+
+    // Placements: (a) before blocked D-nodes, (b) on edges leaving the
+    // D-region from clean D-nodes (or from a itself).
+    std::vector<NodeId> before_nodes;
+    std::vector<EdgeId> on_edges;
+    for (NodeId n : g_.all_nodes()) {
+      if (d[n.index()] && !clean(n)) before_nodes.push_back(n);
+      bool source_ok = n == a || (d[n.index()] && clean(n));
+      if (!source_ok) continue;
+      for (EdgeId e : g_.node(n).out_edges) {
+        NodeId t = g_.edge(e).to;
+        if (!d[t.index()]) on_edges.push_back(e);
+      }
+    }
+
+    // Liveness decides which copies are dead (every variable observable:
+    // only definite overwrites drop).
+    BitVector observed(g_.num_vars(), true);
+    ParallelLiveness live = compute_parallel_liveness(g_, observed);
+    std::size_t new_placed = 0, new_dropped = 0;
+    std::vector<NodeId> live_before;
+    std::vector<EdgeId> live_edges;
+    for (NodeId n : before_nodes) {
+      if (live.live_in[n.index()].test(x_.index())) {
+        live_before.push_back(n);
+        ++new_placed;
+      } else {
+        ++new_dropped;
+      }
+    }
+    for (EdgeId e : on_edges) {
+      NodeId t = g_.edge(e).to;
+      if (live.live_in[t.index()].test(x_.index())) {
+        live_edges.push_back(e);
+        ++new_placed;
+      } else {
+        ++new_dropped;
+      }
+    }
+
+    // Profitability: only transform when some copy is dropped; otherwise
+    // the program merely churns.
+    if (new_dropped == 0) return false;
+
+    for (NodeId n : live_before) {
+      NodeId copy = g_.new_assign(g_.node(n).region, x_, rhs_);
+      g_.splice_before(copy, n);
+    }
+    for (EdgeId e : live_edges) {
+      NodeId copy = g_.new_assign(edge_region(g_, e), x_, rhs_);
+      wire_on_edge(g_, e, copy);
+    }
+    // The original becomes a skip.
+    Node& orig = g_.node(a);
+    orig.kind = NodeKind::kSkip;
+    orig.lhs = VarId();
+    orig.rhs = Rhs();
+    *placed += new_placed;
+    *dropped += new_dropped;
+    return true;
+  }
+
+ private:
+  Graph& g_;
+  VarId x_;
+  Rhs rhs_;
+};
+
+}  // namespace
+
+SinkingResult sink_partially_dead_assignments(const Graph& g) {
+  SinkingResult res{g, {}, 0, 0};
+  Graph& out = res.graph;
+
+  BitVector contested = contested_vars(out);
+  std::vector<NodeId> candidates;
+  for (NodeId n : out.all_nodes()) {
+    const Node& node = out.node(n);
+    if (node.kind != NodeKind::kAssign) continue;
+    bool ok = !contested.test(node.lhs.index());
+    auto check = [&](const Operand& op) {
+      if (op.is_var()) ok = ok && !contested.test(op.var_id().index());
+    };
+    if (node.rhs.is_term()) {
+      check(node.rhs.term().lhs);
+      check(node.rhs.term().rhs);
+    } else {
+      check(node.rhs.trivial());
+    }
+    if (ok) candidates.push_back(n);
+  }
+
+  Sinker sinker(out);
+  for (NodeId a : candidates) {
+    if (out.node(a).kind != NodeKind::kAssign) continue;  // already sunk
+    if (sinker.try_sink(a, &res.copies_placed, &res.copies_dropped)) {
+      res.sunk.push_back(a);
+    }
+  }
+  return res;
+}
+
+}  // namespace parcm

@@ -1,0 +1,90 @@
+// The paper's execution-time measure (Sec. 3.3.1).
+//
+// Assignments with an operator on the right-hand side cost 1, trivial
+// assignments and all skips/tests cost 0. The time of one execution is
+// structural: the *sum* along sequential composition and the *maximum*
+// across the components of a parallel statement (the bottleneck component
+// pays). The computation count, by contrast, is the plain total — the
+// interleaving-based measure underlying "computationally better". Fig. 2 is
+// exactly the gap between these two measures.
+//
+// Executions of different programs are paired by a deterministic branch
+// oracle keyed on (branch node id, visit index): code motion preserves node
+// ids and never adds branch nodes, so the same oracle drives corresponding
+// paths through the original and the transformed program.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ir/graph.hpp"
+
+namespace parcm {
+
+class BranchOracle {
+ public:
+  virtual ~BranchOracle() = default;
+  // Returns the index of the out-edge to take (< num_choices).
+  virtual std::size_t choose(NodeId branch, std::size_t visit,
+                             std::size_t num_choices) = 0;
+};
+
+// Deterministic pseudo-random decisions from a seed; uniform over the
+// out-edges. Nondeterministic loops terminate with probability 1, and the
+// step bound catches the unlucky tail.
+class SeededOracle : public BranchOracle {
+ public:
+  explicit SeededOracle(std::uint64_t seed) : seed_(seed) {}
+  std::size_t choose(NodeId branch, std::size_t visit,
+                     std::size_t num_choices) override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+// Always takes the given edge index (clamped); FixedOracle(1) exits
+// builder-generated nondeterministic loops immediately.
+class FixedOracle : public BranchOracle {
+ public:
+  explicit FixedOracle(std::size_t index) : index_(index) {}
+  std::size_t choose(NodeId, std::size_t, std::size_t num_choices) override {
+    return index_ < num_choices ? index_ : num_choices - 1;
+  }
+
+ private:
+  std::size_t index_;
+};
+
+// Takes the first out-edge `iterations` times per branch node, then the
+// last one. On builder-generated `while (*)` loops (body edge first, exit
+// edge last) this runs every loop exactly `iterations` times — the
+// deterministic trip-count driver for the Fig. 10 sweeps.
+class LoopOracle : public BranchOracle {
+ public:
+  explicit LoopOracle(std::size_t iterations) : iterations_(iterations) {}
+  std::size_t choose(NodeId, std::size_t visit,
+                     std::size_t num_choices) override {
+    return visit < iterations_ ? 0 : num_choices - 1;
+  }
+
+ private:
+  std::size_t iterations_;
+};
+
+struct CostResult {
+  bool ok = false;         // false if max_steps was exhausted
+  std::uint64_t time = 0;  // bottleneck execution time
+  std::uint64_t computations = 0;  // total operator evaluations
+};
+
+CostResult execution_time(const Graph& g, BranchOracle& oracle,
+                          std::size_t max_steps = 1u << 20);
+
+// Drives a and b with identical decisions; nullopt when either run hits the
+// step bound.
+std::optional<std::pair<CostResult, CostResult>> paired_execution_times(
+    const Graph& a, const Graph& b, std::uint64_t seed,
+    std::size_t max_steps = 1u << 20);
+
+}  // namespace parcm

@@ -1,0 +1,127 @@
+#include "semantics/product.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+#include "dfa/seq_solver.hpp"
+#include "semantics/interpreter.hpp"
+#include "support/diagnostics.hpp"
+
+namespace parcm {
+
+namespace {
+
+// Product node identity: (original node executed, configuration reached).
+struct Key {
+  std::uint32_t origin;
+  std::vector<std::uint32_t> config;
+
+  bool operator==(const Key&) const = default;
+};
+
+struct KeyHash {
+  std::size_t operator()(const Key& k) const {
+    return ConfigHash{}(k.config) * 1099511628211ull ^ k.origin;
+  }
+};
+
+}  // namespace
+
+ProductProgram build_product(const Graph& g, std::size_t max_states) {
+  for (NodeId n : g.all_nodes()) {
+    PARCM_CHECK(g.node(n).kind != NodeKind::kBarrier,
+                "product construction does not support barriers (collective "
+                "releases have no single-node occurrence)");
+  }
+  ProductProgram pp;
+  Graph& pg = pp.graph;
+
+  // Mirror the variable numbering so statements can be copied verbatim.
+  for (std::size_t v = 0; v < g.num_vars(); ++v) {
+    pg.intern_var(g.var_name(VarId(static_cast<VarId::underlying>(v))));
+  }
+
+  pp.origin.assign(2, NodeId());
+  pp.origin[pg.start().index()] = g.start();
+  pp.origin[pg.end().index()] = g.end();
+
+  std::unordered_map<Key, NodeId, KeyHash> index;
+  std::deque<std::pair<Config, NodeId>> frontier;
+  frontier.emplace_back(Config::initial(g), pg.start());
+
+  auto make_node = [&](NodeId orig) {
+    const Node& node = g.node(orig);
+    NodeId pn;
+    if (node.kind == NodeKind::kAssign) {
+      pn = pg.new_assign(pg.root_region(), node.lhs, node.rhs);
+    } else {
+      pn = pg.new_node(NodeKind::kSynthetic, pg.root_region());
+    }
+    pp.origin.push_back(orig);
+    return pn;
+  };
+
+  while (!frontier.empty()) {
+    auto [c, pnode] = std::move(frontier.front());
+    frontier.pop_front();
+
+    for (const Transition& t : enabled_transitions(g, c)) {
+      if (t.node == g.end()) {
+        pg.add_edge(pnode, pg.end());
+        continue;
+      }
+      Config c2 = apply_transition(g, c, t);
+      if (t.node == g.start()) {
+        // Executing s* is folded into the product start node (s* is skip
+        // and runs exactly once, so no separate occurrence is needed).
+        frontier.emplace_back(std::move(c2), pg.start());
+        continue;
+      }
+      Key key{t.node.value(), c2.encode()};
+      auto it = index.find(key);
+      if (it == index.end()) {
+        if (index.size() >= max_states) {
+          pp.exhausted = false;
+          continue;
+        }
+        NodeId pn = make_node(t.node);
+        it = index.emplace(std::move(key), pn).first;
+        frontier.emplace_back(std::move(c2), pn);
+      }
+      pg.add_edge(pnode, it->second);
+    }
+  }
+
+  pp.num_configs = pp.origin.size();
+  return pp;
+}
+
+PmopResult solve_pmop_via_product(const Graph& g, const ProductProgram& prod,
+                                  const PackedProblem& p) {
+  PARCM_CHECK(prod.exhausted,
+              "PMOP reference requires a complete product program");
+  SeqProblem sp;
+  sp.dir = p.dir;
+  sp.num_terms = p.num_terms;
+  sp.boundary = p.boundary;
+  sp.gen.reserve(prod.graph.num_nodes());
+  sp.kill.reserve(prod.graph.num_nodes());
+  for (NodeId q : prod.graph.all_nodes()) {
+    NodeId orig = prod.origin[q.index()];
+    sp.gen.push_back(p.gen[orig.index()]);
+    sp.kill.push_back(p.kill[orig.index()]);
+  }
+  SeqResult sr = solve_seq(prod.graph, sp);
+
+  PmopResult res;
+  res.entry.assign(g.num_nodes(), BitVector(p.num_terms, true));
+  res.out.assign(g.num_nodes(), BitVector(p.num_terms, true));
+  for (NodeId q : prod.graph.all_nodes()) {
+    NodeId orig = prod.origin[q.index()];
+    res.entry[orig.index()] &= sr.entry[q.index()];
+    res.out[orig.index()] &= sr.out[q.index()];
+  }
+  return res;
+}
+
+}  // namespace parcm

@@ -1,0 +1,58 @@
+#include "semantics/state.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace parcm {
+
+std::int64_t eval_operand(const VarState& s, const Operand& op) {
+  return op.is_var() ? s.get(op.var_id()) : op.const_value();
+}
+
+namespace {
+std::int64_t eval_term(const VarState& s, const Term& t) {
+  std::int64_t a = eval_operand(s, t.lhs);
+  std::int64_t b = eval_operand(s, t.rhs);
+  switch (t.op) {
+    case BinOp::kAdd: return static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a) + static_cast<std::uint64_t>(b));
+    case BinOp::kSub: return static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a) - static_cast<std::uint64_t>(b));
+    case BinOp::kMul: return static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b));
+    case BinOp::kDiv:
+      if (b == 0) return 0;
+      // INT64_MIN / -1 would overflow; wrap like the other operators.
+      if (b == -1) return static_cast<std::int64_t>(
+          -static_cast<std::uint64_t>(a));
+      return a / b;
+    case BinOp::kLt: return a < b;
+    case BinOp::kLe: return a <= b;
+    case BinOp::kGt: return a > b;
+    case BinOp::kGe: return a >= b;
+    case BinOp::kEq: return a == b;
+    case BinOp::kNe: return a != b;
+  }
+  PARCM_CHECK(false, "unknown BinOp in eval");
+}
+}  // namespace
+
+std::int64_t eval_rhs(const VarState& s, const Rhs& rhs) {
+  if (rhs.is_term()) return eval_term(s, rhs.term());
+  return eval_operand(s, rhs.trivial());
+}
+
+void execute_node(const Graph& g, NodeId n, VarState& s) {
+  const Node& node = g.node(n);
+  if (node.kind == NodeKind::kAssign) {
+    s.set(node.lhs, eval_rhs(s, node.rhs));
+  }
+}
+
+bool eval_test(const Graph& g, NodeId n, const VarState& s) {
+  const Node& node = g.node(n);
+  PARCM_CHECK(node.kind == NodeKind::kTest && node.cond.has_value(),
+              "eval_test on a non-test node");
+  return eval_rhs(s, *node.cond) != 0;
+}
+
+}  // namespace parcm

@@ -1,0 +1,44 @@
+// Shared-memory data state for the interleaving interpreter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/graph.hpp"
+
+namespace parcm {
+
+class VarState {
+ public:
+  explicit VarState(std::size_t num_vars) : values_(num_vars, 0) {}
+
+  std::int64_t get(VarId v) const {
+    return v.index() < values_.size() ? values_[v.index()] : 0;
+  }
+  void set(VarId v, std::int64_t value) {
+    if (v.index() >= values_.size()) values_.resize(v.index() + 1, 0);
+    values_[v.index()] = value;
+  }
+
+  const std::vector<std::int64_t>& values() const { return values_; }
+
+  bool operator==(const VarState&) const = default;
+
+ private:
+  std::vector<std::int64_t> values_;
+};
+
+std::int64_t eval_operand(const VarState& s, const Operand& op);
+
+// Division by zero yields 0 (total semantics keeps the enumerator simple);
+// comparisons yield 1/0.
+std::int64_t eval_rhs(const VarState& s, const Rhs& rhs);
+
+// Executes node n's statement (assignments mutate s; everything else is
+// skip). Atomic, per the paper's Remark 2.1.
+void execute_node(const Graph& g, NodeId n, VarState& s);
+
+// Condition of a test node, as a boolean.
+bool eval_test(const Graph& g, NodeId n, const VarState& s);
+
+}  // namespace parcm

@@ -1,0 +1,166 @@
+#include "support/bitvector.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace parcm {
+
+namespace {
+std::size_t words_for(std::size_t bits) {
+  return (bits + BitVector::kWordBits - 1) / BitVector::kWordBits;
+}
+}  // namespace
+
+BitVector::BitVector(std::size_t size, bool value)
+    : size_(size), words_(words_for(size), value ? ~Word{0} : Word{0}) {
+  normalize();
+}
+
+bool BitVector::test(std::size_t i) const {
+  assert(i < size_);
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+}
+
+void BitVector::set(std::size_t i, bool value) {
+  assert(i < size_);
+  Word mask = Word{1} << (i % kWordBits);
+  if (value) {
+    words_[i / kWordBits] |= mask;
+  } else {
+    words_[i / kWordBits] &= ~mask;
+  }
+}
+
+void BitVector::reset(std::size_t i) { set(i, false); }
+
+void BitVector::flip(std::size_t i) {
+  assert(i < size_);
+  words_[i / kWordBits] ^= Word{1} << (i % kWordBits);
+}
+
+void BitVector::set_all() {
+  for (auto& w : words_) w = ~Word{0};
+  normalize();
+}
+
+void BitVector::reset_all() {
+  for (auto& w : words_) w = 0;
+}
+
+void BitVector::resize(std::size_t size, bool value) {
+  std::size_t old_size = size_;
+  size_ = size;
+  words_.resize(words_for(size), value ? ~Word{0} : Word{0});
+  if (value && old_size < size) {
+    // The partial word at the old boundary needs its upper bits set.
+    std::size_t w = old_size / kWordBits;
+    if (w < words_.size()) {
+      std::size_t bit = old_size % kWordBits;
+      words_[w] |= ~((Word{1} << bit) - 1);
+    }
+  }
+  normalize();
+}
+
+std::size_t BitVector::count() const {
+  std::size_t n = 0;
+  for (Word w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool BitVector::any() const {
+  for (Word w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+bool BitVector::all() const { return count() == size_; }
+
+BitVector& BitVector::operator&=(const BitVector& o) {
+  assert(size_ == o.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::operator|=(const BitVector& o) {
+  assert(size_ == o.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::operator^=(const BitVector& o) {
+  assert(size_ == o.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::and_not(const BitVector& o) {
+  assert(size_ == o.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+  return *this;
+}
+
+void BitVector::invert() {
+  for (auto& w : words_) w = ~w;
+  normalize();
+}
+
+bool BitVector::is_subset_of(const BitVector& o) const {
+  assert(size_ == o.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & ~o.words_[i]) return false;
+  }
+  return true;
+}
+
+bool BitVector::intersects(const BitVector& o) const {
+  assert(size_ == o.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & o.words_[i]) return true;
+  }
+  return false;
+}
+
+std::size_t BitVector::find_first() const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return w * kWordBits +
+             static_cast<std::size_t>(std::countr_zero(words_[w]));
+    }
+  }
+  return size_;
+}
+
+std::size_t BitVector::find_next(std::size_t i) const {
+  ++i;
+  if (i >= size_) return size_;
+  std::size_t w = i / kWordBits;
+  Word masked = words_[w] & (~Word{0} << (i % kWordBits));
+  if (masked != 0) {
+    return w * kWordBits + static_cast<std::size_t>(std::countr_zero(masked));
+  }
+  for (++w; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return w * kWordBits +
+             static_cast<std::size_t>(std::countr_zero(words_[w]));
+    }
+  }
+  return size_;
+}
+
+void BitVector::normalize() {
+  std::size_t rem = size_ % kWordBits;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (Word{1} << rem) - 1;
+  }
+}
+
+std::string BitVector::to_string() const {
+  std::string s;
+  s.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) s.push_back(test(i) ? '1' : '0');
+  return s;
+}
+
+}  // namespace parcm

@@ -1,0 +1,121 @@
+// Dynamic packed bitvector.
+//
+// The word-parallel engine in `dfa/packed` relies on direct word access
+// (words()), so the representation is deliberately transparent: a vector of
+// 64-bit words, least significant bit first, with all bits beyond size()
+// kept at zero (the class re-normalizes after every whole-word operation).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parcm {
+
+class BitVector {
+ public:
+  using Word = std::uint64_t;
+  static constexpr std::size_t kWordBits = 64;
+
+  BitVector() = default;
+  explicit BitVector(std::size_t size, bool value = false);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool test(std::size_t i) const;
+  void set(std::size_t i, bool value = true);
+  void reset(std::size_t i);
+  void flip(std::size_t i);
+
+  void set_all();
+  void reset_all();
+
+  // Grows or shrinks; new bits are `value`.
+  void resize(std::size_t size, bool value = false);
+
+  std::size_t count() const;
+  bool any() const;
+  bool none() const { return !any(); }
+  bool all() const;
+
+  // Word-wise logical operations; operands must have equal size.
+  BitVector& operator&=(const BitVector& o);
+  BitVector& operator|=(const BitVector& o);
+  BitVector& operator^=(const BitVector& o);
+  // this := this & ~o
+  BitVector& and_not(const BitVector& o);
+  // Flip every bit.
+  void invert();
+
+  friend BitVector operator&(BitVector a, const BitVector& b) { return a &= b; }
+  friend BitVector operator|(BitVector a, const BitVector& b) { return a |= b; }
+  friend BitVector operator^(BitVector a, const BitVector& b) { return a ^= b; }
+  friend BitVector operator~(BitVector a) {
+    a.invert();
+    return a;
+  }
+
+  bool operator==(const BitVector& o) const = default;
+
+  // True iff every set bit of *this is also set in o.
+  bool is_subset_of(const BitVector& o) const;
+  // True iff (*this & o) has any set bit.
+  bool intersects(const BitVector& o) const;
+
+  // Index of first set bit, or size() if none.
+  std::size_t find_first() const;
+  // Index of first set bit > i, or size() if none.
+  std::size_t find_next(std::size_t i) const;
+
+  std::vector<Word>& words() { return words_; }
+  const std::vector<Word>& words() const { return words_; }
+  std::size_t word_count() const { return words_.size(); }
+
+  // Zeroes any bits at positions >= size(); call after raw word writes.
+  void normalize();
+
+  // "0110..." least-significant (index 0) first.
+  std::string to_string() const;
+
+  // Iterate set bits: for (std::size_t i : bv.set_bits()) ...
+  class SetBitRange;
+  SetBitRange set_bits() const;
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<Word> words_;
+};
+
+class BitVector::SetBitRange {
+ public:
+  explicit SetBitRange(const BitVector& bv) : bv_(&bv) {}
+
+  class iterator {
+   public:
+    iterator(const BitVector* bv, std::size_t pos) : bv_(bv), pos_(pos) {}
+    std::size_t operator*() const { return pos_; }
+    iterator& operator++() {
+      pos_ = bv_->find_next(pos_);
+      return *this;
+    }
+    bool operator!=(const iterator& o) const { return pos_ != o.pos_; }
+
+   private:
+    const BitVector* bv_;
+    std::size_t pos_;
+  };
+
+  iterator begin() const { return iterator(bv_, bv_->find_first()); }
+  iterator end() const { return iterator(bv_, bv_->size()); }
+
+ private:
+  const BitVector* bv_;
+};
+
+inline BitVector::SetBitRange BitVector::set_bits() const {
+  return SetBitRange(*this);
+}
+
+}  // namespace parcm

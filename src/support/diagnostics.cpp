@@ -1,0 +1,35 @@
+#include "support/diagnostics.hpp"
+
+#include <sstream>
+
+namespace parcm {
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  if (loc.line > 0) {
+    os << loc.line << ":" << loc.column << ": ";
+  }
+  os << "error: " << message;
+  return os.str();
+}
+
+void DiagnosticSink::error(SourceLoc loc, std::string message) {
+  diagnostics_.push_back(Diagnostic{loc, std::move(message)});
+}
+
+std::string DiagnosticSink::to_string() const {
+  std::string out;
+  for (const auto& d : diagnostics_) {
+    if (!out.empty()) out.push_back('\n');
+    out += d.to_string();
+  }
+  return out;
+}
+
+void internal_error(const char* file, int line, const std::string& message) {
+  std::ostringstream os;
+  os << "parcm internal error at " << file << ":" << line << ": " << message;
+  throw InternalError(os.str());
+}
+
+}  // namespace parcm

@@ -1,0 +1,55 @@
+// Error reporting used across the library.
+//
+// Parsing and validation return diagnostics instead of throwing; internal
+// invariant violations use PARCM_CHECK which throws InternalError (these
+// indicate library bugs, not user errors).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace parcm {
+
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+};
+
+struct Diagnostic {
+  SourceLoc loc;
+  std::string message;
+
+  std::string to_string() const;
+};
+
+class DiagnosticSink {
+ public:
+  void error(SourceLoc loc, std::string message);
+  void error(std::string message) { error(SourceLoc{}, std::move(message)); }
+
+  bool ok() const { return diagnostics_.empty(); }
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+  // All messages joined by newlines; empty string if ok().
+  std::string to_string() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] void internal_error(const char* file, int line,
+                                 const std::string& message);
+
+#define PARCM_CHECK(cond, msg)                               \
+  do {                                                       \
+    if (!(cond)) ::parcm::internal_error(__FILE__, __LINE__, \
+                                         std::string(msg));  \
+  } while (false)
+
+}  // namespace parcm

@@ -1,0 +1,55 @@
+// Strongly typed integer ids for IR entities.
+//
+// Ids are dense indices into the owning container; kInvalid marks "no
+// entity". The Tag parameter makes NodeId/EdgeId/... mutually unassignable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace parcm {
+
+template <class Tag>
+class Id {
+ public:
+  using underlying = std::uint32_t;
+  static constexpr underlying kInvalid = ~underlying{0};
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying v) : value_(v) {}
+
+  constexpr underlying value() const { return value_; }
+  constexpr std::size_t index() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalid; }
+
+  constexpr auto operator<=>(const Id&) const = default;
+
+  static constexpr Id invalid() { return Id(); }
+
+ private:
+  underlying value_ = kInvalid;
+};
+
+struct NodeTag {};
+struct EdgeTag {};
+struct RegionTag {};
+struct VarTag {};
+struct TermTag {};
+struct ParStmtTag {};
+
+using NodeId = Id<NodeTag>;
+using EdgeId = Id<EdgeTag>;
+using RegionId = Id<RegionTag>;
+using VarId = Id<VarTag>;
+using TermId = Id<TermTag>;
+using ParStmtId = Id<ParStmtTag>;
+
+}  // namespace parcm
+
+template <class Tag>
+struct std::hash<parcm::Id<Tag>> {
+  std::size_t operator()(const parcm::Id<Tag>& id) const noexcept {
+    return std::hash<typename parcm::Id<Tag>::underlying>{}(id.value());
+  }
+};

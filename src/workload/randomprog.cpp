@@ -1,0 +1,133 @@
+#include "workload/randomprog.hpp"
+
+#include <string>
+
+#include "ir/builder.hpp"
+
+namespace parcm {
+
+namespace {
+
+class Generator {
+ public:
+  Generator(Rng& rng, const RandomProgramOptions& opt)
+      : rng_(rng), opt_(opt), budget_(opt.target_stmts) {
+    for (int i = 0; i < opt_.num_vars; ++i) {
+      vars_.push_back(builder_.var("v" + std::to_string(i)));
+    }
+  }
+
+  Graph run() {
+    block(0);
+    // Guarantee at least one movable computation so downstream consumers
+    // (term tables, analyses) have something to chew on.
+    builder_.assign(pick_var(), Rhs(random_term()));
+    return builder_.finish();
+  }
+
+ private:
+  VarId pick_var() { return vars_[rng_.below(vars_.size())]; }
+
+  Operand random_operand() {
+    if (rng_.chance(200, 1000)) {
+      return Operand::constant(rng_.range(0, 9));
+    }
+    return Operand::var(pick_var());
+  }
+
+  Term random_term() {
+    static constexpr BinOp kOps[] = {BinOp::kAdd, BinOp::kSub, BinOp::kMul};
+    return Term{kOps[rng_.below(3)], random_operand(), random_operand()};
+  }
+
+  Rhs random_cond() {
+    static constexpr BinOp kRels[] = {BinOp::kLt, BinOp::kLe, BinOp::kNe};
+    return Rhs(Term{kRels[rng_.below(3)], random_operand(), random_operand()});
+  }
+
+  void assignment() {
+    VarId lhs = pick_var();
+    if (rng_.chance(static_cast<std::uint64_t>(opt_.trivial_permille), 1000)) {
+      builder_.assign(lhs, Rhs(random_operand()));
+      return;
+    }
+    Term t = random_term();
+    if (rng_.chance(static_cast<std::uint64_t>(opt_.recursive_permille),
+                    1000)) {
+      // Force the lhs into the rhs to make the assignment recursive.
+      t.lhs = Operand::var(lhs);
+    }
+    builder_.assign(lhs, Rhs(t));
+  }
+
+  void statement(int par_depth) {
+    if (budget_ == 0) return;
+    --budget_;
+    if (par_depth > 0 && opt_.barrier_permille > 0 &&
+        rng_.chance(static_cast<std::uint64_t>(opt_.barrier_permille), 1000)) {
+      builder_.barrier();
+      return;
+    }
+    std::uint64_t roll = rng_.below(1000);
+    std::uint64_t acc = 0;
+
+    acc += static_cast<std::uint64_t>(opt_.par_permille);
+    if (roll < acc && par_depth < opt_.max_par_depth && budget_ >= 2) {
+      std::size_t comps =
+          2 + rng_.below(static_cast<std::uint64_t>(opt_.max_components - 1));
+      std::vector<GraphBuilder::BlockFn> blocks;
+      for (std::size_t i = 0; i < comps; ++i) {
+        blocks.push_back([this, par_depth] { block(par_depth + 1); });
+      }
+      builder_.par(blocks);
+      return;
+    }
+
+    acc += static_cast<std::uint64_t>(opt_.if_permille);
+    if (roll < acc) {
+      auto then_b = [this, par_depth] { block(par_depth); };
+      auto else_b = [this, par_depth] { block(par_depth); };
+      if (opt_.cond_permille > 0 &&
+          rng_.chance(static_cast<std::uint64_t>(opt_.cond_permille), 1000)) {
+        builder_.if_cond(random_cond(), then_b, else_b);
+      } else {
+        builder_.if_nondet(then_b, else_b);
+      }
+      return;
+    }
+
+    acc += static_cast<std::uint64_t>(opt_.while_permille);
+    if (roll < acc) {
+      builder_.while_nondet([this, par_depth] { block(par_depth); });
+      return;
+    }
+
+    acc += static_cast<std::uint64_t>(opt_.choose_permille);
+    if (roll < acc) {
+      builder_.choose({[this, par_depth] { block(par_depth); },
+                       [this, par_depth] { block(par_depth); }});
+      return;
+    }
+
+    assignment();
+  }
+
+  void block(int par_depth) {
+    std::size_t n = 1 + rng_.below(3);
+    for (std::size_t i = 0; i < n && budget_ > 0; ++i) statement(par_depth);
+  }
+
+  Rng& rng_;
+  const RandomProgramOptions& opt_;
+  std::size_t budget_;
+  GraphBuilder builder_;
+  std::vector<VarId> vars_;
+};
+
+}  // namespace
+
+Graph random_program(Rng& rng, const RandomProgramOptions& options) {
+  return Generator(rng, options).run();
+}
+
+}  // namespace parcm

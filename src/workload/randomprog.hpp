@@ -1,0 +1,38 @@
+// Seeded random parallel-program generation for property tests and
+// benchmarks. Shapes are drawn from the builder's structured vocabulary so
+// every generated graph is well-formed by construction.
+#pragma once
+
+#include "ir/graph.hpp"
+#include "support/rng.hpp"
+
+namespace parcm {
+
+struct RandomProgramOptions {
+  // Approximate number of statements; the generator stops opening new
+  // constructs once the budget is spent.
+  std::size_t target_stmts = 12;
+  // Maximum nesting depth of parallel statements (0 = sequential program).
+  int max_par_depth = 1;
+  // Maximum components per parallel statement.
+  int max_components = 3;
+  // Variable pool size ("v0".."vN-1").
+  int num_vars = 4;
+  // Permille rates per statement kind (rest becomes plain assignments).
+  int par_permille = 180;
+  int if_permille = 150;
+  int while_permille = 80;
+  int choose_permille = 50;
+  // Chance (permille) that an assignment is recursive (lhs in rhs).
+  int recursive_permille = 150;
+  // Chance (permille) that an assignment is trivial (x := y / x := c).
+  int trivial_permille = 150;
+  // Use deterministic conditions (tests) instead of `*` sometimes.
+  int cond_permille = 0;
+  // Chance (permille) of a barrier statement (only inside components).
+  int barrier_permille = 0;
+};
+
+Graph random_program(Rng& rng, const RandomProgramOptions& options);
+
+}  // namespace parcm

@@ -1,0 +1,167 @@
+#include "motion/bcm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "figures/figures.hpp"
+#include "ir/printer.hpp"
+#include "ir/transform_utils.hpp"
+#include "ir/validate.hpp"
+#include "lang/lower.hpp"
+#include "semantics/cost.hpp"
+#include "semantics/equivalence.hpp"
+
+namespace parcm {
+namespace {
+
+std::size_t count_computations(const Graph& g) {
+  std::size_t n = 0;
+  for (NodeId id : g.all_nodes()) {
+    const Node& node = g.node(id);
+    n += node.kind == NodeKind::kAssign && node.rhs.is_term();
+  }
+  return n;
+}
+
+TEST(BCM, RejectsParallelPrograms) {
+  Graph g = lang::compile_or_throw("par { x := 1; } and { y := 2; }");
+  EXPECT_THROW(busy_code_motion(g), InternalError);
+}
+
+TEST(BCM, NoOpOnProgramWithoutRedundancy) {
+  Graph g = lang::compile_or_throw("x := a + b;");
+  MotionResult r = busy_code_motion(g);
+  validate_or_throw(r.graph);
+  // The single computation is trivially replaced by its own insertion; the
+  // computation count is unchanged.
+  EXPECT_EQ(count_computations(r.graph), 1u);
+}
+
+TEST(BCM, FullRedundancyEliminated) {
+  Graph g = lang::compile_or_throw("x := a + b; y := a + b; z := a + b;");
+  MotionResult r = busy_code_motion(g);
+  validate_or_throw(r.graph);
+  ASSERT_EQ(r.terms.size(), 1u);
+  EXPECT_EQ(r.terms[0].insert_nodes.size(), 1u);
+  EXPECT_EQ(r.terms[0].replaced.size(), 3u);
+  EXPECT_EQ(count_computations(r.graph), 1u);
+}
+
+TEST(BCM, DiamondHoist) {
+  Graph g = figures::fig1_hoistable();
+  MotionResult r = busy_code_motion(g);
+  validate_or_throw(r.graph);
+  ASSERT_EQ(r.terms.size(), 1u);
+  EXPECT_EQ(r.terms[0].insert_nodes.size(), 1u);
+  EXPECT_EQ(r.terms[0].replaced.size(), 3u);
+  // Per-path computations drop from 2 to 1.
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    auto pair = paired_execution_times(g, r.graph, seed);
+    ASSERT_TRUE(pair.has_value());
+    EXPECT_EQ(pair->first.computations, 2u);
+    EXPECT_EQ(pair->second.computations, 1u);
+  }
+}
+
+TEST(BCM, Fig1PartialRedundancyRemains) {
+  Graph g = figures::fig1();
+  MotionResult r = busy_code_motion(g);
+  validate_or_throw(r.graph);
+  // No insertion escapes the branches: every path's computation count is
+  // unchanged (computational optimality of the argument program).
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    auto pair = paired_execution_times(g, r.graph, seed);
+    ASSERT_TRUE(pair.has_value());
+    EXPECT_EQ(pair->first.computations, pair->second.computations) << seed;
+    EXPECT_EQ(pair->first.time, pair->second.time) << seed;
+  }
+}
+
+TEST(BCM, NeverWorseNeverChangesSemantics) {
+  const char* programs[] = {
+      "x := a + b; y := a + b;",
+      "if (*) { x := a + b; } else { a := 1; } y := a + b;",
+      "while (*) { x := a + b; } y := a + b;",
+      "a := 1; if (*) { b := 2; } else { x := a + b; } y := a + b;",
+      "c := c + d; e := c + d;",
+  };
+  for (const char* src : programs) {
+    Graph g = lang::compile_or_throw(src);
+    MotionResult r = busy_code_motion(g);
+    validate_or_throw(r.graph);
+    for (std::uint64_t seed = 0; seed < 16; ++seed) {
+      auto pair = paired_execution_times(g, r.graph, seed);
+      ASSERT_TRUE(pair.has_value());
+      EXPECT_LE(pair->second.time, pair->first.time) << src;
+      EXPECT_LE(pair->second.computations, pair->first.computations) << src;
+    }
+    auto verdict = check_sequential_consistency(g, r.graph);
+    EXPECT_TRUE(verdict.exhausted) << src;
+    EXPECT_TRUE(verdict.sequentially_consistent) << src;
+    EXPECT_TRUE(verdict.behaviours_preserved) << src;
+  }
+}
+
+TEST(BCM, LoopInvariantNotHoistedWithoutDownSafety) {
+  // Classic BCM limitation: the loop may execute zero times, so a+b is not
+  // down-safe at the header and stays inside.
+  Graph g = lang::compile_or_throw("while (*) { x := a + b; } y := c;");
+  MotionResult r = busy_code_motion(g);
+  validate_or_throw(r.graph);
+  ASSERT_EQ(r.terms.size(), 1u);
+  for (NodeId n : r.terms[0].insert_nodes) {
+    // The insertion stays at the occurrence inside the loop body.
+    EXPECT_EQ(r.graph.node(n).region, r.graph.root_region());
+    bool reaches_header_only = true;
+    (void)reaches_header_only;
+  }
+  LoopOracle loop3(3);
+  CostResult orig = execution_time(g, loop3);
+  LoopOracle loop3b(3);
+  CostResult moved = execution_time(r.graph, loop3b);
+  EXPECT_EQ(orig.computations, 3u);
+  EXPECT_EQ(moved.computations, 3u);
+}
+
+TEST(BCM, RepeatedComputationInLoopCollapsesToFirstIteration) {
+  // Two occurrences inside one body: the second is covered by the first.
+  Graph g = lang::compile_or_throw(
+      "while (*) { x := a + b; y := a + b; } z := 1;");
+  MotionResult r = busy_code_motion(g);
+  validate_or_throw(r.graph);
+  LoopOracle loop4(4);
+  CostResult orig = execution_time(g, loop4);
+  LoopOracle loop4b(4);
+  CostResult moved = execution_time(r.graph, loop4b);
+  EXPECT_EQ(orig.computations, 8u);
+  EXPECT_EQ(moved.computations, 4u);
+}
+
+TEST(BCM, MultipleTermsIndependent) {
+  Graph g = lang::compile_or_throw(
+      "x := a + b; y := c * d; z := a + b; w := c * d;");
+  MotionResult r = busy_code_motion(g);
+  validate_or_throw(r.graph);
+  EXPECT_EQ(r.terms.size(), 2u);
+  EXPECT_EQ(count_computations(r.graph), 2u);
+}
+
+TEST(BCM, TempNamesFreshAndStable) {
+  Graph g = lang::compile_or_throw("h_a_add_b := 9; x := a + b; y := a + b;");
+  MotionResult r = busy_code_motion(g);
+  validate_or_throw(r.graph);
+  ASSERT_EQ(r.terms.size(), 1u);
+  // The natural name is taken by a program variable; a suffix is appended.
+  EXPECT_EQ(r.graph.var_name(r.terms[0].temp), "h_a_add_b_1");
+  auto verdict = check_sequential_consistency(g, r.graph);
+  EXPECT_TRUE(verdict.sequentially_consistent);
+}
+
+TEST(BCM, ReportContainsTermAndCounts) {
+  Graph g = lang::compile_or_throw("x := a + b; y := a + b;");
+  MotionResult r = busy_code_motion(g);
+  EXPECT_EQ(r.num_insertions(), 1u);
+  EXPECT_EQ(r.num_replacements(), 2u);
+}
+
+}  // namespace
+}  // namespace parcm

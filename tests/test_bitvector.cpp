@@ -1,0 +1,239 @@
+#include "support/bitvector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace parcm {
+namespace {
+
+TEST(BitVector, DefaultIsEmpty) {
+  BitVector bv;
+  EXPECT_EQ(bv.size(), 0u);
+  EXPECT_TRUE(bv.empty());
+  EXPECT_TRUE(bv.none());
+  EXPECT_EQ(bv.count(), 0u);
+}
+
+TEST(BitVector, ConstructAllFalse) {
+  BitVector bv(130);
+  EXPECT_EQ(bv.size(), 130u);
+  EXPECT_TRUE(bv.none());
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(bv.test(i));
+}
+
+TEST(BitVector, ConstructAllTrue) {
+  BitVector bv(130, true);
+  EXPECT_TRUE(bv.all());
+  EXPECT_EQ(bv.count(), 130u);
+  // Padding bits beyond size must stay clear.
+  EXPECT_EQ(bv.words().back() >> (130 % 64), 0u);
+}
+
+TEST(BitVector, SetResetFlip) {
+  BitVector bv(70);
+  bv.set(0);
+  bv.set(69);
+  EXPECT_TRUE(bv.test(0));
+  EXPECT_TRUE(bv.test(69));
+  EXPECT_EQ(bv.count(), 2u);
+  bv.reset(0);
+  EXPECT_FALSE(bv.test(0));
+  bv.flip(69);
+  EXPECT_FALSE(bv.test(69));
+  bv.flip(69);
+  EXPECT_TRUE(bv.test(69));
+  bv.set(5, false);
+  EXPECT_FALSE(bv.test(5));
+}
+
+TEST(BitVector, SetAllResetAll) {
+  BitVector bv(100);
+  bv.set_all();
+  EXPECT_TRUE(bv.all());
+  bv.reset_all();
+  EXPECT_TRUE(bv.none());
+}
+
+TEST(BitVector, ResizeGrowWithFalse) {
+  BitVector bv(10, true);
+  bv.resize(100);
+  EXPECT_EQ(bv.count(), 10u);
+  EXPECT_FALSE(bv.test(99));
+}
+
+TEST(BitVector, ResizeGrowWithTrue) {
+  BitVector bv(10);
+  bv.resize(100, true);
+  EXPECT_EQ(bv.count(), 90u);
+  EXPECT_FALSE(bv.test(3));
+  EXPECT_TRUE(bv.test(10));
+  EXPECT_TRUE(bv.test(99));
+}
+
+TEST(BitVector, ResizeGrowWithTrueAcrossWordBoundary) {
+  BitVector bv(70);
+  bv.resize(130, true);
+  EXPECT_FALSE(bv.test(69));
+  EXPECT_TRUE(bv.test(70));
+  EXPECT_TRUE(bv.test(129));
+  EXPECT_EQ(bv.count(), 60u);
+}
+
+TEST(BitVector, ResizeShrinkClearsTail) {
+  BitVector bv(100, true);
+  bv.resize(10);
+  EXPECT_EQ(bv.size(), 10u);
+  EXPECT_EQ(bv.count(), 10u);
+  bv.resize(100);
+  EXPECT_EQ(bv.count(), 10u);
+}
+
+TEST(BitVector, AndOrXor) {
+  BitVector a(80), b(80);
+  a.set(1);
+  a.set(70);
+  b.set(70);
+  b.set(3);
+  EXPECT_EQ((a & b).count(), 1u);
+  EXPECT_TRUE((a & b).test(70));
+  EXPECT_EQ((a | b).count(), 3u);
+  EXPECT_EQ((a ^ b).count(), 2u);
+  EXPECT_TRUE((a ^ b).test(1));
+  EXPECT_TRUE((a ^ b).test(3));
+}
+
+TEST(BitVector, AndNot) {
+  BitVector a(80, true), b(80);
+  b.set(7);
+  b.set(77);
+  a.and_not(b);
+  EXPECT_EQ(a.count(), 78u);
+  EXPECT_FALSE(a.test(7));
+  EXPECT_FALSE(a.test(77));
+}
+
+TEST(BitVector, InvertKeepsPaddingClear) {
+  BitVector a(67);
+  a.set(3);
+  a.invert();
+  EXPECT_EQ(a.count(), 66u);
+  EXPECT_FALSE(a.test(3));
+  a.invert();
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(BitVector, SubsetAndIntersects) {
+  BitVector a(40), b(40);
+  a.set(3);
+  b.set(3);
+  b.set(9);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  BitVector c(40);
+  c.set(10);
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(BitVector(40).is_subset_of(a));
+}
+
+TEST(BitVector, FindFirstNext) {
+  BitVector a(200);
+  EXPECT_EQ(a.find_first(), 200u);
+  a.set(5);
+  a.set(64);
+  a.set(199);
+  EXPECT_EQ(a.find_first(), 5u);
+  EXPECT_EQ(a.find_next(5), 64u);
+  EXPECT_EQ(a.find_next(64), 199u);
+  EXPECT_EQ(a.find_next(199), 200u);
+  EXPECT_EQ(a.find_next(4), 5u);
+}
+
+TEST(BitVector, SetBitsIteration) {
+  BitVector a(150);
+  std::vector<std::size_t> want = {0, 63, 64, 127, 149};
+  for (std::size_t i : want) a.set(i);
+  std::vector<std::size_t> got;
+  for (std::size_t i : a.set_bits()) got.push_back(i);
+  EXPECT_EQ(got, want);
+}
+
+TEST(BitVector, EqualityAndToString) {
+  BitVector a(4), b(4);
+  a.set(1);
+  EXPECT_NE(a, b);
+  b.set(1);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.to_string(), "0100");
+}
+
+TEST(BitVector, NormalizeAfterRawWordWrite) {
+  BitVector a(10);
+  a.words()[0] = ~std::uint64_t{0};
+  a.normalize();
+  EXPECT_EQ(a.count(), 10u);
+}
+
+class BitVectorSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitVectorSizeSweep, RandomOpsMatchReferenceModel) {
+  std::size_t n = GetParam();
+  Rng rng(n * 977 + 13);
+  BitVector bv(n);
+  std::vector<bool> model(n, false);
+  for (int step = 0; step < 500; ++step) {
+    if (n == 0) break;
+    std::size_t i = rng.below(n);
+    switch (rng.below(3)) {
+      case 0:
+        bv.set(i);
+        model[i] = true;
+        break;
+      case 1:
+        bv.reset(i);
+        model[i] = false;
+        break;
+      default:
+        bv.flip(i);
+        model[i] = !model[i];
+        break;
+    }
+  }
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(bv.test(i), model[i]) << "bit " << i;
+    count += model[i];
+  }
+  EXPECT_EQ(bv.count(), count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorSizeSweep,
+                         ::testing::Values(1, 63, 64, 65, 128, 129, 1000));
+
+class BitVectorLogicSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitVectorLogicSweep, DeMorganAndAbsorption) {
+  Rng rng(GetParam());
+  std::size_t n = 1 + rng.below(300);
+  BitVector a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.chance(1, 2)) a.set(i);
+    if (rng.chance(1, 2)) b.set(i);
+  }
+  EXPECT_EQ(~(a & b), (~a | ~b));
+  EXPECT_EQ(~(a | b), (~a & ~b));
+  EXPECT_EQ((a & (a | b)), a);
+  EXPECT_EQ((a | (a & b)), a);
+  BitVector diff = a;
+  diff.and_not(b);
+  EXPECT_EQ(diff, (a & ~b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitVectorLogicSweep,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace parcm

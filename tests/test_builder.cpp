@@ -1,0 +1,176 @@
+#include "ir/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/validate.hpp"
+
+namespace parcm {
+namespace {
+
+TEST(Builder, EmptyProgram) {
+  GraphBuilder b;
+  Graph g = b.finish();
+  validate_or_throw(g);
+  EXPECT_EQ(g.succs(g.start()), std::vector<NodeId>{g.end()});
+}
+
+TEST(Builder, StraightLine) {
+  GraphBuilder b;
+  b.assign("x", b.v("a"), BinOp::kAdd, b.v("b"));
+  b.assign("y", b.v("x"));
+  Graph g = b.finish();
+  validate_or_throw(g);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  NodeId x = g.succs(g.start())[0];
+  EXPECT_EQ(g.node(x).kind, NodeKind::kAssign);
+  NodeId y = g.succs(x)[0];
+  EXPECT_TRUE(g.node(y).rhs.is_trivial());
+  EXPECT_EQ(g.succs(y)[0], g.end());
+}
+
+TEST(Builder, IfNondetJoins) {
+  GraphBuilder b;
+  b.if_nondet([&] { b.skip(); }, [&] { b.skip(); });
+  b.skip();
+  Graph g = b.finish();
+  validate_or_throw(g);
+  // start -> branch -> {skip, skip} -> join skip -> end
+  NodeId branch = g.succs(g.start())[0];
+  EXPECT_EQ(g.out_degree(branch), 2u);
+  NodeId join = g.succs(g.succs(branch)[0])[0];
+  EXPECT_EQ(g.in_degree(join), 2u);
+}
+
+TEST(Builder, IfNondetEmptyElse) {
+  GraphBuilder b;
+  b.if_nondet([&] { b.skip(); }, nullptr);
+  b.skip();
+  Graph g = b.finish();
+  validate_or_throw(g);
+  NodeId branch = g.succs(g.start())[0];
+  EXPECT_EQ(g.out_degree(branch), 2u);
+}
+
+TEST(Builder, IfCondBranchOrder) {
+  GraphBuilder b;
+  VarId x = b.var("x");
+  b.if_cond(Rhs(Operand::var(x)), [&] { b.assign("t", b.c(1)); },
+            [&] { b.assign("e", b.c(2)); });
+  Graph g = b.finish();
+  validate_or_throw(g);
+  NodeId test = g.succs(g.start())[0];
+  ASSERT_EQ(g.node(test).kind, NodeKind::kTest);
+  ASSERT_EQ(g.out_degree(test), 2u);
+  // out_edges[0] = true branch; its entry skip leads to `t := 1`.
+  NodeId then_entry = g.edge(g.node(test).out_edges[0]).to;
+  NodeId then_stmt = g.succs(then_entry)[0];
+  EXPECT_EQ(g.var_name(g.node(then_stmt).lhs), "t");
+  NodeId else_entry = g.edge(g.node(test).out_edges[1]).to;
+  NodeId else_stmt = g.succs(else_entry)[0];
+  EXPECT_EQ(g.var_name(g.node(else_stmt).lhs), "e");
+}
+
+TEST(Builder, IfCondEmptyBlocksStillWellFormed) {
+  GraphBuilder b;
+  VarId x = b.var("x");
+  b.if_cond(Rhs(Operand::var(x)), nullptr, nullptr);
+  b.skip();
+  Graph g = b.finish();
+  validate_or_throw(g);
+}
+
+TEST(Builder, WhileNondetLoop) {
+  GraphBuilder b;
+  b.while_nondet([&] { b.assign("x", b.v("x"), BinOp::kAdd, b.c(1)); });
+  Graph g = b.finish();
+  validate_or_throw(g);
+  NodeId header = g.succs(g.start())[0];
+  EXPECT_EQ(g.out_degree(header), 2u);
+  // Body edge first, exit edge second (LoopOracle contract).
+  NodeId body = g.edge(g.node(header).out_edges[0]).to;
+  EXPECT_EQ(g.node(body).kind, NodeKind::kAssign);
+  EXPECT_EQ(g.succs(body)[0], header);
+  EXPECT_EQ(g.edge(g.node(header).out_edges[1]).to, g.end());
+}
+
+TEST(Builder, WhileCondLoop) {
+  GraphBuilder b;
+  VarId i = b.var("i");
+  b.while_cond(Rhs(Term{BinOp::kLt, Operand::var(i), Operand::constant(3)}),
+               [&] { b.assign(i, Rhs(Term{BinOp::kAdd, Operand::var(i),
+                                          Operand::constant(1)})); });
+  Graph g = b.finish();
+  validate_or_throw(g);
+  NodeId header = g.succs(g.start())[0];
+  EXPECT_EQ(g.node(header).kind, NodeKind::kTest);
+}
+
+TEST(Builder, Choose3Way) {
+  GraphBuilder b;
+  b.choose({[&] { b.skip(); }, [&] { b.skip(); }, [&] { b.skip(); }});
+  Graph g = b.finish();
+  validate_or_throw(g);
+  NodeId branch = g.succs(g.start())[0];
+  EXPECT_EQ(g.out_degree(branch), 3u);
+}
+
+TEST(Builder, ParTwoComponents) {
+  GraphBuilder b;
+  b.par({[&] { b.assign("x", b.c(1)); }, [&] { b.assign("y", b.c(2)); }});
+  Graph g = b.finish();
+  validate_or_throw(g);
+  ASSERT_EQ(g.num_par_stmts(), 1u);
+  const ParStmt& s = g.par_stmt(ParStmtId(0));
+  EXPECT_EQ(s.components.size(), 2u);
+  EXPECT_EQ(g.out_degree(s.begin), 2u);
+  for (RegionId comp : s.components) {
+    NodeId entry = g.component_entry(comp);
+    EXPECT_EQ(g.node(entry).kind, NodeKind::kSkip);
+    EXPECT_FALSE(g.component_exits(comp).empty());
+  }
+}
+
+TEST(Builder, ParEmptyComponentGetsSkip) {
+  GraphBuilder b;
+  b.par({nullptr, nullptr});
+  Graph g = b.finish();
+  validate_or_throw(g);
+}
+
+TEST(Builder, NestedPar) {
+  GraphBuilder b;
+  b.par({[&] {
+           b.par({[&] { b.assign("x", b.c(1)); },
+                  [&] { b.assign("y", b.c(2)); }});
+         },
+         [&] { b.assign("z", b.c(3)); }});
+  Graph g = b.finish();
+  validate_or_throw(g);
+  EXPECT_EQ(g.num_par_stmts(), 2u);
+  EXPECT_EQ(g.num_regions(), 5u);
+  // The inner statement's parent region is a component of the outer one.
+  const ParStmt& inner = g.par_stmt(ParStmtId(1));
+  EXPECT_TRUE(g.region(inner.parent_region).owner.valid());
+}
+
+TEST(Builder, ParInsideLoop) {
+  GraphBuilder b;
+  b.while_nondet([&] {
+    b.par({[&] { b.assign("x", b.c(1)); }, [&] { b.assign("y", b.c(2)); }});
+  });
+  Graph g = b.finish();
+  validate_or_throw(g);
+  EXPECT_EQ(g.num_par_stmts(), 1u);
+}
+
+TEST(Builder, LabeledNodes) {
+  GraphBuilder b;
+  b.assign("x", b.c(1));
+  b.labeled("n7");
+  Graph g = b.finish();
+  NodeId n = g.succs(g.start())[0];
+  EXPECT_EQ(g.node(n).label, "n7");
+}
+
+}  // namespace
+}  // namespace parcm

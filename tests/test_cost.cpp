@@ -1,0 +1,147 @@
+#include "semantics/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lang/lower.hpp"
+#include "workload/families.hpp"
+
+namespace parcm {
+namespace {
+
+TEST(Cost, TrivialAssignmentsAreFree) {
+  Graph g = lang::compile_or_throw("x := 1; y := x; skip;");
+  FixedOracle o(0);
+  CostResult r = execution_time(g, o);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.time, 0u);
+  EXPECT_EQ(r.computations, 0u);
+}
+
+TEST(Cost, OperatorAssignmentsCostOne) {
+  Graph g = lang::compile_or_throw("x := a + b; y := x * 2; z := x;");
+  FixedOracle o(0);
+  CostResult r = execution_time(g, o);
+  EXPECT_EQ(r.time, 2u);
+  EXPECT_EQ(r.computations, 2u);
+}
+
+TEST(Cost, SequentialCompositionSums) {
+  Graph g = families::seq_chain(10, 2);
+  FixedOracle o(0);
+  CostResult r = execution_time(g, o);
+  EXPECT_EQ(r.time, 10u);
+}
+
+TEST(Cost, ParallelStatementTakesMax) {
+  Graph g = lang::compile_or_throw(R"(
+    par { x := a + b; } and { u := c + d; v := c + d; w := c + d; }
+    y := a + b;
+  )");
+  FixedOracle o(0);
+  CostResult r = execution_time(g, o);
+  // max(1, 3) + 1 = 4; computations count everything: 1 + 3 + 1 = 5.
+  EXPECT_EQ(r.time, 4u);
+  EXPECT_EQ(r.computations, 5u);
+}
+
+TEST(Cost, NestedParallelMax) {
+  Graph g = lang::compile_or_throw(R"(
+    par {
+      par { x := a + b; } and { y := a + b; z := a + b; }
+    } and {
+      u := c + d;
+    }
+  )");
+  FixedOracle o(0);
+  CostResult r = execution_time(g, o);
+  // Inner max(1,2) = 2; outer max(2,1) = 2.
+  EXPECT_EQ(r.time, 2u);
+  EXPECT_EQ(r.computations, 4u);
+}
+
+TEST(Cost, TestsAndSkipsAreFree) {
+  Graph g = lang::compile_or_throw("if (a < b) { skip; } else { skip; }");
+  FixedOracle o(0);
+  CostResult r = execution_time(g, o);
+  EXPECT_EQ(r.time, 0u);
+}
+
+TEST(Cost, LoopOracleDrivesTripCount) {
+  Graph g = lang::compile_or_throw("while (*) { x := a + b; } y := 1;");
+  for (std::size_t trips : {0u, 1u, 7u}) {
+    LoopOracle o(trips);
+    CostResult r = execution_time(g, o);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.time, trips);
+  }
+}
+
+TEST(Cost, FixedOracleZeroLoopsForever) {
+  // FixedOracle(0) always re-enters a builder loop -> step bound trips.
+  Graph g = lang::compile_or_throw("while (*) { x := a + b; }");
+  FixedOracle o(0);
+  CostResult r = execution_time(g, o, 1000);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Cost, SeededOracleDeterministic) {
+  Graph g = lang::compile_or_throw(R"(
+    if (*) { x := a + b; } else { skip; }
+    while (*) { y := c + d; }
+    z := e + f;
+  )");
+  SeededOracle o1(99), o2(99);
+  CostResult a = execution_time(g, o1);
+  CostResult b = execution_time(g, o2);
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_EQ(a.time, b.time);
+  EXPECT_EQ(a.computations, b.computations);
+}
+
+TEST(Cost, SeededOracleCoversBothBranches) {
+  Graph g = lang::compile_or_throw(
+      "if (*) { x := a + b; } else { skip; }");
+  std::set<std::uint64_t> times;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    SeededOracle o(seed);
+    times.insert(execution_time(g, o).time);
+  }
+  EXPECT_EQ(times, (std::set<std::uint64_t>{0, 1}));
+}
+
+TEST(Cost, PairedTimesUseSameDecisions) {
+  Graph g = lang::compile_or_throw(
+      "if (*) { x := a + b; } else { skip; } y := c + d;");
+  // Pair the program with itself: identical decisions, identical times.
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    auto pair = paired_execution_times(g, g, seed);
+    ASSERT_TRUE(pair.has_value());
+    EXPECT_EQ(pair->first.time, pair->second.time);
+    EXPECT_EQ(pair->first.computations, pair->second.computations);
+  }
+}
+
+TEST(Cost, Fig2FamilyBottleneckScaling) {
+  for (std::size_t n : {1u, 5u, 9u}) {
+    Graph g = families::fig2_family(n);
+    FixedOracle o(0);
+    CostResult r = execution_time(g, o);
+    EXPECT_EQ(r.time, std::max<std::uint64_t>(1, n) + 1);
+    EXPECT_EQ(r.computations, n + 2);
+  }
+}
+
+TEST(Cost, ComputationsCountInterleavingView) {
+  // time uses max, computations uses sum: the Fig. 2 distinction.
+  Graph g = lang::compile_or_throw(
+      "par { x := a + b; } and { y := c + d; }");
+  FixedOracle o(0);
+  CostResult r = execution_time(g, o);
+  EXPECT_EQ(r.time, 1u);
+  EXPECT_EQ(r.computations, 2u);
+}
+
+}  // namespace
+}  // namespace parcm

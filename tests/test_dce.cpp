@@ -1,0 +1,166 @@
+#include "motion/dce.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/printer.hpp"
+#include "ir/transform_utils.hpp"
+#include "ir/validate.hpp"
+#include "lang/lower.hpp"
+#include "semantics/equivalence.hpp"
+#include "workload/randomprog.hpp"
+
+namespace parcm {
+namespace {
+
+std::size_t assigns(const Graph& g) {
+  std::size_t n = 0;
+  for (NodeId id : g.all_nodes()) n += g.node(id).kind == NodeKind::kAssign;
+  return n;
+}
+
+TEST(Dce, OverwrittenAssignmentDies) {
+  Graph g = lang::compile_or_throw("x := 1; x := 2; y := x;");
+  DceResult r = eliminate_dead_assignments(g);
+  validate_or_throw(r.graph);
+  ASSERT_EQ(r.eliminated.size(), 1u);
+  EXPECT_EQ(assigns(r.graph), 2u);
+}
+
+TEST(Dce, ObservableAtEndSurvives) {
+  Graph g = lang::compile_or_throw("x := 1;");
+  DceResult r = eliminate_dead_assignments(g);
+  EXPECT_TRUE(r.eliminated.empty());
+}
+
+TEST(Dce, UnobservedVariableDies) {
+  Graph g = lang::compile_or_throw("x := 1; y := 2;");
+  DceOptions opts;
+  opts.observed = {"y"};
+  DceResult r = eliminate_dead_assignments(g, opts);
+  EXPECT_EQ(r.eliminated.size(), 1u);
+  EXPECT_EQ(assigns(r.graph), 1u);
+}
+
+TEST(Dce, CascadeEliminatesFaintChains) {
+  // y feeds only x, x feeds nothing observed: both die, over two rounds.
+  Graph g = lang::compile_or_throw("y := 5; x := y + 1; z := 3;");
+  DceOptions opts;
+  opts.observed = {"z"};
+  DceResult r = eliminate_dead_assignments(g, opts);
+  EXPECT_EQ(r.eliminated.size(), 2u);
+  EXPECT_GE(r.rounds, 2u);
+  EXPECT_EQ(assigns(r.graph), 1u);
+}
+
+TEST(Dce, BranchUseKeepsAssignmentAlive) {
+  Graph g = lang::compile_or_throw(
+      "x := 1; if (x < 2) { y := 1; } else { y := 2; }");
+  DceOptions opts;
+  opts.observed = {"y"};
+  DceResult r = eliminate_dead_assignments(g, opts);
+  // x is read by the test condition.
+  for (NodeId n : r.eliminated) {
+    EXPECT_NE(statement_to_string(g, n), "x := 1");
+  }
+}
+
+TEST(Dce, SiblingReadKeepsAssignmentAlive) {
+  // Sequentially x := 1 is overwritten before the (post-join) read, but the
+  // sibling may read x between the two writes.
+  Graph g = lang::compile_or_throw(R"(
+    par { x := 1; x := 2; } and { y := x; }
+  )");
+  DceResult r = eliminate_dead_assignments(g);
+  EXPECT_TRUE(r.eliminated.empty());
+}
+
+TEST(Dce, NoSiblingReadAllowsElimination) {
+  Graph g = lang::compile_or_throw(R"(
+    par { x := 1; x := 2; } and { y := 3; }
+  )");
+  DceResult r = eliminate_dead_assignments(g);
+  ASSERT_EQ(r.eliminated.size(), 1u);
+  // The first write is the dead one.
+  auto finals_orig = enumerate_executions(g, {"x", "y"});
+  auto finals_dce = enumerate_executions(r.graph, {"x", "y"});
+  EXPECT_EQ(finals_orig.finals, finals_dce.finals);
+}
+
+TEST(Dce, NestedSiblingReadCounts) {
+  Graph g = lang::compile_or_throw(R"(
+    par {
+      par { x := 1; x := 2; } and { u := x; }
+    } and {
+      v := 3;
+    }
+  )");
+  DceResult r = eliminate_dead_assignments(g);
+  EXPECT_TRUE(r.eliminated.empty());
+}
+
+TEST(Dce, LoopCarriedUseSurvives) {
+  Graph g = lang::compile_or_throw(
+      "s := 0; i := 0; while (i < 3) { s := s + i; i := i + 1; }");
+  DceOptions opts;
+  opts.observed = {"s"};
+  DceResult r = eliminate_dead_assignments(g, opts);
+  // i feeds the condition and itself; s is observed: nothing dies.
+  EXPECT_TRUE(r.eliminated.empty());
+}
+
+TEST(Dce, LivenessExposed) {
+  Graph g = lang::compile_or_throw("x := 1; y := x; x := 2;");
+  BitVector observed(g.num_vars(), true);
+  ParallelLiveness live = compute_parallel_liveness(g, observed);
+  VarId x = *g.find_var("x");
+  NodeId first = find_nodes(g, [](const Graph& gr, NodeId n) {
+                   return gr.node(n).kind == NodeKind::kAssign;
+                 })[0];
+  EXPECT_TRUE(live.live_out[first.index()].test(x.index()));
+}
+
+class DceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DceProperty, PreservesObservableBehaviour) {
+  Rng rng(GetParam());
+  RandomProgramOptions opt;
+  opt.target_stmts = 10;
+  opt.max_par_depth = 2;
+  opt.num_vars = 3;
+  opt.while_permille = 30;
+  Graph g = random_program(rng, opt);
+  // Observe a subset so real eliminations happen.
+  DceOptions opts;
+  opts.observed = {"v0"};
+  DceResult r = eliminate_dead_assignments(g, opts);
+  validate_or_throw(r.graph);
+
+  EnumerationOptions eo;
+  eo.max_states = 1u << 19;
+  auto a = enumerate_executions(g, {"v0"}, eo);
+  auto b = enumerate_executions(r.graph, {"v0"}, eo);
+  if (!a.exhausted || !b.exhausted) GTEST_SKIP();
+  EXPECT_EQ(a.finals, b.finals) << "seed " << GetParam();
+}
+
+TEST_P(DceProperty, FullObservationStillSound) {
+  Rng rng(GetParam() + 777);
+  RandomProgramOptions opt;
+  opt.target_stmts = 10;
+  opt.max_par_depth = 2;
+  opt.num_vars = 3;
+  opt.while_permille = 30;
+  Graph g = random_program(rng, opt);
+  DceResult r = eliminate_dead_assignments(g);
+  validate_or_throw(r.graph);
+  auto v = check_sequential_consistency(g, r.graph);
+  if (!v.exhausted) GTEST_SKIP();
+  EXPECT_TRUE(v.sequentially_consistent) << GetParam();
+  EXPECT_TRUE(v.behaviours_preserved) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DceProperty,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace parcm

@@ -1,0 +1,155 @@
+#include "analyses/downsafety.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/transform_utils.hpp"
+#include "lang/lower.hpp"
+
+namespace parcm {
+namespace {
+
+struct Ctx {
+  Graph g;
+  TermTable terms;
+  LocalPredicates preds;
+  InterleavingInfo itlv;
+
+  explicit Ctx(const char* src)
+      : g(lang::compile_or_throw(src)), terms(g), preds(g, terms), itlv(g) {}
+
+  // Down-safety *at* a node = out value of the backward analysis.
+  bool dnsafe_at(SafetyVariant v, NodeId n, const std::string& term) {
+    PackedResult r = compute_downsafety(g, preds, v);
+    return r.out[n.index()].test(terms.find(g, term).index());
+  }
+
+  bool dnsafe_at(SafetyVariant v, const std::string& stmt,
+                 const std::string& term) {
+    return dnsafe_at(v, node_of_statement(g, stmt), term);
+  }
+};
+
+TEST(DownSafety, ComputationIsDownSafeAtItself) {
+  Ctx s("x := a + b;");
+  EXPECT_TRUE(s.dnsafe_at(SafetyVariant::kRefined, "x := a + b", "a + b"));
+}
+
+TEST(DownSafety, HoldsUpstreamUntilOperandWrite) {
+  Ctx s("a := 1; c := 2; x := a + b;");
+  // At c := 2 the computation is still ahead on every path.
+  EXPECT_TRUE(s.dnsafe_at(SafetyVariant::kRefined, "c := 2", "a + b"));
+  // At a := 1 the assignment modifies an operand first -> not down-safe.
+  EXPECT_FALSE(s.dnsafe_at(SafetyVariant::kRefined, "a := 1", "a + b"));
+  EXPECT_FALSE(
+      s.dnsafe_at(SafetyVariant::kRefined, s.g.start(), "a + b"));
+}
+
+TEST(DownSafety, BranchRequiresBothSides) {
+  Ctx s("c := 0; if (*) { x := a + b; } else { skip; } y := c - 1;");
+  EXPECT_FALSE(s.dnsafe_at(SafetyVariant::kRefined, "c := 0", "a + b"));
+}
+
+TEST(DownSafety, BranchWithBothSidesComputing) {
+  Ctx s("c := 0; if (*) { x := a + b; } else { u := a + b; }");
+  EXPECT_TRUE(s.dnsafe_at(SafetyVariant::kRefined, "c := 0", "a + b"));
+}
+
+TEST(DownSafety, LoopExitBlocksHeaderDownSafety) {
+  // The loop may exit immediately; a + b is not computed on that path.
+  Ctx s("c := 0; while (*) { x := a + b; } d := 1;");
+  EXPECT_FALSE(s.dnsafe_at(SafetyVariant::kRefined, "c := 0", "a + b"));
+}
+
+TEST(DownSafety, RefinedEntryRequiresAllComponents) {
+  // Fig. 9: all three components compute, nothing modifies -> entry of the
+  // parallel statement is down-safe_par.
+  Ctx all(R"(
+    c := 0;
+    par { x := a + b; } and { y := a + b; } and { z := a + b; }
+  )");
+  EXPECT_TRUE(all.dnsafe_at(SafetyVariant::kRefined, "c := 0", "a + b"));
+
+  // One component does not compute -> refused (Fig. 9 negative), although
+  // the naive/standard rule still claims down-safety.
+  Ctx one(R"(
+    c := 0;
+    par { x := a + b; } and { u := 4; }
+    w := a + b;
+  )");
+  EXPECT_FALSE(one.dnsafe_at(SafetyVariant::kRefined, "c := 0", "a + b"));
+  EXPECT_TRUE(one.dnsafe_at(SafetyVariant::kNaive, "c := 0", "a + b"));
+}
+
+TEST(DownSafety, RefinedEntryRejectsAnyModifier) {
+  Ctx s(R"(
+    c := 0;
+    par { x := a + b; } and { y := a + b; a := 2; }
+    w := a + b;
+  )");
+  EXPECT_FALSE(s.dnsafe_at(SafetyVariant::kRefined, "c := 0", "a + b"));
+}
+
+TEST(DownSafety, TransparentStatementPassesThrough) {
+  // No component touches e or f: the statement is transparent for e + f and
+  // down-safety of the use behind it flows through (Fig. 10's e+f).
+  Ctx s(R"(
+    c := 0;
+    par { x := a + b; } and { y := 2; }
+    w := e + f;
+  )");
+  EXPECT_TRUE(s.dnsafe_at(SafetyVariant::kRefined, "c := 0", "e + f"));
+  EXPECT_TRUE(s.dnsafe_at(SafetyVariant::kRefined,
+                          s.g.par_stmt(ParStmtId(0)).begin, "e + f"));
+}
+
+TEST(DownSafety, RecursiveInParallelGeneratesNothingRefined) {
+  // Under the implicit split, a recursive assignment inside a parallel
+  // statement is a pure destroyer for its own term.
+  Ctx s("c := 0; par { a := a + b; } and { u := 1; } ");
+  NodeId rec = node_of_statement(s.g, "a := a + b");
+  EXPECT_FALSE(s.dnsafe_at(SafetyVariant::kRefined, rec, "a + b"));
+  EXPECT_TRUE(s.dnsafe_at(SafetyVariant::kNaive, rec, "a + b"));
+  EXPECT_FALSE(s.dnsafe_at(SafetyVariant::kRefined, "c := 0", "a + b"));
+}
+
+TEST(DownSafety, RecursiveSequentialKeepsGenerating) {
+  // Outside parallel statements the atomic treatment stays: a recursive
+  // assignment is down-safe at itself.
+  Ctx s("a := a + b;");
+  EXPECT_TRUE(
+      s.dnsafe_at(SafetyVariant::kRefined, "a := a + b", "a + b"));
+}
+
+TEST(DownSafety, InterferenceByRecursiveSiblingRefinedOnly) {
+  // Fig. 3/4 mechanism: the recursive sibling destroys anticipability under
+  // the split view; the naive atomic view treats it as a generator.
+  Ctx s(R"(
+    c := 2; b := 3;
+    par { c := c + b; y := c + b; } and { c := c + b; z := c + b; }
+  )");
+  // At the ParBegin (the statement's entry; b := 3 itself modifies an
+  // operand and is never down-safe).
+  NodeId begin = s.g.par_stmt(ParStmtId(0)).begin;
+  EXPECT_TRUE(s.dnsafe_at(SafetyVariant::kNaive, begin, "c + b"));
+  EXPECT_FALSE(s.dnsafe_at(SafetyVariant::kRefined, begin, "c + b"));
+}
+
+TEST(DownSafety, NonDestDiagnosticExposed) {
+  Ctx s("par { x := a + b; } and { a := 1; }");
+  PackedResult r = compute_downsafety(s.g, s.preds,
+                                      SafetyVariant::kRefined);
+  NodeId x = node_of_statement(s.g, "x := a + b");
+  TermId ab = s.terms.find(s.g, "a + b");
+  EXPECT_FALSE(r.nondest[x.index()].test(ab.index()));
+}
+
+TEST(DownSafety, BoundaryAtEndIsFalse) {
+  Ctx s("x := a + b;");
+  PackedResult r = compute_downsafety(s.g, s.preds,
+                                      SafetyVariant::kRefined);
+  TermId ab = s.terms.find(s.g, "a + b");
+  EXPECT_FALSE(r.out[s.g.end().index()].test(ab.index()));
+}
+
+}  // namespace
+}  // namespace parcm

@@ -1,0 +1,85 @@
+#include "semantics/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lang/lower.hpp"
+
+namespace parcm {
+namespace {
+
+TEST(Equivalence, IdenticalProgramsAreConsistent) {
+  Graph g = lang::compile_or_throw("par { x := 1; } and { x := 2; }");
+  auto v = check_sequential_consistency(g, g);
+  EXPECT_TRUE(v.exhausted);
+  EXPECT_TRUE(v.sequentially_consistent);
+  EXPECT_TRUE(v.behaviours_preserved);
+  EXPECT_EQ(v.original_behaviours, v.transformed_behaviours);
+}
+
+TEST(Equivalence, RenamedTemporariesIgnored) {
+  Graph a = lang::compile_or_throw("x := a + b; y := x;");
+  Graph b = lang::compile_or_throw("h := a + b; x := h; y := x;");
+  // Observed variables default to a's variables; h is ignored.
+  auto v = check_sequential_consistency(a, b);
+  EXPECT_TRUE(v.sequentially_consistent);
+  EXPECT_TRUE(v.behaviours_preserved);
+}
+
+TEST(Equivalence, DetectsNewBehaviour) {
+  Graph a = lang::compile_or_throw("x := 1;");
+  Graph b = lang::compile_or_throw("if (*) { x := 1; } else { x := 2; }");
+  auto v = check_sequential_consistency(a, b);
+  EXPECT_FALSE(v.sequentially_consistent);
+  ASSERT_TRUE(v.violation_witness.has_value());
+  // The witness is the x = 2 final state.
+  EXPECT_EQ((*v.violation_witness)[0], 2);
+}
+
+TEST(Equivalence, DetectsLostBehaviourAsUnpreserved) {
+  Graph a = lang::compile_or_throw("if (*) { x := 1; } else { x := 2; }");
+  Graph b = lang::compile_or_throw("x := 1;");
+  auto v = check_sequential_consistency(a, b);
+  EXPECT_TRUE(v.sequentially_consistent);  // subset holds
+  EXPECT_FALSE(v.behaviours_preserved);
+}
+
+TEST(Equivalence, ExplicitObservedList) {
+  Graph a = lang::compile_or_throw("x := 1; y := 2;");
+  Graph b = lang::compile_or_throw("x := 1; y := 99;");
+  auto only_x = check_sequential_consistency(a, b, {"x"});
+  EXPECT_TRUE(only_x.sequentially_consistent);
+  auto both = check_sequential_consistency(a, b, {"x", "y"});
+  EXPECT_FALSE(both.sequentially_consistent);
+}
+
+TEST(Equivalence, SplitSemanticsOption) {
+  // The hoisted recursive pair is consistent under split semantics only.
+  Graph a = lang::compile_or_throw("par { x := x + 1; } and { x := x + 1; }");
+  Graph b = lang::compile_or_throw(
+      "h := x + 1; par { x := h; } and { x := x + 1; }");
+  auto atomic = check_sequential_consistency(a, b);
+  EXPECT_FALSE(atomic.sequentially_consistent);
+  EnumerationOptions split;
+  split.atomic_assignments = false;
+  auto relaxed = check_sequential_consistency(a, b, {}, split);
+  EXPECT_TRUE(relaxed.sequentially_consistent);
+}
+
+TEST(Equivalence, AllVarNamesOrder) {
+  Graph g = lang::compile_or_throw("b := 1; a := 2;");
+  auto names = all_var_names(g);
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "b");
+  EXPECT_EQ(names[1], "a");
+}
+
+TEST(Equivalence, ExhaustedFlagPropagates) {
+  Graph g = lang::compile_or_throw("while (*) { x := x + 1; }");
+  EnumerationOptions opts;
+  opts.max_states = 100;
+  auto v = check_sequential_consistency(g, g, {}, opts);
+  EXPECT_FALSE(v.exhausted);
+}
+
+}  // namespace
+}  // namespace parcm

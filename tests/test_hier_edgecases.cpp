@@ -1,0 +1,211 @@
+// Edge cases of the hierarchical solvers: deep nesting, multi-exit
+// components, parallel statements inside loops, summary inspection, and
+// boundary behaviour.
+#include <gtest/gtest.h>
+
+#include "analyses/downsafety.hpp"
+#include "analyses/upsafety.hpp"
+#include "dfa/hier_solver.hpp"
+#include "dfa/packed.hpp"
+#include "ir/transform_utils.hpp"
+#include "lang/lower.hpp"
+#include "semantics/product.hpp"
+
+namespace parcm {
+namespace {
+
+struct Ctx {
+  Graph g;
+  TermTable terms;
+  LocalPredicates preds;
+  InterleavingInfo itlv;
+
+  explicit Ctx(const char* src)
+      : g(lang::compile_or_throw(src)), terms(g), preds(g, terms), itlv(g) {}
+};
+
+TEST(HierEdge, TripleNestingSummaries) {
+  Ctx s(R"(
+    par {
+      par {
+        par { x := a + b; } and { c := 1; }
+      } and {
+        d := 2;
+      }
+    } and {
+      e := 3;
+    }
+    w := a + b;
+  )");
+  TermId ab = s.terms.find(s.g, "a + b");
+  PackedResult up = compute_upsafety(s.g, s.preds,
+                                     SafetyVariant::kRefined);
+  // Innermost to outermost, every summary is Const_tt: each level has an
+  // establishing component with clean siblings.
+  ASSERT_EQ(s.g.num_par_stmts(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(up.stmt_summary[i].at(ab.index()), BVFun::kConstTT) << i;
+  }
+  NodeId w = node_of_statement(s.g, "w := a + b");
+  EXPECT_TRUE(up.entry[w.index()].test(ab.index()));
+}
+
+TEST(HierEdge, MultiExitComponentSummaryMeets) {
+  // The component has two exits: one establishes a+b, one does not — the
+  // end effect is the meet (Id on the empty branch), so the summary cannot
+  // be Const_tt.
+  Ctx s(R"(
+    par {
+      if (*) { x := a + b; } else { skip; }
+    } and {
+      c := 1;
+    }
+    w := a + b;
+  )");
+  TermId ab = s.terms.find(s.g, "a + b");
+  PackedResult up = compute_upsafety(s.g, s.preds,
+                                     SafetyVariant::kRefined);
+  EXPECT_NE(up.stmt_summary[0].at(ab.index()), BVFun::kConstTT);
+  NodeId w = node_of_statement(s.g, "w := a + b");
+  EXPECT_FALSE(up.entry[w.index()].test(ab.index()));
+}
+
+TEST(HierEdge, ParInsideLoopReanalyzedConsistently) {
+  Ctx s(R"(
+    while (*) {
+      par { x := a + b; } and { y := a + b; }
+      a := a - 1;
+    }
+    w := a + b;
+  )");
+  TermId ab = s.terms.find(s.g, "a + b");
+  PackedResult down = compute_downsafety(s.g, s.preds,
+                                         SafetyVariant::kRefined);
+  // Around the loop, a := a - 1 kills anticipability before re-entry; the
+  // statement's entry is down-safe_par per iteration (both components
+  // compute, none modifies).
+  const ParStmt& stmt = s.g.par_stmt(ParStmtId(0));
+  EXPECT_TRUE(down.out[stmt.begin.index()].test(ab.index()));
+  NodeId kill = node_of_statement(s.g, "a := a - 1");
+  EXPECT_FALSE(down.out[kill.index()].test(ab.index()));
+}
+
+TEST(HierEdge, SummariesPerDirectionDiffer) {
+  // Forward (availability) vs backward (anticipability) summaries of the
+  // same statement: comp1 computes late, comp2 kills late.
+  Ctx s(R"(
+    x := a + b;
+    par { y := a + b; } and { a := 1; }
+    w := a + b;
+  )");
+  TermId ab = s.terms.find(s.g, "a + b");
+  PackedResult up = compute_upsafety(s.g, s.preds,
+                                     SafetyVariant::kNaive);
+  PackedResult down = compute_downsafety(s.g, s.preds,
+                                         SafetyVariant::kNaive);
+  // Forward: the killing component forces Const_ff.
+  EXPECT_EQ(up.stmt_summary[0].at(ab.index()), BVFun::kConstFF);
+  // Backward: one component computes (Const_tt end), the killer is
+  // Const_ff: standard rule -> Const_ff as well, but for different reasons;
+  // check entry values instead: w is not anticipated... w computes itself.
+  EXPECT_EQ(down.stmt_summary[0].at(ab.index()), BVFun::kConstFF);
+}
+
+TEST(HierEdge, TransparentStatementIdSummary) {
+  Ctx s(R"(
+    x := a + b;
+    par { c := 1; } and { d := 2; }
+    w := a + b;
+  )");
+  TermId ab = s.terms.find(s.g, "a + b");
+  for (SafetyVariant v : {SafetyVariant::kNaive, SafetyVariant::kRefined}) {
+    PackedResult up = compute_upsafety(s.g, s.preds, v);
+    EXPECT_EQ(up.stmt_summary[0].at(ab.index()), BVFun::kId);
+    PackedResult down = compute_downsafety(s.g, s.preds, v);
+    EXPECT_EQ(down.stmt_summary[0].at(ab.index()), BVFun::kId);
+  }
+}
+
+TEST(HierEdge, NonDestCoversAllEnclosingLevels) {
+  Ctx s(R"(
+    par {
+      par { x := a + b; y := a + b; } and { c := 1; }
+    } and {
+      b := 9;
+    }
+  )");
+  TermId ab = s.terms.find(s.g, "a + b");
+  PackedResult up = compute_upsafety(s.g, s.preds,
+                                     SafetyVariant::kRefined);
+  NodeId y = node_of_statement(s.g, "y := a + b");
+  // The destroyer sits two levels up (outer sibling), yet NonDest(y) fails.
+  EXPECT_FALSE(up.nondest[y.index()].test(ab.index()));
+  EXPECT_FALSE(up.entry[y.index()].test(ab.index()));
+}
+
+TEST(HierEdge, LoopingComponent) {
+  Ctx s(R"(
+    par {
+      x := a + b;
+      while (*) { d := d + 1; }
+      y := a + b;
+    } and {
+      c := 1;
+    }
+  )");
+  TermId ab = s.terms.find(s.g, "a + b");
+  PackedResult up = compute_upsafety(s.g, s.preds,
+                                     SafetyVariant::kRefined);
+  NodeId y = node_of_statement(s.g, "y := a + b");
+  EXPECT_TRUE(up.entry[y.index()].test(ab.index()));
+  EXPECT_EQ(up.stmt_summary[0].at(ab.index()), BVFun::kConstTT);
+}
+
+TEST(HierEdge, ScalarSolverRelaxationsBounded) {
+  // The scalar solver must converge in a small number of relaxations per
+  // node (finite chain height).
+  Ctx s(R"(
+    while (*) { par { x := a + b; } and { while (*) { c := c + 1; } } }
+  )");
+  PackedProblem pp =
+      make_upsafety_problem(s.g, s.preds, SafetyVariant::kRefined);
+  BitProblem bp = extract_term_problem(pp, 0);
+  BitResult r = solve_bit(s.g, bp);
+  EXPECT_LT(r.relaxations, s.g.num_nodes() * 10);
+}
+
+TEST(HierEdge, CoincidenceWithNestedStatements) {
+  Ctx s(R"(
+    a := 1; b := 2;
+    par {
+      par { x := a + b; } and { y := a + b; }
+      z := a + b;
+    } and {
+      b := 3;
+    }
+    w := a + b;
+  )");
+  ProductProgram prod = build_product(s.g);
+  ASSERT_TRUE(prod.exhausted);
+  PackedProblem up = make_upsafety_problem(s.g, s.preds, SafetyVariant::kNaive);
+  PackedResult pmfp = solve_packed(s.g, up);
+  PmopResult pmop = solve_pmop_via_product(s.g, prod, up);
+  for (NodeId n : s.g.all_nodes()) {
+    EXPECT_EQ(pmfp.entry[n.index()], pmop.entry[n.index()])
+        << "node " << n.value();
+  }
+}
+
+TEST(HierEdge, BoundaryValueRespected) {
+  // A boundary of all-true would make everything available at s*; the
+  // analyses must start from ff.
+  Ctx s("x := a + b;");
+  PackedResult up = compute_upsafety(s.g, s.preds,
+                                     SafetyVariant::kRefined);
+  TermId ab = s.terms.find(s.g, "a + b");
+  NodeId x = node_of_statement(s.g, "x := a + b");
+  EXPECT_FALSE(up.entry[x.index()].test(ab.index()));
+}
+
+}  // namespace
+}  // namespace parcm

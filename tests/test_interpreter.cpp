@@ -1,0 +1,244 @@
+#include "semantics/interpreter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "lang/lower.hpp"
+#include "support/diagnostics.hpp"
+
+namespace parcm {
+namespace {
+
+TEST(State, EvalOperandsAndRhs) {
+  Graph g;
+  VarId a = g.intern_var("a");
+  VarState s(g.num_vars());
+  s.set(a, 7);
+  EXPECT_EQ(eval_operand(s, Operand::var(a)), 7);
+  EXPECT_EQ(eval_operand(s, Operand::constant(-2)), -2);
+  EXPECT_EQ(eval_rhs(s, Rhs(Term{BinOp::kAdd, Operand::var(a),
+                                 Operand::constant(3)})),
+            10);
+  EXPECT_EQ(eval_rhs(s, Rhs(Term{BinOp::kMul, Operand::var(a),
+                                 Operand::var(a)})),
+            49);
+  EXPECT_EQ(eval_rhs(s, Rhs(Term{BinOp::kDiv, Operand::var(a),
+                                 Operand::constant(0)})),
+            0);
+  EXPECT_EQ(eval_rhs(s, Rhs(Term{BinOp::kLt, Operand::var(a),
+                                 Operand::constant(9)})),
+            1);
+  EXPECT_EQ(eval_rhs(s, Rhs(Operand::var(a))), 7);
+}
+
+TEST(State, ComparisonOperators) {
+  VarState s(0);
+  auto ev = [&](BinOp op, std::int64_t a, std::int64_t b) {
+    return eval_rhs(s, Rhs(Term{op, Operand::constant(a),
+                                Operand::constant(b)}));
+  };
+  EXPECT_EQ(ev(BinOp::kLe, 2, 2), 1);
+  EXPECT_EQ(ev(BinOp::kGt, 2, 2), 0);
+  EXPECT_EQ(ev(BinOp::kGe, 3, 2), 1);
+  EXPECT_EQ(ev(BinOp::kEq, 3, 3), 1);
+  EXPECT_EQ(ev(BinOp::kNe, 3, 3), 0);
+  EXPECT_EQ(ev(BinOp::kSub, 2, 5), -3);
+}
+
+TEST(Config, InitialAndTerminal) {
+  Graph g = lang::compile_or_throw("x := 1;");
+  Config c = Config::initial(g);
+  EXPECT_TRUE(c.active(g.root_region()));
+  EXPECT_EQ(c.pc(g.root_region()), g.start());
+  EXPECT_FALSE(c.terminal());
+  c.clear_pc(g.root_region());
+  EXPECT_TRUE(c.terminal());
+}
+
+TEST(Interpreter, SequentialRun) {
+  Graph g = lang::compile_or_throw("x := 2; y := x + 3; z := y * y;");
+  Rng rng(1);
+  auto final = run_random_schedule(g, rng);
+  ASSERT_TRUE(final.has_value());
+  EXPECT_EQ(final->get(*g.find_var("x")), 2);
+  EXPECT_EQ(final->get(*g.find_var("y")), 5);
+  EXPECT_EQ(final->get(*g.find_var("z")), 25);
+}
+
+TEST(Interpreter, DeterministicConditionals) {
+  Graph g = lang::compile_or_throw(R"(
+    x := 5;
+    if (x < 10) { y := 1; } else { y := 2; }
+    if (x < 2) { z := 1; } else { z := 2; }
+  )");
+  Rng rng(1);
+  auto final = run_random_schedule(g, rng);
+  ASSERT_TRUE(final.has_value());
+  EXPECT_EQ(final->get(*g.find_var("y")), 1);
+  EXPECT_EQ(final->get(*g.find_var("z")), 2);
+}
+
+TEST(Interpreter, WhileCondTerminates) {
+  Graph g = lang::compile_or_throw(R"(
+    i := 0; s := 0;
+    while (i < 5) { s := s + i; i := i + 1; }
+  )");
+  Rng rng(3);
+  auto final = run_random_schedule(g, rng);
+  ASSERT_TRUE(final.has_value());
+  EXPECT_EQ(final->get(*g.find_var("i")), 5);
+  EXPECT_EQ(final->get(*g.find_var("s")), 10);
+}
+
+TEST(Interpreter, ParallelJoinWaitsForAllComponents) {
+  Graph g = lang::compile_or_throw(R"(
+    par { x := 1; } and { y := 2; } and { z := 3; }
+    w := 9;
+  )");
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    auto final = run_random_schedule(g, rng);
+    ASSERT_TRUE(final.has_value());
+    EXPECT_EQ(final->get(*g.find_var("x")), 1);
+    EXPECT_EQ(final->get(*g.find_var("y")), 2);
+    EXPECT_EQ(final->get(*g.find_var("z")), 3);
+    EXPECT_EQ(final->get(*g.find_var("w")), 9);
+  }
+}
+
+TEST(Interpreter, NestedParallel) {
+  Graph g = lang::compile_or_throw(R"(
+    par {
+      par { a := 1; } and { b := 2; }
+      c := a + b;
+    } and {
+      d := 4;
+    }
+  )");
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    auto final = run_random_schedule(g, rng);
+    ASSERT_TRUE(final.has_value());
+    EXPECT_EQ(final->get(*g.find_var("c")), 3);
+    EXPECT_EQ(final->get(*g.find_var("d")), 4);
+  }
+}
+
+TEST(Interpreter, RaceProducesDifferentOutcomes) {
+  Graph g = lang::compile_or_throw("par { x := 1; } and { x := 2; }");
+  std::set<std::int64_t> outcomes;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    Rng rng(seed);
+    auto final = run_random_schedule(g, rng);
+    ASSERT_TRUE(final.has_value());
+    outcomes.insert(final->get(*g.find_var("x")));
+  }
+  EXPECT_EQ(outcomes, (std::set<std::int64_t>{1, 2}));
+}
+
+TEST(Interpreter, StepBoundOnDivergentLoop) {
+  Graph g = lang::compile_or_throw("while (1 < 2) { x := x + 1; }");
+  Rng rng(1);
+  EXPECT_FALSE(run_random_schedule(g, rng, 1000).has_value());
+}
+
+TEST(Transitions, ParkedParentNotRunnableUntilChildrenDone) {
+  Graph g = lang::compile_or_throw("par { x := 1; } and { y := 2; }");
+  Config c = Config::initial(g);
+  // start -> parbegin -> spawn.
+  auto step = [&](Config cur) {
+    auto ts = enabled_transitions(g, cur);
+    EXPECT_FALSE(ts.empty());
+    return apply_transition(g, cur, ts[0]);
+  };
+  c = step(c);  // execute start
+  ASSERT_EQ(g.node(c.pc(g.root_region())).kind, NodeKind::kParBegin);
+  c = step(c);  // spawn
+  const ParStmt& s = g.par_stmt(ParStmtId(0));
+  EXPECT_EQ(c.pc(g.root_region()), s.end);
+  EXPECT_TRUE(c.active(s.components[0]));
+  EXPECT_TRUE(c.active(s.components[1]));
+  EXPECT_FALSE(thread_runnable(g, c, g.root_region()));
+  // Transitions only from the two components.
+  for (const Transition& t : enabled_transitions(g, c)) {
+    EXPECT_NE(t.region, g.root_region());
+  }
+}
+
+TEST(Transitions, InterleavingCountForTwoIndependentWrites) {
+  Graph g = lang::compile_or_throw("par { x := 1; x := 2; } and { x := 3; }");
+  // Reachable schedules of {A1 A2} || {B}: B before A1, between, after.
+  std::set<std::int64_t> outcomes;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(seed);
+    auto final = run_random_schedule(g, rng);
+    ASSERT_TRUE(final.has_value());
+    outcomes.insert(final->get(*g.find_var("x")));
+  }
+  EXPECT_EQ(outcomes, (std::set<std::int64_t>{2, 3}));
+}
+
+TEST(ConfigHash, DistinctConfigsHashDifferently) {
+  std::vector<std::uint32_t> a = {1, 2, 3};
+  std::vector<std::uint32_t> b = {1, 2, 4};
+  EXPECT_NE(ConfigHash{}(a), ConfigHash{}(b));
+}
+
+
+TEST(Schedule, RecordAndReplayReproducesFinalState) {
+  Graph g = lang::compile_or_throw(R"(
+    a := 2; b := 3;
+    par { a := a + b; x := a * 2; } and { y := a + b; }
+    w := x + y;
+  )");
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    Rng rng(seed);
+    Schedule sched;
+    auto final = run_random_schedule(g, rng, 100000, &sched);
+    ASSERT_TRUE(final.has_value());
+    auto replayed = replay_schedule(g, sched);
+    ASSERT_TRUE(replayed.has_value()) << seed;
+    EXPECT_EQ(*replayed, *final) << seed;
+  }
+}
+
+TEST(Schedule, ReplayOnWrongGraphThrows) {
+  Graph g = lang::compile_or_throw("par { x := 1; } and { y := 2; }");
+  Rng rng(3);
+  Schedule sched;
+  ASSERT_TRUE(run_random_schedule(g, rng, 100000, &sched).has_value());
+  Graph other = lang::compile_or_throw("x := 1; y := 2;");
+  EXPECT_THROW(replay_schedule(other, sched), InternalError);
+}
+
+TEST(Schedule, PartialScheduleReturnsNullopt) {
+  Graph g = lang::compile_or_throw("x := 1; y := 2;");
+  Rng rng(1);
+  Schedule sched;
+  ASSERT_TRUE(run_random_schedule(g, rng, 100000, &sched).has_value());
+  sched.pop_back();
+  EXPECT_FALSE(replay_schedule(g, sched).has_value());
+}
+
+TEST(Schedule, DistinctSchedulesDistinguishRaceOutcomes) {
+  Graph g = lang::compile_or_throw("par { x := 1; } and { x := 2; }");
+  std::map<std::int64_t, Schedule> witness;
+  for (std::uint64_t seed = 0; seed < 64 && witness.size() < 2; ++seed) {
+    Rng rng(seed);
+    Schedule sched;
+    auto final = run_random_schedule(g, rng, 100000, &sched);
+    ASSERT_TRUE(final.has_value());
+    witness.emplace(final->get(*g.find_var("x")), sched);
+  }
+  ASSERT_EQ(witness.size(), 2u);
+  for (auto& [value, sched] : witness) {
+    auto replayed = replay_schedule(g, sched);
+    ASSERT_TRUE(replayed.has_value());
+    EXPECT_EQ(replayed->get(*g.find_var("x")), value);
+  }
+}
+
+}  // namespace
+}  // namespace parcm

@@ -1,0 +1,234 @@
+#include "ir/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/diagnostics.hpp"
+
+namespace parcm {
+namespace {
+
+TEST(Graph, FreshGraphHasStartAndEnd) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.node(g.start()).kind, NodeKind::kStart);
+  EXPECT_EQ(g.node(g.end()).kind, NodeKind::kEnd);
+  EXPECT_EQ(g.num_regions(), 1u);
+  EXPECT_EQ(g.node(g.start()).region, g.root_region());
+}
+
+TEST(Graph, VarInterning) {
+  Graph g;
+  VarId a = g.intern_var("a");
+  VarId b = g.intern_var("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(g.intern_var("a"), a);
+  EXPECT_EQ(g.var_name(a), "a");
+  EXPECT_EQ(g.num_vars(), 2u);
+  EXPECT_EQ(g.find_var("a"), a);
+  EXPECT_FALSE(g.find_var("zz").has_value());
+}
+
+TEST(Graph, EdgesAndDegrees) {
+  Graph g;
+  NodeId n = g.new_node(NodeKind::kSkip, g.root_region());
+  g.add_edge(g.start(), n);
+  g.add_edge(n, g.end());
+  EXPECT_EQ(g.out_degree(g.start()), 1u);
+  EXPECT_EQ(g.in_degree(n), 1u);
+  EXPECT_EQ(g.succs(g.start()), std::vector<NodeId>{n});
+  EXPECT_EQ(g.preds(g.end()), std::vector<NodeId>{n});
+}
+
+TEST(Graph, RemoveEdge) {
+  Graph g;
+  NodeId n = g.new_node(NodeKind::kSkip, g.root_region());
+  EdgeId e = g.add_edge(g.start(), n);
+  g.add_edge(n, g.end());
+  g.remove_edge(e);
+  EXPECT_EQ(g.out_degree(g.start()), 0u);
+  EXPECT_EQ(g.in_degree(n), 0u);
+  EXPECT_FALSE(g.edge(e).valid);
+}
+
+TEST(Graph, AssignNode) {
+  Graph g;
+  VarId x = g.intern_var("x");
+  VarId a = g.intern_var("a");
+  NodeId n = g.new_assign(g.root_region(),
+                          x, Rhs(Term{BinOp::kAdd, Operand::var(a),
+                                      Operand::constant(1)}));
+  EXPECT_EQ(g.node(n).kind, NodeKind::kAssign);
+  EXPECT_EQ(g.node(n).lhs, x);
+  ASSERT_TRUE(g.node(n).rhs.is_term());
+  EXPECT_EQ(g.node(n).rhs.term().op, BinOp::kAdd);
+}
+
+TEST(Graph, ParStmtStructure) {
+  Graph g;
+  ParStmtId s = g.add_par_stmt(g.root_region());
+  RegionId c1 = g.add_component(s);
+  RegionId c2 = g.add_component(s);
+  const ParStmt& stmt = g.par_stmt(s);
+  EXPECT_EQ(stmt.components.size(), 2u);
+  EXPECT_EQ(g.node(stmt.begin).kind, NodeKind::kParBegin);
+  EXPECT_EQ(g.node(stmt.end).kind, NodeKind::kParEnd);
+  EXPECT_EQ(g.node(stmt.begin).par_stmt, s);
+  EXPECT_EQ(g.region(c1).owner, s);
+  EXPECT_EQ(g.region(c2).owner, s);
+  EXPECT_EQ(g.region_depth(c1), 1);
+  EXPECT_EQ(g.region_depth(g.root_region()), 0);
+}
+
+TEST(Graph, ComponentEntryAndExits) {
+  Graph g;
+  ParStmtId s = g.add_par_stmt(g.root_region());
+  RegionId c1 = g.add_component(s);
+  NodeId a = g.new_node(NodeKind::kSkip, c1);
+  NodeId b = g.new_node(NodeKind::kSkip, c1);
+  g.add_edge(g.par_stmt(s).begin, a);
+  g.add_edge(a, b);
+  g.add_edge(b, g.par_stmt(s).end);
+  EXPECT_EQ(g.component_entry(c1), a);
+  EXPECT_EQ(g.component_exits(c1), std::vector<NodeId>{b});
+}
+
+TEST(Graph, PfgAndEnclosingStmts) {
+  Graph g;
+  ParStmtId outer = g.add_par_stmt(g.root_region());
+  RegionId oc = g.add_component(outer);
+  ParStmtId inner = g.add_par_stmt(oc);
+  RegionId ic = g.add_component(inner);
+  NodeId deep = g.new_node(NodeKind::kSkip, ic);
+
+  EXPECT_FALSE(g.pfg(g.start()).valid());
+  EXPECT_EQ(g.pfg(deep), inner);
+  // ParBegin of inner lives in outer's component, so its pfg is outer.
+  EXPECT_EQ(g.pfg(g.par_stmt(inner).begin), outer);
+
+  auto chain = g.enclosing_stmts(deep);
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0].stmt, inner);
+  EXPECT_EQ(chain[0].component, ic);
+  EXPECT_EQ(chain[1].stmt, outer);
+  EXPECT_EQ(chain[1].component, oc);
+}
+
+TEST(Graph, NodesInRegionRecursive) {
+  Graph g;
+  ParStmtId outer = g.add_par_stmt(g.root_region());
+  RegionId oc = g.add_component(outer);
+  NodeId x = g.new_node(NodeKind::kSkip, oc);
+  ParStmtId inner = g.add_par_stmt(oc);
+  RegionId ic = g.add_component(inner);
+  NodeId deep = g.new_node(NodeKind::kSkip, ic);
+
+  auto nodes = g.nodes_in_region_recursive(oc);
+  EXPECT_NE(std::find(nodes.begin(), nodes.end(), x), nodes.end());
+  EXPECT_NE(std::find(nodes.begin(), nodes.end(), deep), nodes.end());
+  EXPECT_NE(std::find(nodes.begin(), nodes.end(), g.par_stmt(inner).begin),
+            nodes.end());
+  // Outer's own begin/end are in the root region, not in oc.
+  EXPECT_EQ(std::find(nodes.begin(), nodes.end(), g.par_stmt(outer).begin),
+            nodes.end());
+}
+
+TEST(Graph, SpliceBefore) {
+  Graph g;
+  NodeId a = g.new_node(NodeKind::kSkip, g.root_region());
+  NodeId b = g.new_node(NodeKind::kSkip, g.root_region());
+  g.add_edge(g.start(), a);
+  g.add_edge(a, b);
+  g.add_edge(b, g.end());
+  NodeId mid = g.new_node(NodeKind::kSynthetic, g.root_region());
+  g.splice_before(mid, b);
+  EXPECT_EQ(g.succs(a), std::vector<NodeId>{mid});
+  EXPECT_EQ(g.succs(mid), std::vector<NodeId>{b});
+  EXPECT_EQ(g.in_degree(b), 1u);
+}
+
+TEST(Graph, SpliceAfter) {
+  Graph g;
+  NodeId a = g.new_node(NodeKind::kSkip, g.root_region());
+  g.add_edge(g.start(), a);
+  g.add_edge(a, g.end());
+  NodeId mid = g.new_node(NodeKind::kSynthetic, g.root_region());
+  g.splice_after(mid, a);
+  EXPECT_EQ(g.succs(a), std::vector<NodeId>{mid});
+  EXPECT_EQ(g.succs(mid), std::vector<NodeId>{g.end()});
+}
+
+TEST(Graph, SpliceBeforePreservesEdgeSlots) {
+  Graph g;
+  VarId x = g.intern_var("x");
+  NodeId t = g.new_test(g.root_region(), Rhs(Operand::var(x)));
+  NodeId then_n = g.new_node(NodeKind::kSkip, g.root_region());
+  NodeId else_n = g.new_node(NodeKind::kSkip, g.root_region());
+  g.add_edge(g.start(), t);
+  EdgeId te = g.add_edge(t, then_n);
+  g.add_edge(t, else_n);
+  g.add_edge(then_n, g.end());
+  g.add_edge(else_n, g.end());
+
+  NodeId mid = g.new_node(NodeKind::kSynthetic, g.root_region());
+  g.splice_before(mid, then_n);
+  // The true branch is still out_edges[0] and still reaches then_n via mid.
+  EXPECT_EQ(g.node(t).out_edges[0], te);
+  EXPECT_EQ(g.edge(te).to, mid);
+  EXPECT_EQ(g.succs(mid), std::vector<NodeId>{then_n});
+}
+
+TEST(Graph, CopyIsDeep) {
+  Graph g;
+  VarId x = g.intern_var("x");
+  NodeId n = g.new_assign(g.root_region(), x, Rhs(Operand::constant(1)));
+  g.add_edge(g.start(), n);
+  g.add_edge(n, g.end());
+
+  Graph copy = g;
+  copy.node(n).rhs = Rhs(Operand::constant(2));
+  copy.intern_var("y");
+  EXPECT_EQ(g.node(n).rhs.trivial().const_value(), 1);
+  EXPECT_EQ(g.num_vars(), 1u);
+  EXPECT_EQ(copy.num_vars(), 2u);
+}
+
+TEST(Graph, InvalidRegionChecks) {
+  Graph g;
+  EXPECT_THROW(g.new_node(NodeKind::kSkip, RegionId(99)), InternalError);
+}
+
+TEST(Expr, OperandBasics) {
+  Operand c = Operand::constant(-5);
+  EXPECT_TRUE(c.is_const());
+  EXPECT_EQ(c.const_value(), -5);
+  Operand v = Operand::var(VarId(3));
+  EXPECT_TRUE(v.is_var());
+  EXPECT_EQ(v.var_id(), VarId(3));
+  EXPECT_EQ(Operand(), Operand::constant(0));
+}
+
+TEST(Expr, TermHasOperand) {
+  Term t{BinOp::kAdd, Operand::var(VarId(1)), Operand::constant(2)};
+  EXPECT_TRUE(t.has_operand(VarId(1)));
+  EXPECT_FALSE(t.has_operand(VarId(2)));
+}
+
+TEST(Expr, RhsUsesVar) {
+  Rhs trivial(Operand::var(VarId(4)));
+  EXPECT_TRUE(trivial.uses_var(VarId(4)));
+  EXPECT_FALSE(trivial.uses_var(VarId(5)));
+  Rhs term(Term{BinOp::kMul, Operand::var(VarId(1)), Operand::var(VarId(2))});
+  EXPECT_TRUE(term.uses_var(VarId(2)));
+  EXPECT_FALSE(term.uses_var(VarId(3)));
+}
+
+TEST(Expr, BinOpSymbols) {
+  EXPECT_STREQ(bin_op_symbol(BinOp::kAdd), "+");
+  EXPECT_STREQ(bin_op_symbol(BinOp::kLe), "<=");
+  EXPECT_STREQ(bin_op_symbol(BinOp::kNe), "!=");
+}
+
+}  // namespace
+}  // namespace parcm

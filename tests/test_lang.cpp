@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "ir/printer.hpp"
+#include "ir/validate.hpp"
+#include "support/diagnostics.hpp"
+#include "lang/lexer.hpp"
+#include "lang/lower.hpp"
+#include "lang/parser.hpp"
+
+namespace parcm {
+namespace {
+
+using lang::lex;
+using lang::parse;
+using lang::TokKind;
+
+TEST(Lexer, BasicTokens) {
+  DiagnosticSink sink;
+  auto toks = lex("x := a + b;", sink);
+  ASSERT_TRUE(sink.ok());
+  ASSERT_EQ(toks.size(), 7u);  // x := a + b ; EOF
+  EXPECT_EQ(toks[0].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[1].kind, TokKind::kAssignOp);
+  EXPECT_EQ(toks[3].kind, TokKind::kPlus);
+  EXPECT_EQ(toks[5].kind, TokKind::kSemi);
+  EXPECT_EQ(toks[6].kind, TokKind::kEof);
+}
+
+TEST(Lexer, KeywordsVsIdents) {
+  DiagnosticSink sink;
+  auto toks = lex("par and skip if else while choose or pars", sink);
+  ASSERT_TRUE(sink.ok());
+  EXPECT_EQ(toks[0].kind, TokKind::kKwPar);
+  EXPECT_EQ(toks[1].kind, TokKind::kKwAnd);
+  EXPECT_EQ(toks[2].kind, TokKind::kKwSkip);
+  EXPECT_EQ(toks[3].kind, TokKind::kKwIf);
+  EXPECT_EQ(toks[4].kind, TokKind::kKwElse);
+  EXPECT_EQ(toks[5].kind, TokKind::kKwWhile);
+  EXPECT_EQ(toks[6].kind, TokKind::kKwChoose);
+  EXPECT_EQ(toks[7].kind, TokKind::kKwOr);
+  EXPECT_EQ(toks[8].kind, TokKind::kIdent);  // "pars" is not a keyword
+}
+
+TEST(Lexer, NumbersAndComparisons) {
+  DiagnosticSink sink;
+  auto toks = lex("123 <= >= == != < >", sink);
+  ASSERT_TRUE(sink.ok());
+  EXPECT_EQ(toks[0].kind, TokKind::kNumber);
+  EXPECT_EQ(toks[0].number, 123);
+  EXPECT_EQ(toks[1].kind, TokKind::kLe);
+  EXPECT_EQ(toks[2].kind, TokKind::kGe);
+  EXPECT_EQ(toks[3].kind, TokKind::kEqEq);
+  EXPECT_EQ(toks[4].kind, TokKind::kNe);
+  EXPECT_EQ(toks[5].kind, TokKind::kLt);
+  EXPECT_EQ(toks[6].kind, TokKind::kGt);
+}
+
+TEST(Lexer, CommentsAndLocations) {
+  DiagnosticSink sink;
+  auto toks = lex("// comment\nx := 1;", sink);
+  ASSERT_TRUE(sink.ok());
+  EXPECT_EQ(toks[0].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[0].loc.line, 2);
+  EXPECT_EQ(toks[0].loc.column, 1);
+}
+
+TEST(Lexer, BadCharacterReported) {
+  DiagnosticSink sink;
+  lex("x $ y", sink);
+  EXPECT_FALSE(sink.ok());
+}
+
+TEST(Lexer, SingleEqualsReported) {
+  DiagnosticSink sink;
+  lex("x = 1;", sink);
+  EXPECT_FALSE(sink.ok());
+}
+
+TEST(Parser, SimpleProgram) {
+  DiagnosticSink sink;
+  auto p = parse("x := a + b; skip;", sink);
+  ASSERT_TRUE(p.has_value()) << sink.to_string();
+  ASSERT_EQ(p->body.size(), 2u);
+  EXPECT_EQ(p->body[0].kind, lang::StmtKind::kAssign);
+  EXPECT_EQ(p->body[0].lhs, "x");
+  ASSERT_TRUE(p->body[0].rhs.is_binary());
+  EXPECT_EQ(*p->body[0].rhs.op, BinOp::kAdd);
+  EXPECT_EQ(p->body[1].kind, lang::StmtKind::kSkip);
+}
+
+TEST(Parser, Labels) {
+  DiagnosticSink sink;
+  auto p = parse("x := 1 @n3; skip @n4;", sink);
+  ASSERT_TRUE(p.has_value()) << sink.to_string();
+  EXPECT_EQ(p->body[0].label, "n3");
+  EXPECT_EQ(p->body[1].label, "n4");
+}
+
+TEST(Parser, NegativeConstants) {
+  DiagnosticSink sink;
+  auto p = parse("x := -5;", sink);
+  ASSERT_TRUE(p.has_value()) << sink.to_string();
+  EXPECT_EQ(p->body[0].rhs.a.value, -5);
+}
+
+TEST(Parser, IfElseAndNondet) {
+  DiagnosticSink sink;
+  auto p = parse("if (*) { x := 1; } else { y := 2; } if (a < b) { skip; }",
+                 sink);
+  ASSERT_TRUE(p.has_value()) << sink.to_string();
+  ASSERT_EQ(p->body.size(), 2u);
+  EXPECT_TRUE(p->body[0].cond.nondet);
+  ASSERT_EQ(p->body[0].blocks.size(), 2u);
+  EXPECT_FALSE(p->body[1].cond.nondet);
+  EXPECT_EQ(*p->body[1].cond.expr.op, BinOp::kLt);
+  EXPECT_TRUE(p->body[1].blocks[1].empty());  // implicit empty else
+}
+
+TEST(Parser, ParAndChoose) {
+  DiagnosticSink sink;
+  auto p = parse("par { x := 1; } and { y := 2; } and { z := 3; }"
+                 "choose { a := 1; } or { b := 2; }",
+                 sink);
+  ASSERT_TRUE(p.has_value()) << sink.to_string();
+  EXPECT_EQ(p->body[0].kind, lang::StmtKind::kPar);
+  EXPECT_EQ(p->body[0].blocks.size(), 3u);
+  EXPECT_EQ(p->body[1].kind, lang::StmtKind::kChoose);
+  EXPECT_EQ(p->body[1].blocks.size(), 2u);
+}
+
+TEST(Parser, StarIsMulInExpressions) {
+  DiagnosticSink sink;
+  auto p = parse("x := a * b; while (*) { skip; }", sink);
+  ASSERT_TRUE(p.has_value()) << sink.to_string();
+  EXPECT_EQ(*p->body[0].rhs.op, BinOp::kMul);
+  EXPECT_TRUE(p->body[1].cond.nondet);
+}
+
+TEST(Parser, ErrorsReported) {
+  for (const char* bad : {
+           "x := ;",                 // missing operand
+           "par { x := 1; }",        // single component
+           "if (*) x := 1;",         // missing block
+           "x := a + b + c;",        // not 3-address
+           "while { skip; }",        // missing condition
+           "choose { skip; }",       // single alternative
+       }) {
+    DiagnosticSink sink;
+    auto p = parse(bad, sink);
+    EXPECT_FALSE(p.has_value() && sink.ok()) << "accepted: " << bad;
+  }
+}
+
+TEST(Lower, SimpleProgramShape) {
+  Graph g = lang::compile_or_throw("x := a + b; y := x;");
+  validate_or_throw(g);
+  NodeId first = g.succs(g.start())[0];
+  EXPECT_EQ(statement_to_string(g, first), "x := a + b");
+}
+
+TEST(Lower, FigStyleParallelProgram) {
+  Graph g = lang::compile_or_throw(R"(
+    b := 1; c := 2;
+    par { x := c + b; } and { u := e + f; }
+    d := c + b;
+  )");
+  validate_or_throw(g);
+  EXPECT_EQ(g.num_par_stmts(), 1u);
+}
+
+TEST(Lower, WhileCondLowersToTest) {
+  Graph g = lang::compile_or_throw("while (i < 3) { i := i + 1; }");
+  validate_or_throw(g);
+  bool found_test = false;
+  for (NodeId n : g.all_nodes()) {
+    if (g.node(n).kind == NodeKind::kTest) found_test = true;
+  }
+  EXPECT_TRUE(found_test);
+}
+
+TEST(Lower, LabelsSurviveLowering) {
+  Graph g = lang::compile_or_throw("x := a + b @n3;");
+  bool found = false;
+  for (NodeId n : g.all_nodes()) found = found || g.node(n).label == "n3";
+  EXPECT_TRUE(found);
+}
+
+TEST(Lower, CompileReportsErrorsWithoutThrow) {
+  DiagnosticSink sink;
+  lang::compile("x := ;", sink);
+  EXPECT_FALSE(sink.ok());
+}
+
+TEST(Lower, CompileOrThrowThrowsOnError) {
+  EXPECT_THROW(lang::compile_or_throw("x := ;"), InternalError);
+}
+
+TEST(Lower, NestedEverything) {
+  Graph g = lang::compile_or_throw(R"(
+    i := 0;
+    while (*) {
+      par {
+        if (*) { x := a + b; } else { x := a - b; }
+      } and {
+        choose { y := 1; } or { y := 2; }
+      }
+    }
+  )");
+  validate_or_throw(g);
+  EXPECT_EQ(g.num_par_stmts(), 1u);
+  EXPECT_EQ(g.num_regions(), 3u);
+}
+
+
+TEST(Parser, BarrierStatement) {
+  DiagnosticSink sink;
+  auto p = parse("par { barrier @b; } and { barrier; }", sink);
+  ASSERT_TRUE(p.has_value()) << sink.to_string();
+  ASSERT_EQ(p->body[0].blocks.size(), 2u);
+  EXPECT_EQ(p->body[0].blocks[0][0].kind, lang::StmtKind::kBarrier);
+  EXPECT_EQ(p->body[0].blocks[0][0].label, "b");
+}
+
+TEST(Lower, BarrierOutsideComponentRejected) {
+  EXPECT_THROW(lang::compile_or_throw("barrier;"), InternalError);
+  // Inside an if inside a component is fine (same region).
+  Graph g = lang::compile_or_throw(
+      "par { if (*) { barrier; } else { barrier; } } and { skip; }");
+  validate_or_throw(g);
+}
+
+}  // namespace
+}  // namespace parcm

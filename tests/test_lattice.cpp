@@ -1,0 +1,155 @@
+#include "dfa/lattice.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace parcm {
+namespace {
+
+const BVFun kAll[] = {BVFun::kConstFF, BVFun::kId, BVFun::kConstTT};
+
+TEST(BVFun, Apply) {
+  EXPECT_FALSE(apply_fun(BVFun::kConstFF, true));
+  EXPECT_FALSE(apply_fun(BVFun::kConstFF, false));
+  EXPECT_TRUE(apply_fun(BVFun::kConstTT, false));
+  EXPECT_TRUE(apply_fun(BVFun::kId, true));
+  EXPECT_FALSE(apply_fun(BVFun::kId, false));
+}
+
+TEST(BVFun, ComposeMatchesFunctionComposition) {
+  for (BVFun g : kAll) {
+    for (BVFun f : kAll) {
+      BVFun c = compose(g, f);
+      for (bool b : {false, true}) {
+        EXPECT_EQ(apply_fun(c, b), apply_fun(g, apply_fun(f, b)));
+      }
+    }
+  }
+}
+
+TEST(BVFun, ComposeAssociative) {
+  for (BVFun f : kAll)
+    for (BVFun g : kAll)
+      for (BVFun h : kAll)
+        EXPECT_EQ(compose(h, compose(g, f)), compose(compose(h, g), f));
+}
+
+TEST(BVFun, MainLemma) {
+  // Main Lemma 2.2: a composition chain equals its last non-identity factor
+  // (or Id if all are Id).
+  std::vector<std::vector<BVFun>> chains = {
+      {BVFun::kConstTT, BVFun::kId, BVFun::kId},
+      {BVFun::kConstFF, BVFun::kConstTT},
+      {BVFun::kId, BVFun::kId},
+      {BVFun::kConstTT, BVFun::kConstFF, BVFun::kId, BVFun::kId},
+  };
+  for (const auto& chain : chains) {
+    BVFun total = BVFun::kId;
+    BVFun last_non_id = BVFun::kId;
+    for (BVFun f : chain) {
+      total = compose(f, total);
+      if (f != BVFun::kId) last_non_id = f;
+    }
+    EXPECT_EQ(total, last_non_id);
+  }
+}
+
+TEST(BVFun, MeetIsPointwiseAnd) {
+  for (BVFun f : kAll) {
+    for (BVFun g : kAll) {
+      BVFun m = meet(f, g);
+      for (bool b : {false, true}) {
+        EXPECT_EQ(apply_fun(m, b), apply_fun(f, b) && apply_fun(g, b));
+      }
+    }
+  }
+}
+
+TEST(BVFun, ChainOrder) {
+  EXPECT_EQ(meet(BVFun::kConstFF, BVFun::kConstTT), BVFun::kConstFF);
+  EXPECT_EQ(meet(BVFun::kId, BVFun::kConstTT), BVFun::kId);
+  EXPECT_EQ(meet(BVFun::kId, BVFun::kConstFF), BVFun::kConstFF);
+  EXPECT_TRUE(is_destructive(BVFun::kConstFF));
+  EXPECT_FALSE(is_destructive(BVFun::kId));
+}
+
+PackedFun from_scalars(const std::vector<BVFun>& fs) {
+  PackedFun p{BitVector(fs.size()), BitVector(fs.size())};
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    if (fs[i] == BVFun::kConstTT) p.tt.set(i);
+    if (fs[i] == BVFun::kConstFF) p.ff.set(i);
+  }
+  return p;
+}
+
+TEST(PackedFun, IdentityAndTop) {
+  PackedFun id = PackedFun::identity(5);
+  EXPECT_TRUE(id.tt.none());
+  EXPECT_TRUE(id.ff.none());
+  PackedFun top = PackedFun::top(5);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(top.at(i), BVFun::kConstTT);
+}
+
+TEST(PackedFun, ComposedMatchesScalarOnAllPairs) {
+  // 9 (g,f) pairs packed into one 9-term vector.
+  std::vector<BVFun> gs, fs;
+  for (BVFun g : kAll)
+    for (BVFun f : kAll) {
+      gs.push_back(g);
+      fs.push_back(f);
+    }
+  PackedFun composed = PackedFun::composed(from_scalars(gs), from_scalars(fs));
+  for (std::size_t i = 0; i < gs.size(); ++i) {
+    EXPECT_EQ(composed.at(i), compose(gs[i], fs[i])) << i;
+  }
+}
+
+TEST(PackedFun, MetMatchesScalarOnAllPairs) {
+  std::vector<BVFun> gs, fs;
+  for (BVFun g : kAll)
+    for (BVFun f : kAll) {
+      gs.push_back(g);
+      fs.push_back(f);
+    }
+  PackedFun met = PackedFun::met(from_scalars(gs), from_scalars(fs));
+  for (std::size_t i = 0; i < gs.size(); ++i) {
+    EXPECT_EQ(met.at(i), meet(gs[i], fs[i])) << i;
+  }
+}
+
+TEST(PackedFun, MasksStayDisjoint) {
+  std::vector<BVFun> gs, fs;
+  for (BVFun g : kAll)
+    for (BVFun f : kAll) {
+      gs.push_back(g);
+      fs.push_back(f);
+    }
+  PackedFun c = PackedFun::composed(from_scalars(gs), from_scalars(fs));
+  EXPECT_FALSE(c.tt.intersects(c.ff));
+  PackedFun m = PackedFun::met(from_scalars(gs), from_scalars(fs));
+  EXPECT_FALSE(m.tt.intersects(m.ff));
+}
+
+TEST(PackedFun, ApplyMatchesScalar) {
+  std::vector<BVFun> fs = {BVFun::kConstFF, BVFun::kId, BVFun::kConstTT,
+                           BVFun::kId};
+  PackedFun p = from_scalars(fs);
+  BitVector in(4);
+  in.set(1);
+  in.set(2);
+  BitVector out = p.apply(in);
+  EXPECT_FALSE(out.test(0));
+  EXPECT_TRUE(out.test(1));
+  EXPECT_TRUE(out.test(2));
+  EXPECT_FALSE(out.test(3));
+}
+
+TEST(BVFun, Names) {
+  EXPECT_STREQ(bvfun_name(BVFun::kConstFF), "Const_ff");
+  EXPECT_STREQ(bvfun_name(BVFun::kId), "Id");
+  EXPECT_STREQ(bvfun_name(BVFun::kConstTT), "Const_tt");
+}
+
+}  // namespace
+}  // namespace parcm

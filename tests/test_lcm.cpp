@@ -1,0 +1,201 @@
+#include "motion/lcm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analyses/liveness.hpp"
+#include "figures/figures.hpp"
+#include "ir/transform_utils.hpp"
+#include "ir/validate.hpp"
+#include "lang/lower.hpp"
+#include "motion/bcm.hpp"
+#include "semantics/cost.hpp"
+#include "semantics/equivalence.hpp"
+#include "workload/randomprog.hpp"
+
+namespace parcm {
+namespace {
+
+TEST(LCM, RejectsParallelPrograms) {
+  Graph g = lang::compile_or_throw("par { x := 1; } and { y := 2; }");
+  EXPECT_THROW(lazy_code_motion(g), InternalError);
+}
+
+TEST(LCM, IsolationKeepsLoneComputation) {
+  // A single computation with nothing to reuse it: BCM introduces a
+  // pointless h := a + b; x := h pair, LCM keeps the original statement.
+  Graph g = lang::compile_or_throw("x := a + b; y := x;");
+  MotionResult lcm = lazy_code_motion(g);
+  validate_or_throw(lcm.graph);
+  EXPECT_TRUE(lcm.terms.empty());
+  NodeId x = node_of_statement(lcm.graph, "x := a + b");
+  EXPECT_TRUE(lcm.graph.node(x).rhs.is_term());
+
+  MotionResult bcm = busy_code_motion(g);
+  EXPECT_EQ(bcm.num_insertions(), 1u);  // the busy pair exists
+}
+
+TEST(LCM, FullRedundancyStillEliminated) {
+  Graph g = lang::compile_or_throw("x := a + b; y := a + b; z := a + b;");
+  MotionResult lcm = lazy_code_motion(g);
+  validate_or_throw(lcm.graph);
+  ASSERT_EQ(lcm.terms.size(), 1u);
+  EXPECT_EQ(lcm.terms[0].insert_nodes.size(), 1u);
+  EXPECT_EQ(lcm.terms[0].replaced.size(), 3u);
+}
+
+TEST(LCM, DelaysBelowUnusedRegion) {
+  // BCM hoists to the start; LCM delays the initialization down to the
+  // first use, past the unrelated prefix.
+  const char* src = R"(
+    p := 1; q := 2; r := 3; s := 4;
+    x := a + b;
+    y := a + b;
+  )";
+  Graph g = lang::compile_or_throw(src);
+  MotionResult bcm = busy_code_motion(g);
+  MotionResult lcm = lazy_code_motion(g);
+  validate_or_throw(lcm.graph);
+  std::size_t bcm_life = total_temp_lifetime(bcm.graph);
+  std::size_t lcm_life = total_temp_lifetime(lcm.graph);
+  EXPECT_LT(lcm_life, bcm_life);
+  // Same computation counts on every path.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    auto pair = paired_execution_times(bcm.graph, lcm.graph, seed);
+    ASSERT_TRUE(pair.has_value());
+    EXPECT_EQ(pair->first.computations, pair->second.computations);
+  }
+}
+
+TEST(LCM, IsolationRefusesMotionWithoutReuse) {
+  // Both branches compute a+b exactly once with no further use: BCM hoists
+  // (gaining nothing), LCM leaves the program untouched.
+  Graph g = lang::compile_or_throw(
+      "c := 9; if (*) { x := a + b; } else { u := a + b; }");
+  MotionResult lcm = lazy_code_motion(g);
+  validate_or_throw(lcm.graph);
+  EXPECT_TRUE(lcm.terms.empty());
+  MotionResult bcm = busy_code_motion(g);
+  EXPECT_EQ(bcm.num_insertions(), 1u);
+}
+
+TEST(LCM, DelaysIntoBranchesWhenReused) {
+  // With a use behind the join, LCM delays the initialization into the two
+  // branch computations (latest points) instead of BCM's single hoist at
+  // the start — shorter temporary lifetime, same computation counts.
+  Graph g = lang::compile_or_throw(
+      "c := 9; if (*) { x := a + b; } else { u := a + b; } y := a + b;");
+  MotionResult lcm = lazy_code_motion(g);
+  validate_or_throw(lcm.graph);
+  ASSERT_EQ(lcm.terms.size(), 1u);
+  EXPECT_EQ(lcm.terms[0].insert_nodes.size(), 2u);
+  EXPECT_EQ(lcm.terms[0].replaced.size(), 3u);
+
+  MotionResult bcm = busy_code_motion(g);
+  EXPECT_EQ(bcm.terms[0].insert_nodes.size(), 1u);
+  EXPECT_LT(total_temp_lifetime(lcm.graph), total_temp_lifetime(bcm.graph));
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    auto pair = paired_execution_times(bcm.graph, lcm.graph, seed);
+    ASSERT_TRUE(pair.has_value());
+    EXPECT_EQ(pair->first.computations, pair->second.computations);
+  }
+}
+
+TEST(LCM, ComputationallyEqualToBcmOnFigures) {
+  for (const char* id : {"1", "1h", "5"}) {
+    Graph g = lang::compile_or_throw(figures::figure_source(id));
+    MotionResult bcm = busy_code_motion(g);
+    MotionResult lcm = lazy_code_motion(g);
+    validate_or_throw(lcm.graph);
+    for (std::uint64_t seed = 0; seed < 24; ++seed) {
+      auto pair = paired_execution_times(bcm.graph, lcm.graph, seed);
+      ASSERT_TRUE(pair.has_value()) << id;
+      EXPECT_EQ(pair->first.computations, pair->second.computations)
+          << "figure " << id << " seed " << seed;
+    }
+  }
+}
+
+class LcmProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LcmProperty, SemanticsPreservedAndNeverWorse) {
+  Rng rng(GetParam());
+  RandomProgramOptions opt;
+  opt.max_par_depth = 0;
+  opt.target_stmts = 12;
+  opt.num_vars = 3;
+  Graph g = random_program(rng, opt);
+  MotionResult lcm = lazy_code_motion(g);
+  validate_or_throw(lcm.graph);
+
+  auto verdict = check_sequential_consistency(g, lcm.graph);
+  if (verdict.exhausted) {
+    EXPECT_TRUE(verdict.sequentially_consistent) << GetParam();
+    EXPECT_TRUE(verdict.behaviours_preserved) << GetParam();
+  }
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    auto pair = paired_execution_times(g, lcm.graph, seed * 31 + 7);
+    if (!pair.has_value()) continue;
+    EXPECT_LE(pair->second.time, pair->first.time) << GetParam();
+  }
+}
+
+TEST_P(LcmProperty, ComputationallyMatchesBcmLifetimeNoWorse) {
+  Rng rng(GetParam() + 400);
+  RandomProgramOptions opt;
+  opt.max_par_depth = 0;
+  opt.target_stmts = 14;
+  opt.num_vars = 3;
+  Graph g = random_program(rng, opt);
+  MotionResult bcm = busy_code_motion(g);
+  MotionResult lcm = lazy_code_motion(g);
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    auto pair = paired_execution_times(bcm.graph, lcm.graph, seed * 13 + 1);
+    if (!pair.has_value()) continue;
+    EXPECT_EQ(pair->first.computations, pair->second.computations)
+        << GetParam();
+  }
+  EXPECT_LE(total_temp_lifetime(lcm.graph), total_temp_lifetime(bcm.graph))
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LcmProperty,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+TEST(Liveness, SingleVarStraightLine) {
+  Graph g = lang::compile_or_throw("x := 1; y := x; z := 2;");
+  VarId x = *g.find_var("x");
+  LivenessResult r = compute_liveness(g, x);
+  NodeId def = node_of_statement(g, "x := 1");
+  NodeId use = node_of_statement(g, "y := x");
+  NodeId after = node_of_statement(g, "z := 2");
+  EXPECT_FALSE(r.live_in[def.index()]);
+  EXPECT_TRUE(r.live_out[def.index()]);
+  EXPECT_TRUE(r.live_in[use.index()]);
+  EXPECT_FALSE(r.live_out[use.index()]);
+  EXPECT_FALSE(r.live_in[after.index()]);
+}
+
+TEST(Liveness, LoopKeepsVariableLive) {
+  Graph g = lang::compile_or_throw("x := 1; while (*) { y := x; }");
+  VarId x = *g.find_var("x");
+  LivenessResult r = compute_liveness(g, x);
+  NodeId use = node_of_statement(g, "y := x");
+  EXPECT_TRUE(r.live_out[use.index()]);  // live around the back edge
+}
+
+TEST(Liveness, TestConditionsCountAsUses) {
+  Graph g = lang::compile_or_throw("x := 1; if (x < 2) { skip; }");
+  VarId x = *g.find_var("x");
+  LivenessResult r = compute_liveness(g, x);
+  NodeId def = node_of_statement(g, "x := 1");
+  EXPECT_TRUE(r.live_out[def.index()]);
+}
+
+TEST(Liveness, TempLifetimeCountsOnlyPrefix) {
+  Graph g = lang::compile_or_throw("h_t := 1; y := h_t; other := 2;");
+  EXPECT_GT(total_temp_lifetime(g, "h_"), 0u);
+  EXPECT_EQ(total_temp_lifetime(g, "zz_"), 0u);
+}
+
+}  // namespace
+}  // namespace parcm

@@ -1,0 +1,99 @@
+#include "analyses/predicates.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/transform_utils.hpp"
+#include "lang/lower.hpp"
+
+namespace parcm {
+namespace {
+
+struct Ctx {
+  Graph g;
+  TermTable terms;
+  LocalPredicates preds;
+
+  explicit Ctx(const char* src)
+      : g(lang::compile_or_throw(src)), terms(g), preds(g, terms) {}
+};
+
+TEST(LocalPredicates, CompOnlyAtComputingNodes) {
+  Ctx s("x := a + b; y := c; skip;");
+  TermId ab = s.terms.find(s.g, "a + b");
+  NodeId x = node_of_statement(s.g, "x := a + b");
+  NodeId y = node_of_statement(s.g, "y := c");
+  EXPECT_TRUE(s.preds.comp(x, ab));
+  EXPECT_FALSE(s.preds.comp(y, ab));
+  EXPECT_FALSE(s.preds.comp(s.g.start(), ab));
+}
+
+TEST(LocalPredicates, TranspKilledByOperandAssignment) {
+  Ctx s("x := a + b; a := 1; b := 2; c := 3;");
+  TermId ab = s.terms.find(s.g, "a + b");
+  EXPECT_TRUE(s.preds.transp(node_of_statement(s.g, "x := a + b"), ab));
+  EXPECT_FALSE(s.preds.transp(node_of_statement(s.g, "a := 1"), ab));
+  EXPECT_FALSE(s.preds.transp(node_of_statement(s.g, "b := 2"), ab));
+  EXPECT_TRUE(s.preds.transp(node_of_statement(s.g, "c := 3"), ab));
+}
+
+TEST(LocalPredicates, RecursiveAssignmentNotTransparentForOwnTerm) {
+  Ctx s("a := a + b;");
+  TermId ab = s.terms.find(s.g, "a + b");
+  NodeId n = node_of_statement(s.g, "a := a + b");
+  EXPECT_TRUE(s.preds.comp(n, ab));
+  EXPECT_FALSE(s.preds.transp(n, ab));
+  EXPECT_TRUE(s.preds.recursive(n));
+}
+
+TEST(LocalPredicates, RecursiveDetection) {
+  Ctx s("a := a + b; x := a + b; y := y; z := 1; w := w * w;");
+  EXPECT_TRUE(s.preds.recursive(node_of_statement(s.g, "a := a + b")));
+  EXPECT_FALSE(s.preds.recursive(node_of_statement(s.g, "x := a + b")));
+  EXPECT_TRUE(s.preds.recursive(node_of_statement(s.g, "y := y")));
+  EXPECT_FALSE(s.preds.recursive(node_of_statement(s.g, "z := 1")));
+  EXPECT_TRUE(s.preds.recursive(node_of_statement(s.g, "w := w * w")));
+}
+
+TEST(LocalPredicates, ModIsComplementOfTransp) {
+  Ctx s("x := a + b; a := c * d; u := a - 1;");
+  for (NodeId n : s.g.all_nodes()) {
+    BitVector both = s.preds.transp(n) & s.preds.mod(n);
+    EXPECT_TRUE(both.none());
+    BitVector all = s.preds.transp(n) | s.preds.mod(n);
+    EXPECT_TRUE(all.all());
+  }
+}
+
+TEST(LocalPredicates, SkipAndTestAreNeutral) {
+  Ctx s("x := a + b; skip; if (a < 1) { skip; } while (*) { skip; }");
+  TermId ab = s.terms.find(s.g, "a + b");
+  for (NodeId n : s.g.all_nodes()) {
+    if (s.g.node(n).kind == NodeKind::kAssign) continue;
+    EXPECT_FALSE(s.preds.comp(n, ab));
+    EXPECT_TRUE(s.preds.transp(n, ab));
+    EXPECT_FALSE(s.preds.recursive(n));
+  }
+}
+
+TEST(LocalPredicates, ConstantOperandsNeverKilled) {
+  Ctx s("x := 1 + 2; y := 3;");
+  TermId t = s.terms.find(s.g, "1 + 2");
+  for (NodeId n : s.g.all_nodes()) {
+    EXPECT_TRUE(s.preds.transp(n, t));
+  }
+}
+
+TEST(LocalPredicates, MultipleTermsPerVariable) {
+  Ctx s("x := a + b; y := a - c; a := 5;");
+  TermId ab = s.terms.find(s.g, "a + b");
+  TermId ac = s.terms.find(s.g, "a - c");
+  NodeId kill = node_of_statement(s.g, "a := 5");
+  EXPECT_TRUE(s.preds.mod(kill).test(ab.index()));
+  EXPECT_TRUE(s.preds.mod(kill).test(ac.index()));
+  NodeId y = node_of_statement(s.g, "y := a - c");
+  EXPECT_FALSE(s.preds.mod(y).test(ab.index()));
+  EXPECT_FALSE(s.preds.mod(y).test(ac.index()));
+}
+
+}  // namespace
+}  // namespace parcm

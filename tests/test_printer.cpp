@@ -1,0 +1,88 @@
+#include "ir/printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lang/lower.hpp"
+
+namespace parcm {
+namespace {
+
+TEST(Printer, StatementStrings) {
+  Graph g = lang::compile_or_throw(R"(
+    x := a + b;
+    y := 5;
+    z := x;
+    if (x < 3) { skip; }
+    while (*) { skip; }
+    par { skip; } and { skip; }
+  )");
+  std::vector<std::string> stmts;
+  for (NodeId n : g.all_nodes()) stmts.push_back(statement_to_string(g, n));
+  auto has = [&](const std::string& s) {
+    return std::find(stmts.begin(), stmts.end(), s) != stmts.end();
+  };
+  EXPECT_TRUE(has("start"));
+  EXPECT_TRUE(has("end"));
+  EXPECT_TRUE(has("x := a + b"));
+  EXPECT_TRUE(has("y := 5"));
+  EXPECT_TRUE(has("z := x"));
+  EXPECT_TRUE(has("if (x < 3)"));
+  EXPECT_TRUE(has("parbegin"));
+  EXPECT_TRUE(has("parend"));
+  EXPECT_TRUE(has("skip"));
+}
+
+TEST(Printer, OperandAndTermStrings) {
+  Graph g;
+  VarId a = g.intern_var("a");
+  EXPECT_EQ(operand_to_string(g, Operand::var(a)), "a");
+  EXPECT_EQ(operand_to_string(g, Operand::constant(-3)), "-3");
+  EXPECT_EQ(term_to_string(
+                g, Term{BinOp::kMul, Operand::var(a), Operand::constant(2)}),
+            "a * 2");
+  EXPECT_EQ(rhs_to_string(g, Rhs(Operand::var(a))), "a");
+}
+
+TEST(Printer, ToTextListsAllNodesWithSuccessors) {
+  Graph g = lang::compile_or_throw("x := 1; y := 2;");
+  std::string text = to_text(g);
+  EXPECT_NE(text.find("x := 1"), std::string::npos);
+  EXPECT_NE(text.find("y := 2"), std::string::npos);
+  EXPECT_NE(text.find("->"), std::string::npos);
+  // One line per node.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(text.begin(), text.end(), '\n')),
+            g.num_nodes());
+}
+
+TEST(Printer, ToTextIndentsParallelNesting) {
+  Graph g = lang::compile_or_throw("par { x := 1; } and { y := 2; }");
+  std::string text = to_text(g);
+  EXPECT_NE(text.find("\n  "), std::string::npos);  // indented component
+}
+
+TEST(Printer, DotOutputWellFormed) {
+  Graph g = lang::compile_or_throw(R"(
+    if (a < 1) { x := 1; } else { y := 2; }
+    par { u := 3; } and { v := 4; }
+  )");
+  std::string dot = to_dot(g, "test");
+  EXPECT_EQ(dot.find("digraph \"test\" {"), 0u);
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("subgraph cluster_r"), std::string::npos);
+  EXPECT_NE(dot.find("[label=\"T\"]"), std::string::npos);
+  EXPECT_NE(dot.find("[label=\"F\"]"), std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(Printer, LabelsShownInText) {
+  Graph g = lang::compile_or_throw("x := 1 @here;");
+  EXPECT_NE(to_text(g).find("[here]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace parcm

@@ -1,0 +1,113 @@
+// Property suite for the Parallel Bitvector Coincidence Theorem (Thm 2.4):
+// on random parallel programs, the hierarchical PMFP solution with the
+// *standard* synchronization equals the path-based PMOP solution computed
+// by plain MFP over the explicit product program. The refined policies are
+// deliberately stronger than PMOP (they under-approximate safety); the
+// suite checks that direction too.
+#include <gtest/gtest.h>
+
+#include "analyses/downsafety.hpp"
+#include "analyses/upsafety.hpp"
+#include "dfa/packed.hpp"
+#include "semantics/product.hpp"
+#include "workload/randomprog.hpp"
+
+namespace parcm {
+namespace {
+
+RandomProgramOptions small_options() {
+  RandomProgramOptions opt;
+  opt.target_stmts = 8;
+  opt.max_par_depth = 2;
+  opt.max_components = 3;
+  opt.num_vars = 3;
+  opt.while_permille = 40;  // keep products small
+  return opt;
+}
+
+class Coincidence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Coincidence, StandardUpSafetyEqualsProductPmop) {
+  Rng rng(GetParam());
+  Graph g = random_program(rng, small_options());
+  ProductProgram prod = build_product(g, 200000);
+  if (!prod.exhausted) GTEST_SKIP() << "product too large";
+  TermTable terms(g);
+  LocalPredicates preds(g, terms);
+  InterleavingInfo itlv(g);
+
+  PackedProblem p = make_upsafety_problem(g, preds, SafetyVariant::kNaive);
+  PackedResult pmfp = solve_packed(g, p);
+  PmopResult pmop = solve_pmop_via_product(g, prod, p);
+  for (NodeId n : g.all_nodes()) {
+    EXPECT_EQ(pmfp.entry[n.index()], pmop.entry[n.index()])
+        << "node " << n.value() << " seed " << GetParam();
+  }
+}
+
+TEST_P(Coincidence, StandardDownSafetyEqualsProductPmop) {
+  Rng rng(GetParam() + 1000);
+  Graph g = random_program(rng, small_options());
+  ProductProgram prod = build_product(g, 200000);
+  if (!prod.exhausted) GTEST_SKIP() << "product too large";
+  TermTable terms(g);
+  LocalPredicates preds(g, terms);
+  InterleavingInfo itlv(g);
+
+  PackedProblem p = make_downsafety_problem(g, preds, SafetyVariant::kNaive);
+  PackedResult pmfp = solve_packed(g, p);
+  PmopResult pmop = solve_pmop_via_product(g, prod, p);
+  for (NodeId n : g.all_nodes()) {
+    EXPECT_EQ(pmfp.out[n.index()], pmop.out[n.index()])
+        << "node " << n.value() << " seed " << GetParam();
+  }
+}
+
+TEST_P(Coincidence, RefinedPoliciesUnderapproximatePmop) {
+  Rng rng(GetParam() + 2000);
+  Graph g = random_program(rng, small_options());
+  ProductProgram prod = build_product(g, 200000);
+  if (!prod.exhausted) GTEST_SKIP() << "product too large";
+  TermTable terms(g);
+  LocalPredicates preds(g, terms);
+  InterleavingInfo itlv(g);
+
+  // Up-safety: refined entry values imply PMOP availability.
+  PackedProblem up_naive = make_upsafety_problem(g, preds,
+                                                 SafetyVariant::kNaive);
+  PackedResult refined = solve_packed(
+      g, make_upsafety_problem(g, preds, SafetyVariant::kRefined));
+  PmopResult pmop = solve_pmop_via_product(g, prod, up_naive);
+  for (NodeId n : g.all_nodes()) {
+    EXPECT_TRUE(refined.entry[n.index()].is_subset_of(pmop.entry[n.index()]))
+        << "node " << n.value() << " seed " << GetParam();
+  }
+}
+
+TEST_P(Coincidence, RefinedDownSafetyUnderapproximatesPmop) {
+  Rng rng(GetParam() + 3000);
+  RandomProgramOptions opt = small_options();
+  opt.recursive_permille = 0;  // the recursive split intentionally deviates
+  Graph g = random_program(rng, opt);
+  ProductProgram prod = build_product(g, 200000);
+  if (!prod.exhausted) GTEST_SKIP() << "product too large";
+  TermTable terms(g);
+  LocalPredicates preds(g, terms);
+  InterleavingInfo itlv(g);
+
+  PackedProblem down_naive = make_downsafety_problem(g, preds,
+                                                     SafetyVariant::kNaive);
+  PackedResult refined = solve_packed(
+      g, make_downsafety_problem(g, preds, SafetyVariant::kRefined));
+  PmopResult pmop = solve_pmop_via_product(g, prod, down_naive);
+  for (NodeId n : g.all_nodes()) {
+    EXPECT_TRUE(refined.out[n.index()].is_subset_of(pmop.out[n.index()]))
+        << "node " << n.value() << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Coincidence,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace parcm

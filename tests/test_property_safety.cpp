@@ -1,0 +1,167 @@
+// Property suite for the safety predicates themselves (the Fig. 5 facts
+// and their parallel refinements):
+//  - up-safety at n implies every *executed path* reaching n computed the
+//    term after the last operand modification (checked by brute-force path
+//    enumeration on the product program);
+//  - down-safety at n implies every continuation computes the term before
+//    modifying an operand;
+//  - refined safety is a subset of naive safety (monotonicity of the
+//    strengthened synchronization).
+#include <gtest/gtest.h>
+
+#include "analyses/earliest.hpp"
+#include "ir/transform_utils.hpp"
+#include "semantics/product.hpp"
+#include "workload/randomprog.hpp"
+
+namespace parcm {
+namespace {
+
+RandomProgramOptions options() {
+  RandomProgramOptions opt;
+  opt.target_stmts = 8;
+  opt.max_par_depth = 1;
+  opt.num_vars = 3;
+  opt.while_permille = 40;
+  return opt;
+}
+
+// Brute force on the product program: availability per product node.
+std::vector<BitVector> brute_force_avail(const ProductProgram& prod,
+                                         const LocalPredicates& preds,
+                                         std::size_t k) {
+  const Graph& pg = prod.graph;
+  // Forward must-dataflow with explicit iteration (simple and independent
+  // of the library's solvers).
+  std::vector<BitVector> in(pg.num_nodes(), BitVector(k, true));
+  in[pg.start().index()] = BitVector(k);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId q : pg.all_nodes()) {
+      if (q == pg.start()) continue;
+      BitVector pre(k, true);
+      for (NodeId m : pg.preds(q)) {
+        NodeId orig = prod.origin[m.index()];
+        BitVector out = in[m.index()];
+        out.and_not(preds.mod(orig));
+        out |= preds.comp(orig) & preds.transp(orig);
+        pre &= out;
+      }
+      if (pre != in[q.index()]) {
+        in[q.index()] = std::move(pre);
+        changed = true;
+      }
+    }
+  }
+  return in;
+}
+
+class SafetyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SafetyProperty, NaiveUpSafetyMatchesBruteForceOnProduct) {
+  Rng rng(GetParam());
+  Graph g = random_program(rng, options());
+  ProductProgram prod = build_product(g, 100000);
+  if (!prod.exhausted) GTEST_SKIP();
+  TermTable terms(g);
+  LocalPredicates preds(g, terms);
+  InterleavingInfo itlv(g);
+
+  PackedResult pmfp =
+      compute_upsafety(g, preds, SafetyVariant::kNaive);
+  std::vector<BitVector> brute = brute_force_avail(prod, preds, terms.size());
+
+  // Project: PMOP entry of original node = meet over product occurrences.
+  std::vector<BitVector> projected(g.num_nodes(),
+                                   BitVector(terms.size(), true));
+  for (NodeId q : prod.graph.all_nodes()) {
+    projected[prod.origin[q.index()].index()] &= brute[q.index()];
+  }
+  for (NodeId n : g.all_nodes()) {
+    EXPECT_EQ(pmfp.entry[n.index()], projected[n.index()])
+        << "node " << n.value() << " seed " << GetParam();
+  }
+}
+
+TEST_P(SafetyProperty, RefinedSubsetOfNaive) {
+  Rng rng(GetParam() + 111);
+  RandomProgramOptions opt = options();
+  opt.max_par_depth = 2;
+  opt.target_stmts = 14;
+  Graph g = random_program(rng, opt);
+  TermTable terms(g);
+  LocalPredicates preds(g, terms);
+  InterleavingInfo itlv(g);
+
+  SafetyInfo naive = compute_safety(g, preds, SafetyVariant::kNaive);
+  SafetyInfo refined =
+      compute_safety(g, preds, SafetyVariant::kRefined);
+  for (NodeId n : g.all_nodes()) {
+    EXPECT_TRUE(
+        refined.upsafe[n.index()].is_subset_of(naive.upsafe[n.index()]))
+        << "up-safety node " << n.value();
+    EXPECT_TRUE(
+        refined.dnsafe[n.index()].is_subset_of(naive.dnsafe[n.index()]))
+        << "down-safety node " << n.value();
+  }
+}
+
+TEST_P(SafetyProperty, SequentialProgramsIdenticalAcrossVariants) {
+  Rng rng(GetParam() + 222);
+  RandomProgramOptions opt = options();
+  opt.max_par_depth = 0;
+  Graph g = random_program(rng, opt);
+  TermTable terms(g);
+  LocalPredicates preds(g, terms);
+  InterleavingInfo itlv(g);
+  SafetyInfo naive = compute_safety(g, preds, SafetyVariant::kNaive);
+  SafetyInfo refined =
+      compute_safety(g, preds, SafetyVariant::kRefined);
+  for (NodeId n : g.all_nodes()) {
+    EXPECT_EQ(naive.upsafe[n.index()], refined.upsafe[n.index()]);
+    EXPECT_EQ(naive.dnsafe[n.index()], refined.dnsafe[n.index()]);
+  }
+}
+
+TEST_P(SafetyProperty, CompImpliesDownSafeOutsideParallel) {
+  Rng rng(GetParam() + 333);
+  RandomProgramOptions opt = options();
+  opt.max_par_depth = 0;
+  Graph g = random_program(rng, opt);
+  TermTable terms(g);
+  LocalPredicates preds(g, terms);
+  InterleavingInfo itlv(g);
+  SafetyInfo refined =
+      compute_safety(g, preds, SafetyVariant::kRefined);
+  for (NodeId n : g.all_nodes()) {
+    EXPECT_TRUE(preds.comp(n).is_subset_of(refined.dnsafe[n.index()]))
+        << "node " << n.value();
+  }
+}
+
+TEST_P(SafetyProperty, EarliestImpliesDownSafe) {
+  Rng rng(GetParam() + 444);
+  RandomProgramOptions opt = options();
+  opt.max_par_depth = 2;
+  Graph g = random_program(rng, opt);
+  split_join_edges(g);
+  TermTable terms(g);
+  LocalPredicates preds(g, terms);
+  InterleavingInfo itlv(g);
+  SafetyInfo refined =
+      compute_safety(g, preds, SafetyVariant::kRefined);
+  MotionPredicates mp = compute_motion_predicates(g, preds, refined);
+  for (NodeId n : g.all_nodes()) {
+    EXPECT_TRUE(mp.earliest[n.index()].is_subset_of(refined.dnsafe[n.index()]))
+        << "node " << n.value();
+    EXPECT_TRUE(mp.replace[n.index()].is_subset_of(preds.comp(n)))
+        << "node " << n.value();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SafetyProperty,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace parcm

@@ -1,0 +1,106 @@
+// Property suite for the transformation guarantees (paper Sec. 3.3.4):
+// on random parallel programs, PCM (a) preserves sequential consistency
+// under the paper's split-assignment semantics (Remark 2.1), (b) never
+// worsens the execution time of any path, and (c) never worsens the
+// computation count. BCM gets the same treatment on sequential programs
+// with full behavioural equality.
+#include <gtest/gtest.h>
+
+#include "ir/validate.hpp"
+#include "motion/bcm.hpp"
+#include "motion/pcm.hpp"
+#include "semantics/cost.hpp"
+#include "semantics/equivalence.hpp"
+#include "workload/randomprog.hpp"
+
+namespace parcm {
+namespace {
+
+RandomProgramOptions parallel_options() {
+  RandomProgramOptions opt;
+  opt.target_stmts = 9;
+  opt.max_par_depth = 2;
+  opt.max_components = 3;
+  opt.num_vars = 3;
+  opt.while_permille = 30;  // bounded enumeration
+  return opt;
+}
+
+class PcmProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PcmProperty, PreservesSequentialConsistencySplitSemantics) {
+  Rng rng(GetParam());
+  Graph g = random_program(rng, parallel_options());
+  MotionResult r = parallel_code_motion(g);
+  validate_or_throw(r.graph);
+  EnumerationOptions opts;
+  opts.atomic_assignments = false;
+  opts.max_states = 1u << 19;
+  auto verdict = check_sequential_consistency(g, r.graph, {}, opts);
+  if (!verdict.exhausted) GTEST_SKIP() << "state space too large";
+  EXPECT_TRUE(verdict.sequentially_consistent)
+      << "seed " << GetParam() << " witness exists";
+  EXPECT_TRUE(verdict.behaviours_preserved) << "seed " << GetParam();
+}
+
+TEST_P(PcmProperty, NeverExecutionallyWorse) {
+  Rng rng(GetParam() + 5000);
+  RandomProgramOptions opt = parallel_options();
+  opt.target_stmts = 14;
+  Graph g = random_program(rng, opt);
+  MotionResult r = parallel_code_motion(g);
+  validate_or_throw(r.graph);
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    auto pair = paired_execution_times(g, r.graph, seed * 77 + 1);
+    if (!pair.has_value()) continue;  // unlucky divergent schedule
+    EXPECT_LE(pair->second.time, pair->first.time)
+        << "program seed " << GetParam() << " path seed " << seed;
+    EXPECT_LE(pair->second.computations, pair->first.computations)
+        << "program seed " << GetParam() << " path seed " << seed;
+  }
+}
+
+TEST_P(PcmProperty, TransformedGraphAlwaysValid) {
+  Rng rng(GetParam() + 9000);
+  RandomProgramOptions opt = parallel_options();
+  opt.target_stmts = 20;
+  opt.max_par_depth = 3;
+  Graph g = random_program(rng, opt);
+  MotionResult refined = parallel_code_motion(g);
+  validate_or_throw(refined.graph);
+  MotionResult naive = naive_parallel_code_motion(g);
+  validate_or_throw(naive.graph);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PcmProperty,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+class BcmProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BcmProperty, SequentialFullEquivalenceAndImprovement) {
+  Rng rng(GetParam());
+  RandomProgramOptions opt;
+  opt.max_par_depth = 0;
+  opt.target_stmts = 12;
+  opt.num_vars = 3;
+  Graph g = random_program(rng, opt);
+  MotionResult r = busy_code_motion(g);
+  validate_or_throw(r.graph);
+
+  auto verdict = check_sequential_consistency(g, r.graph);
+  if (!verdict.exhausted) GTEST_SKIP();
+  EXPECT_TRUE(verdict.sequentially_consistent) << GetParam();
+  EXPECT_TRUE(verdict.behaviours_preserved) << GetParam();
+
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    auto pair = paired_execution_times(g, r.graph, seed * 13 + 5);
+    if (!pair.has_value()) continue;
+    EXPECT_LE(pair->second.time, pair->first.time) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BcmProperty,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace parcm

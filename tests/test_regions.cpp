@@ -1,0 +1,140 @@
+#include "ir/regions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lang/lower.hpp"
+
+namespace parcm {
+namespace {
+
+bool contains(const std::vector<NodeId>& v, NodeId n) {
+  return std::find(v.begin(), v.end(), n) != v.end();
+}
+
+NodeId assign_node(const Graph& g, const std::string& lhs) {
+  for (NodeId n : g.all_nodes()) {
+    if (g.node(n).kind == NodeKind::kAssign &&
+        g.var_name(g.node(n).lhs) == lhs) {
+      return n;
+    }
+  }
+  ADD_FAILURE() << "no assignment to " << lhs;
+  return NodeId();
+}
+
+TEST(Interleaving, SequentialProgramHasNone) {
+  Graph g = lang::compile_or_throw("x := 1; y := 2;");
+  InterleavingInfo itlv(g);
+  for (NodeId n : g.all_nodes()) EXPECT_TRUE(itlv.preds(n).empty());
+}
+
+TEST(Interleaving, SiblingNodesAreMutualPreds) {
+  Graph g = lang::compile_or_throw(R"(
+    par { x := 1; } and { y := 2; }
+  )");
+  InterleavingInfo itlv(g);
+  NodeId x = assign_node(g, "x");
+  NodeId y = assign_node(g, "y");
+  EXPECT_TRUE(contains(itlv.preds(x), y));
+  EXPECT_TRUE(contains(itlv.preds(y), x));
+  // Same-component nodes are not interleaving predecessors.
+  EXPECT_FALSE(contains(itlv.preds(x), x));
+  // Top-level nodes have no interleaving predecessors.
+  EXPECT_TRUE(itlv.preds(g.start()).empty());
+  EXPECT_TRUE(itlv.preds(g.par_stmt(ParStmtId(0)).begin).empty());
+}
+
+TEST(Interleaving, SameComponentSequentialNodesNotInterleaved) {
+  Graph g = lang::compile_or_throw(R"(
+    par { x := 1; y := 2; } and { z := 3; }
+  )");
+  InterleavingInfo itlv(g);
+  NodeId x = assign_node(g, "x");
+  NodeId y = assign_node(g, "y");
+  NodeId z = assign_node(g, "z");
+  EXPECT_FALSE(contains(itlv.preds(y), x));
+  EXPECT_TRUE(contains(itlv.preds(y), z));
+  EXPECT_TRUE(contains(itlv.preds(z), x));
+  EXPECT_TRUE(contains(itlv.preds(z), y));
+}
+
+TEST(Interleaving, NestedParSeesOuterSiblings) {
+  Graph g = lang::compile_or_throw(R"(
+    par {
+      par { a := 1; } and { b := 2; }
+    } and {
+      c := 3;
+    }
+  )");
+  InterleavingInfo itlv(g);
+  NodeId a = assign_node(g, "a");
+  NodeId b = assign_node(g, "b");
+  NodeId c = assign_node(g, "c");
+  // a interleaves with its inner sibling b and with the outer sibling c.
+  EXPECT_TRUE(contains(itlv.preds(a), b));
+  EXPECT_TRUE(contains(itlv.preds(a), c));
+  // c interleaves with everything in the first outer component, including
+  // the nested ParBegin/ParEnd.
+  EXPECT_TRUE(contains(itlv.preds(c), a));
+  EXPECT_TRUE(contains(itlv.preds(c), b));
+  ParStmtId inner = g.pfg(a);
+  EXPECT_TRUE(contains(itlv.preds(c), g.par_stmt(inner).begin));
+}
+
+TEST(Interleaving, ThreeComponents) {
+  Graph g = lang::compile_or_throw(R"(
+    par { x := 1; } and { y := 2; } and { z := 3; }
+  )");
+  InterleavingInfo itlv(g);
+  NodeId x = assign_node(g, "x");
+  NodeId y = assign_node(g, "y");
+  NodeId z = assign_node(g, "z");
+  EXPECT_TRUE(contains(itlv.preds(x), y));
+  EXPECT_TRUE(contains(itlv.preds(x), z));
+  EXPECT_TRUE(contains(itlv.preds(y), x));
+  EXPECT_TRUE(contains(itlv.preds(y), z));
+}
+
+TEST(Interleaving, SymmetricRelation) {
+  Graph g = lang::compile_or_throw(R"(
+    u := 1;
+    par { x := 1; if (*) { y := 2; } else { skip; } }
+    and { while (*) { z := 3; } }
+    v := 4;
+  )");
+  InterleavingInfo itlv(g);
+  for (NodeId n : g.all_nodes()) {
+    for (NodeId m : itlv.preds(n)) {
+      EXPECT_TRUE(contains(itlv.preds(m), n))
+          << "asymmetric pair " << n.value() << "," << m.value();
+    }
+  }
+}
+
+TEST(ComponentContaining, ResolvesPerStatement) {
+  Graph g = lang::compile_or_throw(R"(
+    par {
+      par { a := 1; } and { b := 2; }
+    } and {
+      c := 3;
+    }
+  )");
+  NodeId a = assign_node(g, "a");
+  NodeId c = assign_node(g, "c");
+  ParStmtId outer(0);
+  ParStmtId inner(1);
+  // `a` is in outer's first component and inner's first component.
+  RegionId outer_comp = component_containing(g, outer, a);
+  EXPECT_TRUE(outer_comp.valid());
+  EXPECT_EQ(g.region(outer_comp).owner, outer);
+  RegionId inner_comp = component_containing(g, inner, a);
+  EXPECT_TRUE(inner_comp.valid());
+  EXPECT_EQ(g.region(inner_comp).owner, inner);
+  // `c` is not inside `inner`.
+  EXPECT_FALSE(component_containing(g, inner, c).valid());
+}
+
+}  // namespace
+}  // namespace parcm

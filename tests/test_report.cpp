@@ -1,0 +1,54 @@
+#include "motion/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "figures/figures.hpp"
+#include "motion/pcm.hpp"
+
+namespace parcm {
+namespace {
+
+TEST(Report, MotionReportMentionsTermsAndTemps) {
+  Graph g = figures::fig2();
+  MotionResult r = parallel_code_motion(g);
+  std::string report = motion_report(r);
+  EXPECT_NE(report.find("refined/PCM"), std::string::npos);
+  EXPECT_NE(report.find("c + b"), std::string::npos);
+  EXPECT_NE(report.find("insert at:"), std::string::npos);
+  EXPECT_NE(report.find("replace at:"), std::string::npos);
+}
+
+TEST(Report, NaiveVariantLabelled) {
+  Graph g = figures::fig2();
+  MotionResult r = naive_parallel_code_motion(g);
+  EXPECT_NE(motion_report(r).find("naive"), std::string::npos);
+}
+
+TEST(Report, SafetyTableHasRowPerAnalyzedNode) {
+  Graph g = figures::fig9();
+  MotionResult r = parallel_code_motion(g);
+  ASSERT_FALSE(r.terms.empty());
+  std::string table = safety_table(r.graph, r, r.terms[0].term);
+  // Header + one line per analyzed node.
+  std::size_t lines = static_cast<std::size_t>(
+      std::count(table.begin(), table.end(), '\n'));
+  EXPECT_EQ(lines, r.safety.upsafe.size() + 1);
+  EXPECT_NE(table.find("up dn safe"), std::string::npos);
+}
+
+TEST(Report, CountsConsistent) {
+  Graph g = figures::fig10();
+  MotionResult r = parallel_code_motion(g);
+  std::size_t inserts = 0, replaces = 0;
+  for (const TermMotion& tm : r.terms) {
+    inserts += tm.insert_nodes.size();
+    replaces += tm.replaced.size();
+  }
+  EXPECT_EQ(inserts, r.num_insertions());
+  EXPECT_EQ(replaces, r.num_replacements());
+}
+
+}  // namespace
+}  // namespace parcm

@@ -1,0 +1,86 @@
+#include "ir/terms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lang/lower.hpp"
+#include "support/diagnostics.hpp"
+
+namespace parcm {
+namespace {
+
+TEST(TermTable, CollectsDistinctTerms) {
+  Graph g = lang::compile_or_throw(R"(
+    x := a + b;
+    y := a + b;
+    z := c * d;
+    w := a - b;
+    v := 5;
+    u := x;
+  )");
+  TermTable terms(g);
+  EXPECT_EQ(terms.size(), 3u);  // a+b, c*d, a-b; trivial rhs not collected
+}
+
+TEST(TermTable, LexicalIdentityNotCommutative) {
+  Graph g = lang::compile_or_throw("x := a + b; y := b + a;");
+  TermTable terms(g);
+  EXPECT_EQ(terms.size(), 2u);
+}
+
+TEST(TermTable, ConstantsDistinguish) {
+  Graph g = lang::compile_or_throw("x := a + 1; y := a + 2; z := a + 1;");
+  TermTable terms(g);
+  EXPECT_EQ(terms.size(), 2u);
+}
+
+TEST(TermTable, TermOfNode) {
+  Graph g = lang::compile_or_throw("x := a + b; y := c; skip;");
+  TermTable terms(g);
+  for (NodeId n : g.all_nodes()) {
+    const Node& node = g.node(n);
+    if (node.kind == NodeKind::kAssign && node.rhs.is_term()) {
+      EXPECT_TRUE(terms.term_of(n).valid());
+    } else {
+      EXPECT_FALSE(terms.term_of(n).valid());
+    }
+  }
+}
+
+TEST(TermTable, TestConditionsNotCollected) {
+  Graph g = lang::compile_or_throw("if (a < b) { x := 1; } while (c < d) { skip; }");
+  TermTable terms(g);
+  EXPECT_EQ(terms.size(), 0u);
+}
+
+TEST(TermTable, FindByValueAndText) {
+  Graph g = lang::compile_or_throw("x := a + b; y := c * 2;");
+  TermTable terms(g);
+  VarId a = *g.find_var("a");
+  VarId b = *g.find_var("b");
+  TermId t = terms.find(Term{BinOp::kAdd, Operand::var(a), Operand::var(b)});
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(terms.find(g, "a + b"), t);
+  EXPECT_TRUE(terms.find(g, "c * 2").valid());
+  EXPECT_THROW(terms.find(g, "a - b"), InternalError);
+  EXPECT_FALSE(
+      terms.find(Term{BinOp::kSub, Operand::var(a), Operand::var(b)}).valid());
+}
+
+TEST(TermTable, AllEnumerates) {
+  Graph g = lang::compile_or_throw("x := a + b; y := a - b;");
+  TermTable terms(g);
+  auto all = terms.all();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], TermId(0));
+  EXPECT_EQ(all[1], TermId(1));
+}
+
+TEST(TermTable, FirstOccurrenceOrder) {
+  Graph g = lang::compile_or_throw("x := a - b; y := a + b; z := a - b;");
+  TermTable terms(g);
+  EXPECT_EQ(terms.term(TermId(0)).op, BinOp::kSub);
+  EXPECT_EQ(terms.term(TermId(1)).op, BinOp::kAdd);
+}
+
+}  // namespace
+}  // namespace parcm

@@ -1,0 +1,131 @@
+#include "ir/transform_utils.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/printer.hpp"
+#include "ir/validate.hpp"
+#include "lang/lower.hpp"
+
+namespace parcm {
+namespace {
+
+std::size_t count_kind(const Graph& g, NodeKind kind) {
+  std::size_t n = 0;
+  for (NodeId id : g.all_nodes()) n += g.node(id).kind == kind;
+  return n;
+}
+
+TEST(SplitJoinEdges, StraightLineUntouched) {
+  Graph g = lang::compile_or_throw("x := 1; y := 2;");
+  EXPECT_EQ(split_join_edges(g), 0u);
+}
+
+TEST(SplitJoinEdges, DiamondJoinSplit) {
+  Graph g = lang::compile_or_throw("if (*) { x := 1; } else { y := 2; } z := 3;");
+  std::size_t before = g.num_nodes();
+  std::size_t inserted = split_join_edges(g);
+  validate_or_throw(g);
+  // The join in front of `z := 3` has two incoming edges -> two synthetics;
+  // the end node keeps in-degree 1.
+  EXPECT_EQ(inserted, 2u);
+  EXPECT_EQ(g.num_nodes(), before + 2);
+  EXPECT_EQ(count_kind(g, NodeKind::kSynthetic), 2u);
+}
+
+TEST(SplitJoinEdges, LoopHeaderSplit) {
+  Graph g = lang::compile_or_throw("while (*) { x := x + 1; } y := 2;");
+  std::size_t inserted = split_join_edges(g);
+  validate_or_throw(g);
+  // Loop header has 2 preds (entry + back edge).
+  EXPECT_EQ(inserted, 2u);
+}
+
+TEST(SplitJoinEdges, ParEndExempt) {
+  Graph g = lang::compile_or_throw("par { x := 1; } and { y := 2; } z := 3;");
+  std::size_t inserted = split_join_edges(g);
+  validate_or_throw(g);
+  // ParEnd has 2 preds but is exempt; nothing else joins.
+  EXPECT_EQ(inserted, 0u);
+  const ParStmt& s = g.par_stmt(ParStmtId(0));
+  EXPECT_EQ(g.in_degree(s.end), 2u);
+}
+
+TEST(SplitJoinEdges, JoinInsideComponentSplit) {
+  Graph g = lang::compile_or_throw(
+      "par { if (*) { a := 1; } else { b := 2; } c := 3; } and { d := 4; }");
+  std::size_t inserted = split_join_edges(g);
+  validate_or_throw(g);
+  EXPECT_EQ(inserted, 2u);
+}
+
+TEST(SplitJoinEdges, Idempotent) {
+  Graph g = lang::compile_or_throw("if (*) { x := 1; } else { y := 2; } z := 3;");
+  split_join_edges(g);
+  EXPECT_EQ(split_join_edges(g), 0u);
+  validate_or_throw(g);
+}
+
+TEST(SplitEdge, PreservesTestSlots) {
+  Graph g = lang::compile_or_throw("if (c < 1) { x := 1; } else { y := 2; } skip;");
+  NodeId test;
+  for (NodeId n : g.all_nodes()) {
+    if (g.node(n).kind == NodeKind::kTest) test = n;
+  }
+  ASSERT_TRUE(test.valid());
+  EdgeId true_edge = g.node(test).out_edges[0];
+  NodeId old_target = g.edge(true_edge).to;
+  NodeId mid = split_edge(g, true_edge);
+  EXPECT_EQ(g.node(test).out_edges[0], true_edge);
+  EXPECT_EQ(g.edge(true_edge).to, mid);
+  EXPECT_EQ(g.succs(mid), std::vector<NodeId>{old_target});
+  validate_or_throw(g);
+}
+
+TEST(SplitEdge, IntoParEndStaysInComponentRegion) {
+  Graph g = lang::compile_or_throw("par { x := 1; } and { y := 2; }");
+  const ParStmt& s = g.par_stmt(ParStmtId(0));
+  EdgeId e = g.node(s.end).in_edges[0];
+  NodeId from = g.edge(e).from;
+  NodeId mid = split_edge(g, e);
+  EXPECT_EQ(g.node(mid).region, g.node(from).region);
+  validate_or_throw(g);
+}
+
+TEST(SplitEdge, FromParBeginGoesToComponentRegion) {
+  Graph g = lang::compile_or_throw("par { x := 1; } and { y := 2; }");
+  const ParStmt& s = g.par_stmt(ParStmtId(0));
+  EdgeId e = g.node(s.begin).out_edges[0];
+  NodeId to = g.edge(e).to;
+  NodeId mid = split_edge(g, e);
+  EXPECT_EQ(g.node(mid).region, g.node(to).region);
+  EXPECT_EQ(g.component_entry(g.node(to).region), mid);
+  validate_or_throw(g);
+}
+
+TEST(FindNode, ByStatementAndLabel) {
+  Graph g = lang::compile_or_throw("x := a + b @n3; y := a + b;");
+  NodeId by_label = node_of_label(g, "n3");
+  EXPECT_EQ(statement_to_string(g, by_label), "x := a + b");
+  NodeId by_stmt = node_of_statement(g, "y := a + b");
+  EXPECT_NE(by_stmt, by_label);
+  EXPECT_THROW(node_of_label(g, "nope"), InternalError);
+  EXPECT_THROW(node_of_statement(g, "q := 1"), InternalError);
+}
+
+TEST(FindNode, AmbiguityDetected) {
+  Graph g = lang::compile_or_throw("x := a + b; x := a + b;");
+  EXPECT_THROW(node_of_statement(g, "x := a + b"), InternalError);
+}
+
+TEST(FindNodes, PredicateSearch) {
+  Graph g = lang::compile_or_throw("x := 1; y := 2; z := 3;");
+  auto assigns = find_nodes(g, [](const Graph& gr, NodeId n) {
+    return gr.node(n).kind == NodeKind::kAssign;
+  });
+  EXPECT_EQ(assigns.size(), 3u);
+  NodeId none = find_node(g, [](const Graph&, NodeId) { return false; });
+  EXPECT_FALSE(none.valid());
+}
+
+}  // namespace
+}  // namespace parcm

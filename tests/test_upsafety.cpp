@@ -1,0 +1,140 @@
+#include "analyses/upsafety.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/transform_utils.hpp"
+#include "lang/lower.hpp"
+
+namespace parcm {
+namespace {
+
+struct Ctx {
+  Graph g;
+  TermTable terms;
+  LocalPredicates preds;
+  InterleavingInfo itlv;
+
+  explicit Ctx(const char* src)
+      : g(lang::compile_or_throw(src)), terms(g), preds(g, terms), itlv(g) {}
+
+  bool upsafe(SafetyVariant v, const std::string& stmt,
+              const std::string& term) {
+    PackedResult r = compute_upsafety(g, preds, v);
+    return r.entry[node_of_statement(g, stmt).index()].test(
+        terms.find(g, term).index());
+  }
+};
+
+TEST(UpSafety, SequentialAvailability) {
+  Ctx s("x := a + b; y := a + b; a := 1; z := a + b;");
+  EXPECT_FALSE(s.upsafe(SafetyVariant::kRefined, "x := a + b", "a + b"));
+  EXPECT_TRUE(s.upsafe(SafetyVariant::kRefined, "y := a + b", "a + b"));
+  EXPECT_FALSE(s.upsafe(SafetyVariant::kRefined, "z := a + b", "a + b"));
+}
+
+TEST(UpSafety, MustHoldOnAllPaths) {
+  Ctx s("if (*) { x := a + b; } else { skip; } y := a + b;");
+  EXPECT_FALSE(s.upsafe(SafetyVariant::kRefined, "y := a + b", "a + b"));
+}
+
+TEST(UpSafety, BothBranchesEstablish) {
+  Ctx s("if (*) { x := a + b; } else { u := a + b; } y := a + b;");
+  EXPECT_TRUE(s.upsafe(SafetyVariant::kRefined, "y := a + b", "a + b"));
+}
+
+TEST(UpSafety, RecursiveAssignmentKillsOwnAvailability) {
+  Ctx s("a := a + b; y := a + b;");
+  EXPECT_FALSE(s.upsafe(SafetyVariant::kRefined, "y := a + b", "a + b"));
+}
+
+TEST(UpSafety, NaiveExitOfParAvailableFromOneComponent) {
+  // Standard (naive) rule: one component establishes, nothing destroys ->
+  // exit available; here the refined rule agrees since siblings are clean.
+  Ctx s("par { x := a + b; } and { c := 1; } w := a + b;");
+  EXPECT_TRUE(s.upsafe(SafetyVariant::kNaive, "w := a + b", "a + b"));
+  EXPECT_TRUE(s.upsafe(SafetyVariant::kRefined, "w := a + b", "a + b"));
+}
+
+TEST(UpSafety, RefinedExitAcceptsCleanSiblingEstablisher) {
+  // The sibling of the destroying component establishes after its own kill;
+  // the destroyer-free sibling rule admits it (the establishing component's
+  // temporary is valid: all computations after a := 1 yield the same value).
+  Ctx s(R"(
+    par { x := a + b; } and { a := 1; y := a + b; }
+    w := a + b;
+  )");
+  EXPECT_TRUE(s.upsafe(SafetyVariant::kNaive, "w := a + b", "a + b"));
+  EXPECT_TRUE(s.upsafe(SafetyVariant::kRefined, "w := a + b", "a + b"));
+}
+
+TEST(UpSafety, RefinedExitRejectsMutuallyDestroyingComponents) {
+  // Fig. 6 shape: both components end with a computation (every
+  // interleaving leaves a+b available, so the naive exit is up-safe), but
+  // each candidate establisher has a destroying sibling — no single
+  // component's occurrence pin-points the value, so up-safe_par fails.
+  Ctx s(R"(
+    par { b := 2; x := a + b; } and { a := 1; y := a + b; }
+    w := a + b;
+  )");
+  EXPECT_TRUE(s.upsafe(SafetyVariant::kNaive, "w := a + b", "a + b"));
+  EXPECT_FALSE(s.upsafe(SafetyVariant::kRefined, "w := a + b", "a + b"));
+}
+
+TEST(UpSafety, RefinedExitEstablisherMayDestroyItself) {
+  // The destroying component itself re-establishes: order within the
+  // component is fixed, siblings are clean -> refined exit is up-safe.
+  Ctx s(R"(
+    par { a := 1; x := a + b; } and { c := 2; }
+    w := a + b;
+  )");
+  EXPECT_TRUE(s.upsafe(SafetyVariant::kRefined, "w := a + b", "a + b"));
+}
+
+TEST(UpSafety, InterleavingDestroysInsideComponent) {
+  Ctx s("par { x := a + b; y := a + b; } and { b := 1; }");
+  EXPECT_FALSE(s.upsafe(SafetyVariant::kRefined, "y := a + b", "a + b"));
+  EXPECT_FALSE(s.upsafe(SafetyVariant::kNaive, "y := a + b", "a + b"));
+}
+
+TEST(UpSafety, TransparentStatementPassesAvailabilityThrough) {
+  Ctx s("x := a + b; par { c := 1; } and { d := 2; } w := a + b;");
+  EXPECT_TRUE(s.upsafe(SafetyVariant::kRefined, "w := a + b", "a + b"));
+}
+
+TEST(UpSafety, NestedParallelEstablish) {
+  Ctx s(R"(
+    par {
+      par { x := a + b; } and { c := 1; }
+    } and {
+      d := 2;
+    }
+    w := a + b;
+  )");
+  EXPECT_TRUE(s.upsafe(SafetyVariant::kRefined, "w := a + b", "a + b"));
+}
+
+TEST(UpSafety, NestedParallelSiblingDestroysOuter) {
+  Ctx s(R"(
+    par {
+      par { x := a + b; } and { c := 1; }
+    } and {
+      a := 9;
+    }
+    w := a + b;
+  )");
+  EXPECT_FALSE(s.upsafe(SafetyVariant::kRefined, "w := a + b", "a + b"));
+  EXPECT_FALSE(s.upsafe(SafetyVariant::kNaive, "w := a + b", "a + b"));
+}
+
+TEST(UpSafety, LoopPreservesAvailability) {
+  Ctx s("x := a + b; while (*) { c := c - 1; } y := a + b;");
+  EXPECT_TRUE(s.upsafe(SafetyVariant::kRefined, "y := a + b", "a + b"));
+}
+
+TEST(UpSafety, LoopBodyKillDestroysAvailability) {
+  Ctx s("x := a + b; while (*) { a := a - 1; } y := a + b;");
+  EXPECT_FALSE(s.upsafe(SafetyVariant::kRefined, "y := a + b", "a + b"));
+}
+
+}  // namespace
+}  // namespace parcm

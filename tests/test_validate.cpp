@@ -1,0 +1,117 @@
+#include "ir/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "lang/lower.hpp"
+
+namespace parcm {
+namespace {
+
+TEST(Validate, AcceptsWellFormedPrograms) {
+  for (const char* src : {
+           "skip;",
+           "x := a + b; y := x;",
+           "if (*) { x := 1; } else { y := 2; }",
+           "while (*) { x := x + 1; }",
+           "par { x := 1; } and { y := 2; }",
+           "par { par { a := 1; } and { b := 2; } } and { c := 3; }",
+       }) {
+    Graph g = lang::compile_or_throw(src);
+    DiagnosticSink sink;
+    EXPECT_TRUE(validate(g, sink)) << src << "\n" << sink.to_string();
+  }
+}
+
+TEST(Validate, RejectsDeadEndNode) {
+  Graph g;
+  NodeId n = g.new_node(NodeKind::kSkip, g.root_region());
+  g.add_edge(g.start(), n);  // n has no out-edge; end unreachable
+  DiagnosticSink sink;
+  EXPECT_FALSE(validate(g, sink));
+}
+
+TEST(Validate, RejectsUnreachableNode) {
+  Graph g;
+  g.add_edge(g.start(), g.end());
+  g.new_node(NodeKind::kSkip, g.root_region());  // floating
+  DiagnosticSink sink;
+  EXPECT_FALSE(validate(g, sink));
+}
+
+TEST(Validate, UnreachableOkWithoutReachabilityCheck) {
+  Graph g;
+  g.add_edge(g.start(), g.end());
+  NodeId n = g.new_node(NodeKind::kSkip, g.root_region());
+  g.add_edge(n, g.end());
+  ValidateOptions opts;
+  opts.check_reachability = false;
+  DiagnosticSink sink;
+  EXPECT_TRUE(validate(g, sink, opts));
+}
+
+TEST(Validate, RejectsTestWithWrongDegree) {
+  Graph g;
+  VarId x = g.intern_var("x");
+  NodeId t = g.new_test(g.root_region(), Rhs(Operand::var(x)));
+  g.add_edge(g.start(), t);
+  g.add_edge(t, g.end());  // only one out-edge
+  DiagnosticSink sink;
+  EXPECT_FALSE(validate(g, sink));
+}
+
+TEST(Validate, RejectsCrossRegionEdge) {
+  Graph g;
+  ParStmtId s = g.add_par_stmt(g.root_region());
+  RegionId c1 = g.add_component(s);
+  RegionId c2 = g.add_component(s);
+  NodeId a = g.new_node(NodeKind::kSkip, c1);
+  NodeId b = g.new_node(NodeKind::kSkip, c2);
+  g.add_edge(g.start(), g.par_stmt(s).begin);
+  g.add_edge(g.par_stmt(s).begin, a);
+  g.add_edge(g.par_stmt(s).begin, b);
+  g.add_edge(a, b);  // jump into a sibling component
+  g.add_edge(a, g.par_stmt(s).end);
+  g.add_edge(b, g.par_stmt(s).end);
+  g.add_edge(g.par_stmt(s).end, g.end());
+  DiagnosticSink sink;
+  EXPECT_FALSE(validate(g, sink));
+  EXPECT_NE(sink.to_string().find("crosses a region boundary"),
+            std::string::npos);
+}
+
+TEST(Validate, RejectsSingleComponentStatement) {
+  Graph g;
+  ParStmtId s = g.add_par_stmt(g.root_region());
+  RegionId c1 = g.add_component(s);
+  NodeId a = g.new_node(NodeKind::kSkip, c1);
+  g.add_edge(g.start(), g.par_stmt(s).begin);
+  g.add_edge(g.par_stmt(s).begin, a);
+  g.add_edge(a, g.par_stmt(s).end);
+  g.add_edge(g.par_stmt(s).end, g.end());
+  DiagnosticSink sink;
+  EXPECT_FALSE(validate(g, sink));
+}
+
+TEST(Validate, RejectsEmptyComponent) {
+  Graph g;
+  ParStmtId s = g.add_par_stmt(g.root_region());
+  RegionId c1 = g.add_component(s);
+  RegionId c2 = g.add_component(s);
+  NodeId a = g.new_node(NodeKind::kSkip, c1);
+  (void)c2;  // left empty
+  g.add_edge(g.start(), g.par_stmt(s).begin);
+  g.add_edge(g.par_stmt(s).begin, a);
+  g.add_edge(a, g.par_stmt(s).end);
+  g.add_edge(g.par_stmt(s).end, g.end());
+  DiagnosticSink sink;
+  EXPECT_FALSE(validate(g, sink));
+}
+
+TEST(Validate, ValidateOrThrowThrows) {
+  Graph g;  // start not connected to end
+  EXPECT_THROW(validate_or_throw(g), InternalError);
+}
+
+}  // namespace
+}  // namespace parcm

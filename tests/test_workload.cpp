@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "ir/terms.hpp"
+#include "ir/validate.hpp"
+#include "workload/families.hpp"
+#include "workload/randomprog.hpp"
+
+namespace parcm {
+namespace {
+
+TEST(RandomProgram, AlwaysWellFormed) {
+  RandomProgramOptions opt;
+  opt.max_par_depth = 2;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(seed);
+    Graph g = random_program(rng, opt);
+    DiagnosticSink sink;
+    EXPECT_TRUE(validate(g, sink)) << "seed " << seed << "\n"
+                                   << sink.to_string();
+  }
+}
+
+TEST(RandomProgram, DeterministicPerSeed) {
+  RandomProgramOptions opt;
+  Rng r1(42), r2(42);
+  Graph a = random_program(r1, opt);
+  Graph b = random_program(r2, opt);
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.num_par_stmts(), b.num_par_stmts());
+  for (NodeId n : a.all_nodes()) {
+    EXPECT_EQ(a.node(n).kind, b.node(n).kind);
+  }
+}
+
+TEST(RandomProgram, SequentialModeHasNoParStmts) {
+  RandomProgramOptions opt;
+  opt.max_par_depth = 0;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    EXPECT_EQ(random_program(rng, opt).num_par_stmts(), 0u);
+  }
+}
+
+TEST(RandomProgram, ParallelStatementsAppear) {
+  RandomProgramOptions opt;
+  opt.max_par_depth = 2;
+  opt.par_permille = 400;
+  std::size_t with_par = 0;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    with_par += random_program(rng, opt).num_par_stmts() > 0;
+  }
+  EXPECT_GT(with_par, 25u);
+}
+
+TEST(RandomProgram, BudgetBoundsSize) {
+  RandomProgramOptions opt;
+  opt.target_stmts = 6;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    Graph g = random_program(rng, opt);
+    // Structural overhead (entries, joins, par begin/end) is bounded by a
+    // small multiple of the statement budget.
+    EXPECT_LT(g.num_nodes(), 6u * 8u);
+  }
+}
+
+TEST(RandomProgram, AlwaysHasAtLeastOneTerm) {
+  RandomProgramOptions opt;
+  opt.trivial_permille = 1000;  // all assignments trivial...
+  Rng rng(5);
+  Graph g = random_program(rng, opt);
+  TermTable terms(g);
+  EXPECT_GE(terms.size(), 1u);  // ...except the guaranteed final term
+}
+
+TEST(Families, Fig2FamilyShape) {
+  Graph g = families::fig2_family(4);
+  validate_or_throw(g);
+  EXPECT_EQ(g.num_par_stmts(), 1u);
+}
+
+TEST(Families, Fig10FamilyShape) {
+  Graph g = families::fig10_family(2);
+  validate_or_throw(g);
+  EXPECT_EQ(g.num_par_stmts(), 1u);
+}
+
+TEST(Families, SeqChainSize) {
+  Graph g = families::seq_chain(50, 4);
+  validate_or_throw(g);
+  EXPECT_EQ(g.num_par_stmts(), 0u);
+  EXPECT_GT(g.num_nodes(), 50u);
+}
+
+TEST(Families, ParWideComponents) {
+  Graph g = families::par_wide(4, 5);
+  validate_or_throw(g);
+  EXPECT_EQ(g.par_stmt(ParStmtId(0)).components.size(), 4u);
+}
+
+TEST(Families, ParNestedDepth) {
+  Graph g = families::par_nested(3, 2);
+  validate_or_throw(g);
+  EXPECT_EQ(g.num_par_stmts(), 3u);
+}
+
+}  // namespace
+}  // namespace parcm
