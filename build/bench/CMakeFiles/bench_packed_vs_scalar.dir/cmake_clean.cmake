@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_packed_vs_scalar.dir/bench_packed_vs_scalar.cpp.o"
+  "CMakeFiles/bench_packed_vs_scalar.dir/bench_packed_vs_scalar.cpp.o.d"
+  "bench_packed_vs_scalar"
+  "bench_packed_vs_scalar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_packed_vs_scalar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

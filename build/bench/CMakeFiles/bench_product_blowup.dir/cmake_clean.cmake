@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_product_blowup.dir/bench_product_blowup.cpp.o"
+  "CMakeFiles/bench_product_blowup.dir/bench_product_blowup.cpp.o.d"
+  "bench_product_blowup"
+  "bench_product_blowup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_product_blowup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

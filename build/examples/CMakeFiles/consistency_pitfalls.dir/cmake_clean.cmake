@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_pitfalls.dir/consistency_pitfalls.cpp.o"
+  "CMakeFiles/consistency_pitfalls.dir/consistency_pitfalls.cpp.o.d"
+  "consistency_pitfalls"
+  "consistency_pitfalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_pitfalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

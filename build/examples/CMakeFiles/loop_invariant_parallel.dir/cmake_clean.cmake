@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_invariant_parallel.dir/loop_invariant_parallel.cpp.o"
+  "CMakeFiles/loop_invariant_parallel.dir/loop_invariant_parallel.cpp.o.d"
+  "loop_invariant_parallel"
+  "loop_invariant_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_invariant_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

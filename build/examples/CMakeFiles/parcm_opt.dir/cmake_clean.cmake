@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcm_opt.dir/parcm_opt.cpp.o"
+  "CMakeFiles/parcm_opt.dir/parcm_opt.cpp.o.d"
+  "parcm_opt"
+  "parcm_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcm_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reproduce_experiments.dir/reproduce_experiments.cpp.o"
+  "CMakeFiles/reproduce_experiments.dir/reproduce_experiments.cpp.o.d"
+  "reproduce_experiments"
+  "reproduce_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reproduce_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

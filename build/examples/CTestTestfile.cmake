@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_loop_invariant "/root/repo/build/examples/loop_invariant_parallel" "4")
+set_tests_properties(example_loop_invariant PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_consistency "/root/repo/build/examples/consistency_pitfalls")
+set_tests_properties(example_consistency PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bottleneck "/root/repo/build/examples/bottleneck_aware" "4")
+set_tests_properties(example_bottleneck PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_barrier_phases "/root/repo/build/examples/barrier_phases")
+set_tests_properties(example_barrier_phases PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_redundancy_audit "/root/repo/build/examples/redundancy_audit")
+set_tests_properties(example_redundancy_audit PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_reproduce "/root/repo/build/examples/reproduce_experiments")
+set_tests_properties(example_reproduce PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_parcm_opt "/root/repo/build/examples/parcm_opt" "--figure" "10" "--report" "--table" "a + b")
+set_tests_properties(example_parcm_opt PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_parcm_opt_dce "/root/repo/build/examples/parcm_opt" "--figure" "2" "--dce" "--report")
+set_tests_properties(example_parcm_opt_dce PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")

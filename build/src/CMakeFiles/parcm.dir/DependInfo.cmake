@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analyses/constprop.cpp" "src/CMakeFiles/parcm.dir/analyses/constprop.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/analyses/constprop.cpp.o.d"
+  "/root/repo/src/analyses/downsafety.cpp" "src/CMakeFiles/parcm.dir/analyses/downsafety.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/analyses/downsafety.cpp.o.d"
+  "/root/repo/src/analyses/earliest.cpp" "src/CMakeFiles/parcm.dir/analyses/earliest.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/analyses/earliest.cpp.o.d"
+  "/root/repo/src/analyses/liveness.cpp" "src/CMakeFiles/parcm.dir/analyses/liveness.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/analyses/liveness.cpp.o.d"
+  "/root/repo/src/analyses/predicates.cpp" "src/CMakeFiles/parcm.dir/analyses/predicates.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/analyses/predicates.cpp.o.d"
+  "/root/repo/src/analyses/upsafety.cpp" "src/CMakeFiles/parcm.dir/analyses/upsafety.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/analyses/upsafety.cpp.o.d"
+  "/root/repo/src/dfa/direction.cpp" "src/CMakeFiles/parcm.dir/dfa/direction.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/dfa/direction.cpp.o.d"
+  "/root/repo/src/dfa/framework.cpp" "src/CMakeFiles/parcm.dir/dfa/framework.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/dfa/framework.cpp.o.d"
+  "/root/repo/src/dfa/hier_solver.cpp" "src/CMakeFiles/parcm.dir/dfa/hier_solver.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/dfa/hier_solver.cpp.o.d"
+  "/root/repo/src/dfa/lattice.cpp" "src/CMakeFiles/parcm.dir/dfa/lattice.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/dfa/lattice.cpp.o.d"
+  "/root/repo/src/dfa/packed.cpp" "src/CMakeFiles/parcm.dir/dfa/packed.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/dfa/packed.cpp.o.d"
+  "/root/repo/src/dfa/seq_solver.cpp" "src/CMakeFiles/parcm.dir/dfa/seq_solver.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/dfa/seq_solver.cpp.o.d"
+  "/root/repo/src/figures/figures.cpp" "src/CMakeFiles/parcm.dir/figures/figures.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/figures/figures.cpp.o.d"
+  "/root/repo/src/ir/builder.cpp" "src/CMakeFiles/parcm.dir/ir/builder.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/ir/builder.cpp.o.d"
+  "/root/repo/src/ir/expr.cpp" "src/CMakeFiles/parcm.dir/ir/expr.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/ir/expr.cpp.o.d"
+  "/root/repo/src/ir/graph.cpp" "src/CMakeFiles/parcm.dir/ir/graph.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/ir/graph.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/CMakeFiles/parcm.dir/ir/printer.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/regions.cpp" "src/CMakeFiles/parcm.dir/ir/regions.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/ir/regions.cpp.o.d"
+  "/root/repo/src/ir/terms.cpp" "src/CMakeFiles/parcm.dir/ir/terms.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/ir/terms.cpp.o.d"
+  "/root/repo/src/ir/transform_utils.cpp" "src/CMakeFiles/parcm.dir/ir/transform_utils.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/ir/transform_utils.cpp.o.d"
+  "/root/repo/src/ir/validate.cpp" "src/CMakeFiles/parcm.dir/ir/validate.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/ir/validate.cpp.o.d"
+  "/root/repo/src/lang/ast.cpp" "src/CMakeFiles/parcm.dir/lang/ast.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/lang/ast.cpp.o.d"
+  "/root/repo/src/lang/lexer.cpp" "src/CMakeFiles/parcm.dir/lang/lexer.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/lang/lexer.cpp.o.d"
+  "/root/repo/src/lang/lower.cpp" "src/CMakeFiles/parcm.dir/lang/lower.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/lang/lower.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "src/CMakeFiles/parcm.dir/lang/parser.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/lang/parser.cpp.o.d"
+  "/root/repo/src/motion/bcm.cpp" "src/CMakeFiles/parcm.dir/motion/bcm.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/motion/bcm.cpp.o.d"
+  "/root/repo/src/motion/code_motion.cpp" "src/CMakeFiles/parcm.dir/motion/code_motion.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/motion/code_motion.cpp.o.d"
+  "/root/repo/src/motion/dce.cpp" "src/CMakeFiles/parcm.dir/motion/dce.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/motion/dce.cpp.o.d"
+  "/root/repo/src/motion/lcm.cpp" "src/CMakeFiles/parcm.dir/motion/lcm.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/motion/lcm.cpp.o.d"
+  "/root/repo/src/motion/pcm.cpp" "src/CMakeFiles/parcm.dir/motion/pcm.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/motion/pcm.cpp.o.d"
+  "/root/repo/src/motion/pipeline.cpp" "src/CMakeFiles/parcm.dir/motion/pipeline.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/motion/pipeline.cpp.o.d"
+  "/root/repo/src/motion/report.cpp" "src/CMakeFiles/parcm.dir/motion/report.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/motion/report.cpp.o.d"
+  "/root/repo/src/motion/sinking.cpp" "src/CMakeFiles/parcm.dir/motion/sinking.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/motion/sinking.cpp.o.d"
+  "/root/repo/src/semantics/cost.cpp" "src/CMakeFiles/parcm.dir/semantics/cost.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/semantics/cost.cpp.o.d"
+  "/root/repo/src/semantics/enumerator.cpp" "src/CMakeFiles/parcm.dir/semantics/enumerator.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/semantics/enumerator.cpp.o.d"
+  "/root/repo/src/semantics/equivalence.cpp" "src/CMakeFiles/parcm.dir/semantics/equivalence.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/semantics/equivalence.cpp.o.d"
+  "/root/repo/src/semantics/interpreter.cpp" "src/CMakeFiles/parcm.dir/semantics/interpreter.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/semantics/interpreter.cpp.o.d"
+  "/root/repo/src/semantics/product.cpp" "src/CMakeFiles/parcm.dir/semantics/product.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/semantics/product.cpp.o.d"
+  "/root/repo/src/semantics/state.cpp" "src/CMakeFiles/parcm.dir/semantics/state.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/semantics/state.cpp.o.d"
+  "/root/repo/src/support/bitvector.cpp" "src/CMakeFiles/parcm.dir/support/bitvector.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/support/bitvector.cpp.o.d"
+  "/root/repo/src/support/diagnostics.cpp" "src/CMakeFiles/parcm.dir/support/diagnostics.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/support/diagnostics.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/parcm.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/support/rng.cpp.o.d"
+  "/root/repo/src/workload/families.cpp" "src/CMakeFiles/parcm.dir/workload/families.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/workload/families.cpp.o.d"
+  "/root/repo/src/workload/randomprog.cpp" "src/CMakeFiles/parcm.dir/workload/randomprog.cpp.o" "gcc" "src/CMakeFiles/parcm.dir/workload/randomprog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

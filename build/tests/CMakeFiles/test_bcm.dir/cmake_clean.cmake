@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bcm.dir/test_bcm.cpp.o"
+  "CMakeFiles/test_bcm.dir/test_bcm.cpp.o.d"
+  "test_bcm"
+  "test_bcm.pdb"
+  "test_bcm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_constprop.dir/test_constprop.cpp.o"
+  "CMakeFiles/test_constprop.dir/test_constprop.cpp.o.d"
+  "test_constprop"
+  "test_constprop.pdb"
+  "test_constprop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_constprop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dfa_solvers.dir/test_dfa_solvers.cpp.o"
+  "CMakeFiles/test_dfa_solvers.dir/test_dfa_solvers.cpp.o.d"
+  "test_dfa_solvers"
+  "test_dfa_solvers.pdb"
+  "test_dfa_solvers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dfa_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

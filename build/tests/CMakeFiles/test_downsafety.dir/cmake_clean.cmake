@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_downsafety.dir/test_downsafety.cpp.o"
+  "CMakeFiles/test_downsafety.dir/test_downsafety.cpp.o.d"
+  "test_downsafety"
+  "test_downsafety.pdb"
+  "test_downsafety[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_downsafety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

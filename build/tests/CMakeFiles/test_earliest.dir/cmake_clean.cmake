@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_earliest.dir/test_earliest.cpp.o"
+  "CMakeFiles/test_earliest.dir/test_earliest.cpp.o.d"
+  "test_earliest"
+  "test_earliest.pdb"
+  "test_earliest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_earliest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hier_edgecases.dir/test_hier_edgecases.cpp.o"
+  "CMakeFiles/test_hier_edgecases.dir/test_hier_edgecases.cpp.o.d"
+  "test_hier_edgecases"
+  "test_hier_edgecases.pdb"
+  "test_hier_edgecases[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hier_edgecases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir_graph.dir/test_ir_graph.cpp.o"
+  "CMakeFiles/test_ir_graph.dir/test_ir_graph.cpp.o.d"
+  "test_ir_graph"
+  "test_ir_graph.pdb"
+  "test_ir_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

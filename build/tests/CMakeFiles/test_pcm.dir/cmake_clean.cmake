@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcm.dir/test_pcm.cpp.o"
+  "CMakeFiles/test_pcm.dir/test_pcm.cpp.o.d"
+  "test_pcm"
+  "test_pcm.pdb"
+  "test_pcm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_por.dir/test_por.cpp.o"
+  "CMakeFiles/test_por.dir/test_por.cpp.o.d"
+  "test_por"
+  "test_por.pdb"
+  "test_por[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_por.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

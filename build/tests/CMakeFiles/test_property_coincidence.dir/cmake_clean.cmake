@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_coincidence.dir/test_property_coincidence.cpp.o"
+  "CMakeFiles/test_property_coincidence.dir/test_property_coincidence.cpp.o.d"
+  "test_property_coincidence"
+  "test_property_coincidence.pdb"
+  "test_property_coincidence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_coincidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_safety.dir/test_property_safety.cpp.o"
+  "CMakeFiles/test_property_safety.dir/test_property_safety.cpp.o.d"
+  "test_property_safety"
+  "test_property_safety.pdb"
+  "test_property_safety[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_transform.dir/test_property_transform.cpp.o"
+  "CMakeFiles/test_property_transform.dir/test_property_transform.cpp.o.d"
+  "test_property_transform"
+  "test_property_transform.pdb"
+  "test_property_transform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sinking.dir/test_sinking.cpp.o"
+  "CMakeFiles/test_sinking.dir/test_sinking.cpp.o.d"
+  "test_sinking"
+  "test_sinking.pdb"
+  "test_sinking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sinking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

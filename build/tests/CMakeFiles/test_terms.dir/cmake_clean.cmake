@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_terms.dir/test_terms.cpp.o"
+  "CMakeFiles/test_terms.dir/test_terms.cpp.o.d"
+  "test_terms"
+  "test_terms.pdb"
+  "test_terms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_terms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

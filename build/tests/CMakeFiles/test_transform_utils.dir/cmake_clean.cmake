@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transform_utils.dir/test_transform_utils.cpp.o"
+  "CMakeFiles/test_transform_utils.dir/test_transform_utils.cpp.o.d"
+  "test_transform_utils"
+  "test_transform_utils.pdb"
+  "test_transform_utils[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transform_utils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_upsafety.dir/test_upsafety.cpp.o"
+  "CMakeFiles/test_upsafety.dir/test_upsafety.cpp.o.d"
+  "test_upsafety"
+  "test_upsafety.pdb"
+  "test_upsafety[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_upsafety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
