@@ -6,6 +6,8 @@
 //  - analysis-only vs full-transformation split.
 #include <benchmark/benchmark.h>
 
+#include "bench_support.hpp"
+
 #include "analyses/liveness.hpp"
 #include "motion/bcm.hpp"
 #include "motion/lcm.hpp"
@@ -68,4 +70,4 @@ BENCHMARK(BM_PcmNoPrivatization);
 }  // namespace
 }  // namespace parcm
 
-BENCHMARK_MAIN();
+PARCM_BENCH_MAIN("bench_ablation")

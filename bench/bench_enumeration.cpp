@@ -3,6 +3,8 @@
 // assignment semantics, vs. component count and length.
 #include <benchmark/benchmark.h>
 
+#include "bench_support.hpp"
+
 #include "figures/figures.hpp"
 #include "ir/builder.hpp"
 #include "lang/lower.hpp"
@@ -122,4 +124,4 @@ BENCHMARK(BM_EnumerateFigures)->DenseRange(0, 3);
 }  // namespace
 }  // namespace parcm
 
-BENCHMARK_MAIN();
+PARCM_BENCH_MAIN("bench_enumeration")

@@ -4,6 +4,8 @@
 // cost-model execution times for original vs. PCM.
 #include <benchmark/benchmark.h>
 
+#include "bench_support.hpp"
+
 #include "figures/figures.hpp"
 #include "motion/pcm.hpp"
 #include "semantics/cost.hpp"
@@ -59,4 +61,4 @@ BENCHMARK(BM_Fig10_TransformCost);
 }  // namespace
 }  // namespace parcm
 
-BENCHMARK_MAIN();
+PARCM_BENCH_MAIN("bench_fig10_loops")

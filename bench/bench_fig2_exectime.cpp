@@ -5,6 +5,8 @@
 // components, sum along sequences) and the interleaving computation count.
 #include <benchmark/benchmark.h>
 
+#include "bench_support.hpp"
+
 #include "motion/pcm.hpp"
 #include "semantics/cost.hpp"
 #include "workload/families.hpp"
@@ -52,4 +54,4 @@ BENCHMARK(BM_Fig2_PCM)->DenseRange(1, 10)->ArgName("bottleneck");
 }  // namespace
 }  // namespace parcm
 
-BENCHMARK_MAIN();
+PARCM_BENCH_MAIN("bench_fig2_exectime")

@@ -5,6 +5,8 @@
 // scaling over component count and nesting depth.
 #include <benchmark/benchmark.h>
 
+#include "bench_support.hpp"
+
 #include "analyses/upsafety.hpp"
 #include "dfa/packed.hpp"
 #include "dfa/seq_solver.hpp"
@@ -78,4 +80,4 @@ BENCHMARK(BM_SeqSolverBaseline)->Range(64, 8192);
 }  // namespace
 }  // namespace parcm
 
-BENCHMARK_MAIN();
+PARCM_BENCH_MAIN("bench_fixpoint_scaling")

@@ -2,6 +2,8 @@
 // once word-parallel vs. one scalar fixpoint per term.
 #include <benchmark/benchmark.h>
 
+#include "bench_support.hpp"
+
 #include "analyses/downsafety.hpp"
 #include "analyses/upsafety.hpp"
 #include "dfa/hier_solver.hpp"
@@ -65,4 +67,4 @@ BENCHMARK(BM_PackedBothAnalyses)->RangeMultiplier(4)->Range(4, 256);
 }  // namespace
 }  // namespace parcm
 
-BENCHMARK_MAIN();
+PARCM_BENCH_MAIN("bench_packed_vs_scalar")

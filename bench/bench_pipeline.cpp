@@ -4,6 +4,8 @@
 // collection, both analyses, placement) on random and family programs.
 #include <benchmark/benchmark.h>
 
+#include "bench_support.hpp"
+
 #include "motion/bcm.hpp"
 #include "motion/pcm.hpp"
 #include "workload/families.hpp"
@@ -68,4 +70,4 @@ BENCHMARK(BM_NaiveVsRefinedAnalysisCost)
 }  // namespace
 }  // namespace parcm
 
-BENCHMARK_MAIN();
+PARCM_BENCH_MAIN("bench_pipeline")

@@ -3,6 +3,8 @@
 // product time against the hierarchical PMFP on the compact graph.
 #include <benchmark/benchmark.h>
 
+#include "bench_support.hpp"
+
 #include "analyses/upsafety.hpp"
 #include "dfa/packed.hpp"
 #include "semantics/product.hpp"
@@ -76,4 +78,4 @@ BENCHMARK(BM_PmfpOnCompactGraph)->Args({2, 4})->Args({2, 8})->Args({3, 4})
 }  // namespace
 }  // namespace parcm
 
-BENCHMARK_MAIN();
+PARCM_BENCH_MAIN("bench_product_blowup")

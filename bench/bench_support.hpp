@@ -1,0 +1,137 @@
+// Shared harness for the parcm benchmark binaries.
+//
+// PARCM_BENCH_MAIN("bench_foo") replaces BENCHMARK_MAIN(). On top of the
+// normal console output the harness can emit one machine-readable file with
+// the unified parcm bench schema:
+//
+//   {"schema": "parcm-bench-v1",
+//    "bench": "bench_foo",
+//    "results": [{"name", "iterations", "real_ns_per_iter",
+//                 "cpu_ns_per_iter", "counters": {...}}, ...],
+//    "obs": { the obs::Registry snapshot (counters/gauges/timers) }}
+//
+// The output path comes from --obs_json=FILE (stripped before the flags
+// reach google-benchmark) or, when the flag is absent, from the
+// PARCM_BENCH_JSON_DIR environment variable as
+// $PARCM_BENCH_JSON_DIR/BENCH_<name>.json. Without either, no file is
+// written and the harness behaves exactly like BENCHMARK_MAIN().
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace parcm::benchsupport {
+
+struct ResultRow {
+  std::string name;
+  std::int64_t iterations = 0;
+  double real_ns_per_iter = 0.0;
+  double cpu_ns_per_iter = 0.0;
+  std::map<std::string, double> counters;
+};
+
+// Console reporter that additionally keeps every per-iteration run so the
+// harness can serialize them after RunSpecifiedBenchmarks returns.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      ResultRow row;
+      row.name = run.benchmark_name();
+      row.iterations = run.iterations;
+      if (run.iterations > 0) {
+        double iters = static_cast<double>(run.iterations);
+        row.real_ns_per_iter = run.real_accumulated_time * 1e9 / iters;
+        row.cpu_ns_per_iter = run.cpu_accumulated_time * 1e9 / iters;
+      }
+      for (const auto& [name, counter] : run.counters) {
+        row.counters.emplace(name, counter.value);
+      }
+      rows.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<ResultRow> rows;
+};
+
+inline std::string bench_json(const std::string& bench_name,
+                              const std::vector<ResultRow>& rows) {
+  obs::JsonWriter w(/*pretty=*/true);
+  w.begin_object();
+  w.key("schema").value("parcm-bench-v1");
+  w.key("bench").value(bench_name);
+  w.key("results").begin_array();
+  for (const ResultRow& row : rows) {
+    w.begin_object();
+    w.key("name").value(row.name);
+    w.key("iterations").value(row.iterations);
+    w.key("real_ns_per_iter").value(row.real_ns_per_iter);
+    w.key("cpu_ns_per_iter").value(row.cpu_ns_per_iter);
+    w.key("counters").begin_object();
+    for (const auto& [name, value] : row.counters) w.key(name).value(value);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("obs");
+  obs::registry().write_json(w);
+  w.end_object();
+  return w.take();
+}
+
+inline int bench_main(const char* bench_name, int argc, char** argv) {
+  const std::string flag = "--obs_json=";
+  std::string out_path;
+  std::vector<char*> filtered;
+  for (int i = 0; i < argc; ++i) {
+    std::string_view a = argv[i];
+    if (i > 0 && a.substr(0, flag.size()) == flag) {
+      out_path = std::string(a.substr(flag.size()));
+    } else {
+      filtered.push_back(argv[i]);
+    }
+  }
+  if (out_path.empty()) {
+    if (const char* dir = std::getenv("PARCM_BENCH_JSON_DIR")) {
+      out_path = std::string(dir) + "/BENCH_" + bench_name + ".json";
+    }
+  }
+
+  int fargc = static_cast<int>(filtered.size());
+  filtered.push_back(nullptr);
+  benchmark::Initialize(&fargc, filtered.data());
+  if (benchmark::ReportUnrecognizedArguments(fargc, filtered.data())) return 1;
+
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    out << bench_json(bench_name, reporter.rows) << "\n";
+    std::cerr << "wrote " << out_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace parcm::benchsupport
+
+#define PARCM_BENCH_MAIN(name)                        \
+  int main(int argc, char** argv) {                   \
+    return ::parcm::benchsupport::bench_main(name, argc, argv); \
+  }

@@ -9,6 +9,9 @@
 //     --report      print the per-term insertion/replacement report
 //     --table TERM  print the safety table for a term, e.g. --table 'a + b'
 //     --figure ID   load a paper figure instead of a file (1, 2, 3a, ... 10)
+//     --stats       print pass wall times, solver iteration counts and
+//                   per-term motion counters (the obs registry + trace tree)
+//     --trace-json FILE  write a Chrome trace_event file for chrome://tracing
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -22,12 +25,15 @@
 #include "motion/dce.hpp"
 #include "motion/pcm.hpp"
 #include "motion/report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 int main(int argc, char** argv) {
   using namespace parcm;
   bool naive = false, dot = false, report = false, dce = false;
+  bool stats = false;
   std::vector<std::string> observed;
-  std::string table_term, figure_id, file;
+  std::string table_term, figure_id, file, trace_json;
 
   std::vector<std::string> args(argv + 1, argv + argc);
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -40,6 +46,12 @@ int main(int argc, char** argv) {
       report = true;
     } else if (a == "--dce") {
       dce = true;
+    } else if (a == "--stats") {
+      stats = true;
+    } else if (a == "--trace-json" && i + 1 < args.size()) {
+      trace_json = args[++i];
+    } else if (a.rfind("--trace-json=", 0) == 0) {
+      trace_json = a.substr(std::string("--trace-json=").size());
     } else if (a == "--observe" && i + 1 < args.size()) {
       observed.push_back(args[++i]);
     } else if (a == "--table" && i + 1 < args.size()) {
@@ -47,8 +59,8 @@ int main(int argc, char** argv) {
     } else if (a == "--figure" && i + 1 < args.size()) {
       figure_id = args[++i];
     } else if (a == "--help" || a == "-h") {
-      std::cout << "usage: parcm_opt [--naive] [--dot] [--report] "
-                   "[--table TERM] [--figure ID] [file]\n";
+      std::cout << "usage: parcm_opt [--naive] [--dot] [--report] [--stats] "
+                   "[--trace-json FILE] [--table TERM] [--figure ID] [file]\n";
       return 0;
     } else if (!a.empty() && a[0] == '-') {
       std::cerr << "unknown option " << a << "\n";
@@ -57,6 +69,10 @@ int main(int argc, char** argv) {
       file = a;
     }
   }
+
+  // Spans are recorded whenever stats or a trace file were requested; the
+  // sink costs nothing otherwise.
+  if (stats || !trace_json.empty()) obs::trace().set_enabled(true);
 
   std::string source;
   if (!figure_id.empty()) {
@@ -103,5 +119,18 @@ int main(int argc, char** argv) {
   }
   std::cout << (dot ? to_dot(result.graph, file.empty() ? "parcm" : file)
                     : to_text(result.graph));
+  if (stats) {
+    std::cout << "\n== observability ==\n" << obs::registry().to_string();
+    std::cout << "trace:\n" << obs::trace().tree();
+  }
+  if (!trace_json.empty()) {
+    std::ofstream out(trace_json);
+    if (!out) {
+      std::cerr << "cannot write " << trace_json << "\n";
+      return 2;
+    }
+    out << obs::trace().chrome_json();
+    std::cerr << "wrote " << trace_json << "\n";
+  }
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "ir/regions.hpp"
+#include "obs/metrics.hpp"
 #include "support/bitvector.hpp"
 #include "semantics/state.hpp"
 #include "support/diagnostics.hpp"
@@ -189,6 +190,7 @@ ConstPropAnalysis analyze_constants(const Graph& g) {
 }
 
 ConstPropResult propagate_constants(const Graph& g) {
+  PARCM_OBS_TIMER("analysis.constprop");
   ConstPropResult res{g, 0, 0};
   Graph& out = res.graph;
   ConstPropAnalysis cp = analyze_constants(out);
@@ -228,6 +230,9 @@ ConstPropResult propagate_constants(const Graph& g) {
       node.cond = folded;
     }
   }
+  PARCM_OBS_COUNT("analysis.constprop.runs", 1);
+  PARCM_OBS_COUNT("analysis.constprop.operands_folded", res.operands_folded);
+  PARCM_OBS_COUNT("analysis.constprop.rhs_folded", res.rhs_folded);
   return res;
 }
 

@@ -1,5 +1,7 @@
 #include "analyses/downsafety.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace parcm {
 
 PackedProblem make_downsafety_problem(const Graph& g,
@@ -60,6 +62,8 @@ PackedProblem make_downsafety_problem(const Graph& g,
 
 PackedResult compute_downsafety(const Graph& g, const LocalPredicates& preds,
                                 SafetyVariant variant) {
+  PARCM_OBS_TIMER("analysis.downsafety");
+  PARCM_OBS_COUNT("analysis.downsafety.runs", 1);
   return solve_packed(g, make_downsafety_problem(g, preds, variant));
 }
 

@@ -1,9 +1,12 @@
 #include "analyses/earliest.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace parcm {
 
 SafetyInfo compute_safety(const Graph& g, const LocalPredicates& preds,
                           SafetyVariant variant) {
+  PARCM_OBS_TIMER("analysis.safety");
   SafetyInfo info;
   info.variant = variant;
   info.num_terms = preds.num_terms();
@@ -27,6 +30,7 @@ SafetyInfo compute_safety(const Graph& g, const LocalPredicates& preds,
 MotionPredicates compute_motion_predicates(
     const Graph& g, const LocalPredicates& preds, const SafetyInfo& safety,
     const MotionPredicateOptions& options) {
+  PARCM_OBS_TIMER("analysis.motion_predicates");
   MotionPredicates mp;
   mp.earliest.reserve(g.num_nodes());
   mp.replace.reserve(g.num_nodes());

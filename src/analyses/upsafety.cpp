@@ -1,5 +1,7 @@
 #include "analyses/upsafety.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace parcm {
 
 PackedProblem make_upsafety_problem(const Graph& g,
@@ -30,6 +32,8 @@ PackedProblem make_upsafety_problem(const Graph& g,
 
 PackedResult compute_upsafety(const Graph& g, const LocalPredicates& preds,
                               SafetyVariant variant) {
+  PARCM_OBS_TIMER("analysis.upsafety");
+  PARCM_OBS_COUNT("analysis.upsafety.runs", 1);
   return solve_packed(g, make_upsafety_problem(g, preds, variant));
 }
 

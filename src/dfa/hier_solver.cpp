@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/metrics.hpp"
 #include "support/diagnostics.hpp"
 
 namespace parcm {
@@ -179,6 +180,7 @@ class SummaryPass {
 }  // namespace
 
 BitResult solve_bit(const Graph& g, const BitProblem& p) {
+  PARCM_OBS_TIMER("dfa.solve_bit");
   PARCM_CHECK(p.local.size() == g.num_nodes(), "local functional size");
   PARCM_CHECK(p.destroy.size() == g.num_nodes(), "destroy predicate size");
   DirectedView view(g, p.dir);
@@ -209,6 +211,7 @@ BitResult solve_bit(const Graph& g, const BitProblem& p) {
   // Steps 1 + 2.
   SummaryPass summaries(view, p);
   res.stmt_summary = summaries.run(&res.relaxations);
+  std::size_t summary_relaxations = res.relaxations;
 
   // Step 3: value-level greatest fixpoint of Definition 2.3.
   res.entry.assign(g.num_nodes(), true);
@@ -267,6 +270,12 @@ BitResult solve_bit(const Graph& g, const BitProblem& p) {
     }
   }
 
+  PARCM_OBS_COUNT("dfa.hier.solves", 1);
+  PARCM_OBS_COUNT("dfa.hier.relaxations", res.relaxations);
+  PARCM_OBS_COUNT("dfa.hier.summary_relaxations", summary_relaxations);
+  PARCM_OBS_COUNT("dfa.hier.value_relaxations",
+                  res.relaxations - summary_relaxations);
+  PARCM_OBS_COUNT("dfa.hier.sync_applications", g.num_par_stmts());
   return res;
 }
 

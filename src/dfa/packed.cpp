@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/metrics.hpp"
 #include "support/diagnostics.hpp"
 
 namespace parcm {
@@ -182,6 +183,7 @@ class PackedSummaryPass {
 }  // namespace
 
 PackedResult solve_packed(const Graph& g, const PackedProblem& p) {
+  PARCM_OBS_TIMER("dfa.solve_packed");
   PARCM_CHECK(p.gen.size() == g.num_nodes() && p.kill.size() == g.num_nodes(),
               "packed local functional size");
   PARCM_CHECK(p.destroy.size() == g.num_nodes(), "packed destroy size");
@@ -214,6 +216,7 @@ PackedResult solve_packed(const Graph& g, const PackedProblem& p) {
 
   PackedSummaryPass summaries(view, p);
   res.stmt_summary = summaries.run(&res.relaxations);
+  std::size_t summary_relaxations = res.relaxations;
 
   res.entry.assign(g.num_nodes(), BitVector(p.num_terms, true));
   res.out.assign(g.num_nodes(), BitVector(p.num_terms, true));
@@ -277,6 +280,16 @@ PackedResult solve_packed(const Graph& g, const PackedProblem& p) {
     }
   }
 
+  PARCM_OBS_COUNT("dfa.packed.solves", 1);
+  PARCM_OBS_COUNT("dfa.packed.relaxations", res.relaxations);
+  PARCM_OBS_COUNT("dfa.packed.summary_relaxations", summary_relaxations);
+  PARCM_OBS_COUNT("dfa.packed.value_relaxations",
+                  res.relaxations - summary_relaxations);
+  PARCM_OBS_COUNT("dfa.packed.sync_applications", g.num_par_stmts());
+  // Each relaxation touches every word of the node's term masks.
+  PARCM_OBS_COUNT("dfa.packed.bit_words",
+                  res.relaxations * ((p.num_terms + BitVector::kWordBits - 1) /
+                                     BitVector::kWordBits));
   return res;
 }
 

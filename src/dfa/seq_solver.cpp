@@ -2,11 +2,13 @@
 
 #include <deque>
 
+#include "obs/metrics.hpp"
 #include "support/diagnostics.hpp"
 
 namespace parcm {
 
 SeqResult solve_seq(const Graph& g, const SeqProblem& p) {
+  PARCM_OBS_TIMER("dfa.solve_seq");
   PARCM_CHECK(g.num_par_stmts() == 0,
               "solve_seq requires a sequential graph (use solve_packed)");
   PARCM_CHECK(p.gen.size() == g.num_nodes() && p.kill.size() == g.num_nodes(),
@@ -59,6 +61,11 @@ SeqResult solve_seq(const Graph& g, const SeqProblem& p) {
     }
   }
 
+  PARCM_OBS_COUNT("dfa.seq.solves", 1);
+  PARCM_OBS_COUNT("dfa.seq.relaxations", res.relaxations);
+  PARCM_OBS_COUNT("dfa.seq.bit_words",
+                  res.relaxations * ((p.num_terms + BitVector::kWordBits - 1) /
+                                     BitVector::kWordBits));
   return res;
 }
 

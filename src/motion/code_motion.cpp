@@ -4,6 +4,7 @@
 
 #include "ir/regions.hpp"
 #include "ir/transform_utils.hpp"
+#include "obs/metrics.hpp"
 #include "support/diagnostics.hpp"
 
 namespace parcm {
@@ -172,6 +173,7 @@ void privatize_term(Graph& out, const LocalPredicates& preds,
 }  // namespace
 
 MotionResult run_code_motion(const Graph& g, const CodeMotionConfig& config) {
+  PARCM_OBS_TIMER("motion.run_code_motion");
   MotionResult res{g, 0, {}, {}, {}};
   Graph& out = res.graph;
 
@@ -185,6 +187,8 @@ MotionResult run_code_motion(const Graph& g, const CodeMotionConfig& config) {
   mp_options.parend_export_rule = config.parend_export_rule;
   res.predicates = compute_motion_predicates(out, preds, res.safety,
                                              mp_options);
+
+  PARCM_OBS_TIMER("motion.placement");
 
   // Node set is about to grow; iterate over a snapshot of the analyzed ids.
   std::vector<NodeId> analyzed = out.all_nodes();
@@ -410,6 +414,18 @@ MotionResult run_code_motion(const Graph& g, const CodeMotionConfig& config) {
     }
   }
 
+  PARCM_OBS_COUNT("motion.runs", 1);
+  PARCM_OBS_COUNT("motion.synthetic_nodes", res.synthetic_nodes);
+  PARCM_OBS_COUNT("motion.terms_considered", terms.size());
+  PARCM_OBS_COUNT("motion.terms_moved", res.terms.size());
+  PARCM_OBS_COUNT("motion.insertions", res.num_insertions());
+  PARCM_OBS_COUNT("motion.replacements", res.num_replacements());
+  for (const TermMotion& m : res.terms) {
+    std::string prefix = "motion.term." + out.var_name(m.temp);
+    PARCM_OBS_COUNT(prefix + ".insertions", m.insert_nodes.size());
+    PARCM_OBS_COUNT(prefix + ".replacements", m.replaced.size());
+    PARCM_OBS_COUNT(prefix + ".bridges", m.bridge_nodes.size());
+  }
   return res;
 }
 

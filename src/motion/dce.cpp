@@ -2,6 +2,7 @@
 
 #include <deque>
 
+#include "obs/metrics.hpp"
 #include "support/diagnostics.hpp"
 
 namespace parcm {
@@ -77,10 +78,12 @@ ParallelLiveness compute_parallel_liveness(const Graph& g,
     worklist.push_back(n);
     queued[n.index()] = 1;
   }
+  std::size_t relaxations = 0;
   while (!worklist.empty()) {
     NodeId n = worklist.front();
     worklist.pop_front();
     queued[n.index()] = 0;
+    ++relaxations;
 
     BitVector out(k);
     if (n == g.end()) {
@@ -104,11 +107,13 @@ ParallelLiveness compute_parallel_liveness(const Graph& g,
       }
     }
   }
+  PARCM_OBS_COUNT("motion.liveness.relaxations", relaxations);
   return res;
 }
 
 DceResult eliminate_dead_assignments(const Graph& g,
                                      const DceOptions& options) {
+  PARCM_OBS_TIMER("motion.dce");
   DceResult res{g, {}, 0};
   Graph& out = res.graph;
 
@@ -134,6 +139,9 @@ DceResult eliminate_dead_assignments(const Graph& g,
       changed = true;
     }
   }
+  PARCM_OBS_COUNT("motion.dce.runs", 1);
+  PARCM_OBS_COUNT("motion.dce.rounds", res.rounds);
+  PARCM_OBS_COUNT("motion.dce.eliminated", res.eliminated.size());
   return res;
 }
 

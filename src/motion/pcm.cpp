@@ -1,12 +1,16 @@
 #include "motion/pcm.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace parcm {
 
 MotionResult parallel_code_motion(const Graph& g) {
+  PARCM_OBS_COUNT("motion.pcm.runs", 1);
   return run_code_motion(g, CodeMotionConfig{SafetyVariant::kRefined});
 }
 
 MotionResult naive_parallel_code_motion(const Graph& g) {
+  PARCM_OBS_COUNT("motion.pcm_naive.runs", 1);
   return run_code_motion(g, CodeMotionConfig{SafetyVariant::kNaive});
 }
 

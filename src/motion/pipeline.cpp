@@ -1,5 +1,6 @@
 #include "motion/pipeline.hpp"
 
+#include <chrono>
 #include <sstream>
 
 #include "analyses/constprop.hpp"
@@ -7,17 +8,57 @@
 #include "motion/dce.hpp"
 #include "motion/pcm.hpp"
 #include "motion/sinking.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "support/diagnostics.hpp"
 
 namespace parcm {
 
 std::string PipelineResult::to_string() const {
-  std::ostringstream os;
-  os << "pipeline (" << passes.size() << " passes)\n";
+  std::size_t name_width = 4;  // "pass"
   for (const PassStats& p : passes) {
-    os << "  " << p.name << ": " << p.nodes_before << " -> " << p.nodes_after
-       << " nodes, " << p.actions << " action(s)\n";
+    name_width = std::max(name_width, p.name.size());
+  }
+  std::ostringstream os;
+  os << "pipeline (" << passes.size() << " pass"
+     << (passes.size() == 1 ? "" : "es") << ")\n";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "  %-*s %7s %7s %6s %8s %10s\n",
+                static_cast<int>(name_width), "pass", "before", "after",
+                "delta", "actions", "wall ms");
+  os << buf;
+  for (const PassStats& p : passes) {
+    long long delta = static_cast<long long>(p.nodes_after) -
+                      static_cast<long long>(p.nodes_before);
+    std::snprintf(buf, sizeof(buf), "  %-*s %7zu %7zu %+6lld %8zu %10.3f\n",
+                  static_cast<int>(name_width), p.name.c_str(),
+                  p.nodes_before, p.nodes_after, delta, p.actions, p.wall_ms);
+    os << buf;
   }
   return os.str();
+}
+
+std::string PipelineResult::to_json(bool pretty) const {
+  obs::JsonWriter w(pretty);
+  w.begin_object();
+  w.key("passes").begin_array();
+  for (const PassStats& p : passes) {
+    w.begin_object();
+    w.key("name").value(p.name);
+    w.key("nodes_before").value(p.nodes_before);
+    w.key("nodes_after").value(p.nodes_after);
+    w.key("node_delta").value(static_cast<std::int64_t>(p.nodes_after) -
+                              static_cast<std::int64_t>(p.nodes_before));
+    w.key("actions").value(p.actions);
+    w.key("wall_ms").value(p.wall_ms);
+    w.key("counters").begin_object();
+    for (const auto& [k, v] : p.counters) w.key(k).value(v);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
 }
 
 Pipeline& Pipeline::add(std::string name, PassFn pass) {
@@ -61,21 +102,42 @@ Pipeline& Pipeline::add_sinking() {
 }
 
 Pipeline& Pipeline::add_validate() {
-  return add("validate", [](const Graph& g, std::size_t* actions) {
-    validate_or_throw(g);
+  // Remember which pass this check guards so a failure names the culprit.
+  std::string after = passes_.empty() ? std::string("(input)")
+                                      : passes_.back().name;
+  return add("validate", [after](const Graph& g, std::size_t* actions) {
+    try {
+      validate_or_throw(g);
+    } catch (const InternalError& e) {
+      throw InternalError("pipeline validation failed after pass '" + after +
+                          "': " + e.what());
+    }
     *actions = 0;
     return g;
   });
 }
 
 PipelineResult Pipeline::run(const Graph& g) const {
+  PARCM_OBS_TIMER("pipeline.run");
   PipelineResult res{g, {}};
   for (const Pass& pass : passes_) {
     PassStats stats;
     stats.name = pass.name;
     stats.nodes_before = res.graph.num_nodes();
+    std::map<std::string, std::uint64_t> before = obs::registry().counters();
+    auto start = std::chrono::steady_clock::now();
     std::size_t actions = 0;
     res.graph = pass.fn(res.graph, &actions);
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+    stats.wall_ms = static_cast<double>(ns) / 1e6;
+    // Attribute the registry counters the pass moved to this PassStats.
+    for (const auto& [name, value] : obs::registry().counters()) {
+      auto it = before.find(name);
+      std::uint64_t delta = value - (it == before.end() ? 0 : it->second);
+      if (delta != 0) stats.counters.emplace(name, delta);
+    }
     stats.nodes_after = res.graph.num_nodes();
     stats.actions = actions;
     res.passes.push_back(std::move(stats));

@@ -6,7 +6,9 @@
 // elimination), constant propagation, dead assignment elimination.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -20,6 +22,12 @@ struct PassStats {
   std::size_t nodes_after = 0;
   // Pass-specific headline number (insertions, folds, eliminations, ...).
   std::size_t actions = 0;
+  // Wall-clock time of the pass.
+  double wall_ms = 0.0;
+  // Delta of every obs::Registry counter the pass moved (solver
+  // relaxations, per-term motion counts, ...). Empty when the library is
+  // built with PARCM_OBS=OFF.
+  std::map<std::string, std::uint64_t> counters;
 };
 
 struct PipelineResult {
@@ -27,6 +35,9 @@ struct PipelineResult {
   std::vector<PassStats> passes;
 
   std::string to_string() const;
+  // Machine-readable form: {"passes":[{name, nodes_before, nodes_after,
+  // node_delta, actions, wall_ms, counters}, ...]}. Stable key order.
+  std::string to_json(bool pretty = false) const;
 };
 
 class Pipeline {

@@ -4,6 +4,7 @@
 
 #include "ir/transform_utils.hpp"
 #include "motion/dce.hpp"
+#include "obs/metrics.hpp"
 #include "support/bitvector.hpp"
 #include "support/diagnostics.hpp"
 
@@ -186,6 +187,7 @@ class Sinker {
 }  // namespace
 
 SinkingResult sink_partially_dead_assignments(const Graph& g) {
+  PARCM_OBS_TIMER("motion.sinking");
   SinkingResult res{g, {}, 0, 0};
   Graph& out = res.graph;
 
@@ -214,6 +216,10 @@ SinkingResult sink_partially_dead_assignments(const Graph& g) {
       res.sunk.push_back(a);
     }
   }
+  PARCM_OBS_COUNT("motion.sinking.runs", 1);
+  PARCM_OBS_COUNT("motion.sinking.sunk", res.sunk.size());
+  PARCM_OBS_COUNT("motion.sinking.copies_placed", res.copies_placed);
+  PARCM_OBS_COUNT("motion.sinking.copies_dropped", res.copies_dropped);
   return res;
 }
 

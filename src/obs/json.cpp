@@ -1,0 +1,152 @@
+#include "obs/json.hpp"
+
+#include <charconv>
+#include <cmath>
+
+#include "support/diagnostics.hpp"
+
+namespace parcm::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  PARCM_CHECK(ec == std::errc(), "double to_chars failed");
+  std::string s(buf, p);
+  // Bare exponentless integral doubles are valid JSON already; nothing to do.
+  return s;
+}
+
+void JsonWriter::newline_indent() {
+  if (!pretty_) return;
+  out_ += '\n';
+  out_.append(stack_.size() * 2, ' ');
+}
+
+void JsonWriter::before_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;
+  Scope& s = stack_.back();
+  PARCM_CHECK(s.close != '}', "json: value inside object requires a key");
+  if (!s.first) out_ += ',';
+  s.first = false;
+  newline_indent();
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  PARCM_CHECK(!stack_.empty() && stack_.back().close == '}',
+              "json: key outside object");
+  PARCM_CHECK(!pending_key_, "json: two keys in a row");
+  Scope& s = stack_.back();
+  if (!s.first) out_ += ',';
+  s.first = false;
+  newline_indent();
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += pretty_ ? "\": " : "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back(Scope{'}'});
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back(Scope{']'});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  PARCM_CHECK(!stack_.empty() && stack_.back().close == '}',
+              "json: mismatched end_object");
+  bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (!empty) newline_indent();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  PARCM_CHECK(!stack_.empty() && stack_.back().close == ']',
+              "json: mismatched end_array");
+  bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (!empty) newline_indent();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  out_ += json_number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::int_value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::uint_value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace parcm::obs

@@ -1,0 +1,75 @@
+// Minimal hand-rolled JSON writer.
+//
+// The observability layer serializes registries, traces, pipeline results
+// and bench results to machine-readable JSON without pulling in a third-
+// party dependency. The writer is push-style (begin/end scopes, key/value),
+// handles escaping and comma placement, and emits keys exactly in the order
+// they are pushed — callers iterate std::map so output is stable-ordered,
+// which the tests rely on.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parcm::obs {
+
+// JSON string escaping of `s` (quotes not included).
+std::string json_escape(std::string_view s);
+
+// Shortest round-trip decimal form of v ("null" for non-finite values,
+// which JSON cannot represent).
+std::string json_number(double v);
+
+class JsonWriter {
+ public:
+  // pretty = true indents nested scopes by two spaces (used for files meant
+  // to be read by humans and chrome://tracing alike).
+  explicit JsonWriter(bool pretty = false) : pretty_(pretty) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Key of the next value; only valid directly inside an object.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(double v);
+  template <std::integral T>
+    requires(!std::same_as<T, bool>)
+  JsonWriter& value(T v) {
+    if constexpr (std::signed_integral<T>) {
+      return int_value(static_cast<std::int64_t>(v));
+    } else {
+      return uint_value(static_cast<std::uint64_t>(v));
+    }
+  }
+  JsonWriter& null();
+
+  // The document built so far. Valid once every scope is closed.
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  JsonWriter& int_value(std::int64_t v);
+  JsonWriter& uint_value(std::uint64_t v);
+  void before_value();
+  void newline_indent();
+
+  struct Scope {
+    char close;       // '}' or ']'
+    bool first = true;
+  };
+  std::string out_;
+  std::vector<Scope> stack_;
+  bool pretty_ = false;
+  bool pending_key_ = false;
+};
+
+}  // namespace parcm::obs

@@ -1,0 +1,156 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace parcm::obs {
+
+namespace {
+
+Registry default_registry;
+std::atomic<Registry*> current_registry{&default_registry};
+
+}  // namespace
+
+Registry& registry() { return *current_registry.load(std::memory_order_acquire); }
+
+Registry* set_registry(Registry* r) {
+  return current_registry.exchange(r ? r : &default_registry,
+                                   std::memory_order_acq_rel);
+}
+
+void Registry::add_counter(std::string_view name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void Registry::set_gauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void Registry::add_timer_ns(std::string_view name, std::uint64_t ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = timers_.find(name);
+  if (it == timers_.end()) it = timers_.emplace(std::string(name), TimerStat{}).first;
+  it->second.count += 1;
+  it->second.total_ns += ns;
+}
+
+std::map<std::string, std::uint64_t> Registry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::map<std::string, double> Registry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {gauges_.begin(), gauges_.end()};
+}
+
+std::map<std::string, TimerStat> Registry::timers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {timers_.begin(), timers_.end()};
+}
+
+std::uint64_t Registry::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void Registry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  timers_.clear();
+}
+
+bool Registry::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.empty() && gauges_.empty() && timers_.empty();
+}
+
+std::string Registry::to_string() const {
+  auto counters = this->counters();
+  auto gauges = this->gauges();
+  auto timers = this->timers();
+
+  std::size_t width = 0;
+  for (const auto& [k, v] : counters) width = std::max(width, k.size());
+  for (const auto& [k, v] : gauges) width = std::max(width, k.size());
+  for (const auto& [k, v] : timers) width = std::max(width, k.size());
+
+  std::ostringstream os;
+  auto pad = [&](const std::string& k) {
+    os << "  " << k << std::string(width - k.size() + 2, ' ');
+  };
+  if (!counters.empty()) {
+    os << "counters:\n";
+    for (const auto& [k, v] : counters) {
+      pad(k);
+      os << v << "\n";
+    }
+  }
+  if (!gauges.empty()) {
+    os << "gauges:\n";
+    for (const auto& [k, v] : gauges) {
+      pad(k);
+      os << json_number(v) << "\n";
+    }
+  }
+  if (!timers.empty()) {
+    os << "timers:" << std::string(width > 5 ? width - 5 : 1, ' ')
+       << "  calls     total ms\n";
+    for (const auto& [k, v] : timers) {
+      pad(k);
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%7llu %12.3f",
+                    static_cast<unsigned long long>(v.count), v.total_ms());
+      os << buf << "\n";
+    }
+  }
+  if (counters.empty() && gauges.empty() && timers.empty()) {
+    os << "(no metrics recorded)\n";
+  }
+  return os.str();
+}
+
+void Registry::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [k, v] : counters()) w.key(k).value(v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [k, v] : gauges()) w.key(k).value(v);
+  w.end_object();
+  w.key("timers").begin_object();
+  for (const auto& [k, v] : timers()) {
+    w.key(k).begin_object();
+    w.key("count").value(v.count);
+    w.key("total_ms").value(v.total_ms());
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string Registry::to_json(bool pretty) const {
+  JsonWriter w(pretty);
+  write_json(w);
+  return w.take();
+}
+
+}  // namespace parcm::obs

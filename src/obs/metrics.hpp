@@ -1,0 +1,125 @@
+// Structured metrics for the solver/motion pipeline.
+//
+// A Registry holds named counters (monotone uint64), gauges (last-written
+// double) and wall-clock timers (call count + accumulated nanoseconds). The
+// library reports into the installed global registry through the
+// PARCM_OBS_* macros below; hot loops accumulate locally and report once
+// per call, so a mutex-protected map is plenty.
+//
+// Instrumentation call sites compile to nothing when PARCM_OBS_ENABLED is 0
+// (set library-wide by the PARCM_OBS=OFF CMake configuration); the classes
+// themselves stay available so pipeline/CLI code that *consumes* a registry
+// still links — it just observes an empty one.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#ifndef PARCM_OBS_ENABLED
+#define PARCM_OBS_ENABLED 1
+#endif
+
+namespace parcm::obs {
+
+class JsonWriter;
+
+struct TimerStat {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+
+  double total_ms() const { return static_cast<double>(total_ns) / 1e6; }
+  bool operator==(const TimerStat&) const = default;
+};
+
+class Registry {
+ public:
+  void add_counter(std::string_view name, std::uint64_t delta = 1);
+  void set_gauge(std::string_view name, double value);
+  void add_timer_ns(std::string_view name, std::uint64_t ns);
+
+  // Snapshots, lexicographically ordered by name (stable across runs).
+  std::map<std::string, std::uint64_t> counters() const;
+  std::map<std::string, double> gauges() const;
+  std::map<std::string, TimerStat> timers() const;
+
+  // Single counter value; 0 when absent.
+  std::uint64_t counter(std::string_view name) const;
+
+  void clear();
+  bool empty() const;
+
+  // Aligned human-readable table of every metric.
+  std::string to_string() const;
+
+  // {"counters":{...},"gauges":{...},"timers":{"name":{"count":..,
+  // "total_ms":..}}} — keys sorted, suitable for machine diffing.
+  void write_json(JsonWriter& w) const;
+  std::string to_json(bool pretty = false) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, TimerStat, std::less<>> timers_;
+};
+
+// The process-global registry the macros report into.
+Registry& registry();
+
+// Injects `r` as the global registry (nullptr restores the default);
+// returns the previously installed one. Used by tests and by callers that
+// want an isolated measurement window.
+Registry* set_registry(Registry* r);
+
+namespace detail {
+// Implemented in trace.cpp: forwards to the global TraceSink when tracing
+// is enabled. Returns a span handle, -1 when disabled.
+int trace_begin(std::string_view name);
+void trace_end(int span);
+}  // namespace detail
+
+// RAII wall-clock timer: accumulates into registry().timers()[name] and
+// opens a span in the global trace sink while alive.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view name)
+      : name_(name),
+        span_(detail::trace_begin(name)),
+        start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+    registry().add_timer_ns(name_, static_cast<std::uint64_t>(ns));
+    detail::trace_end(span_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::string name_;
+  int span_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace parcm::obs
+
+#define PARCM_OBS_CONCAT_IMPL(a, b) a##b
+#define PARCM_OBS_CONCAT(a, b) PARCM_OBS_CONCAT_IMPL(a, b)
+
+#if PARCM_OBS_ENABLED
+#define PARCM_OBS_COUNT(name, delta) \
+  ::parcm::obs::registry().add_counter((name), (delta))
+#define PARCM_OBS_GAUGE(name, value) \
+  ::parcm::obs::registry().set_gauge((name), (value))
+#define PARCM_OBS_TIMER(name) \
+  ::parcm::obs::ScopedTimer PARCM_OBS_CONCAT(parcm_obs_timer_, __LINE__)(name)
+#else
+#define PARCM_OBS_COUNT(name, delta) ((void)0)
+#define PARCM_OBS_GAUGE(name, value) ((void)0)
+#define PARCM_OBS_TIMER(name) ((void)0)
+#endif

@@ -1,0 +1,111 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "support/diagnostics.hpp"
+
+namespace parcm::obs {
+
+TraceSink& trace() {
+  static TraceSink sink;
+  return sink;
+}
+
+namespace detail {
+
+int trace_begin(std::string_view name) {
+  TraceSink& t = trace();
+  return t.enabled() ? t.begin(name) : -1;
+}
+
+void trace_end(int span) {
+  if (span >= 0) trace().end(span);
+}
+
+}  // namespace detail
+
+TraceSink::TraceSink() : epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t TraceSink::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+int TraceSink::begin(std::string_view name) {
+  TraceSpan span;
+  span.name = std::string(name);
+  span.start_ns = now_ns();
+  span.depth = open_depth_++;
+  spans_.push_back(std::move(span));
+  return static_cast<int>(spans_.size()) - 1;
+}
+
+void TraceSink::end(int span) {
+  PARCM_CHECK(span >= 0 && span < static_cast<int>(spans_.size()),
+              "trace span handle out of range");
+  TraceSpan& s = spans_[static_cast<std::size_t>(span)];
+  PARCM_CHECK(s.dur_ns == 0 && s.depth == open_depth_ - 1,
+              "trace spans must close LIFO");
+  s.dur_ns = now_ns() - s.start_ns;
+  --open_depth_;
+}
+
+void TraceSink::clear() {
+  spans_.clear();
+  open_depth_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+std::string TraceSink::tree() const {
+  std::ostringstream os;
+  os << "trace (" << spans_.size() << " span"
+     << (spans_.size() == 1 ? "" : "s") << ")\n";
+  // Spans were pushed in pre-order, so printing in order with depth
+  // indentation reproduces the call tree.
+  std::size_t width = 0;
+  for (const TraceSpan& s : spans_) {
+    width = std::max(width, 2 * static_cast<std::size_t>(s.depth) + s.name.size());
+  }
+  for (const TraceSpan& s : spans_) {
+    std::string label(2 * static_cast<std::size_t>(s.depth) + 2, ' ');
+    label += s.name;
+    os << label << std::string(width + 4 - label.size(), ' ');
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%10.3f ms",
+                  static_cast<double>(s.dur_ns) / 1e6);
+    os << buf << "\n";
+  }
+  return os.str();
+}
+
+void TraceSink::write_chrome_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const TraceSpan& s : spans_) {
+    w.begin_object();
+    w.key("name").value(s.name);
+    w.key("cat").value("parcm");
+    w.key("ph").value("X");
+    w.key("ts").value(static_cast<double>(s.start_ns) / 1e3);  // microseconds
+    w.key("dur").value(static_cast<double>(s.dur_ns) / 1e3);
+    w.key("pid").value(0);
+    w.key("tid").value(0);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("displayTimeUnit").value("ms");
+  w.end_object();
+}
+
+std::string TraceSink::chrome_json(bool pretty) const {
+  JsonWriter w(pretty);
+  write_chrome_json(w);
+  return w.take();
+}
+
+}  // namespace parcm::obs

@@ -1,0 +1,61 @@
+// Span-style tracing: nested begin/end events over one wall clock.
+//
+// The sink is disabled by default and costs a single branch per
+// ScopedTimer; when enabled (CLI --trace-json, tests) every PARCM_OBS_TIMER
+// scope records a span. Spans can render as an indented human-readable tree
+// or export to the Chrome trace_event format, loadable in chrome://tracing
+// and https://ui.perfetto.dev.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parcm::obs {
+
+class JsonWriter;
+
+struct TraceSpan {
+  std::string name;
+  std::uint64_t start_ns = 0;  // relative to the sink's epoch
+  std::uint64_t dur_ns = 0;
+  int depth = 0;
+};
+
+class TraceSink {
+ public:
+  TraceSink();
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  // Opens a span; returns its handle (index). Spans close LIFO — the RAII
+  // ScopedTimer guarantees this.
+  int begin(std::string_view name);
+  void end(int span);
+
+  void clear();
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+
+  // Indented tree, one line per span with its wall time.
+  std::string tree() const;
+
+  // Chrome trace_event JSON: {"traceEvents":[{"ph":"X",...}]}.
+  void write_chrome_json(JsonWriter& w) const;
+  std::string chrome_json(bool pretty = true) const;
+
+ private:
+  std::uint64_t now_ns() const;
+
+  bool enabled_ = false;
+  int open_depth_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<TraceSpan> spans_;
+};
+
+// The process-global sink fed by ScopedTimer.
+TraceSink& trace();
+
+}  // namespace parcm::obs

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "ir/regions.hpp"
+#include "obs/metrics.hpp"
 #include "support/diagnostics.hpp"
 
 namespace parcm {
@@ -121,6 +122,7 @@ struct ExplorationState {
 EnumerationResult enumerate_executions(const Graph& g,
                                        const std::vector<std::string>& observed,
                                        const EnumerationOptions& options) {
+  PARCM_OBS_TIMER("semantics.enumerate");
   EnumerationResult res;
 
   VarState init(g.num_vars());
@@ -247,6 +249,10 @@ EnumerationResult enumerate_executions(const Graph& g,
     PARCM_CHECK(any, "deadlocked configuration during enumeration");
   }
 
+  PARCM_OBS_COUNT("semantics.enum.runs", 1);
+  PARCM_OBS_COUNT("semantics.enum.states_explored", res.states_explored);
+  PARCM_OBS_COUNT("semantics.enum.finals", res.finals.size());
+  if (!res.exhausted) PARCM_OBS_COUNT("semantics.enum.truncated", 1);
   return res;
 }
 

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "dfa/seq_solver.hpp"
+#include "obs/metrics.hpp"
 #include "semantics/interpreter.hpp"
 #include "support/diagnostics.hpp"
 
@@ -28,6 +29,7 @@ struct KeyHash {
 }  // namespace
 
 ProductProgram build_product(const Graph& g, std::size_t max_states) {
+  PARCM_OBS_TIMER("semantics.build_product");
   for (NodeId n : g.all_nodes()) {
     PARCM_CHECK(g.node(n).kind != NodeKind::kBarrier,
                 "product construction does not support barriers (collective "
@@ -93,6 +95,15 @@ ProductProgram build_product(const Graph& g, std::size_t max_states) {
   }
 
   pp.num_configs = pp.origin.size();
+  PARCM_OBS_COUNT("semantics.product.builds", 1);
+  PARCM_OBS_COUNT("semantics.product.nodes", pg.num_nodes());
+  if (!pp.exhausted) PARCM_OBS_COUNT("semantics.product.truncated", 1);
+  if (g.num_nodes() > 0) {
+    // Product-state blowup of the most recent construction.
+    PARCM_OBS_GAUGE("semantics.product.last_blowup",
+                    static_cast<double>(pg.num_nodes()) /
+                        static_cast<double>(g.num_nodes()));
+  }
   return pp;
 }
 

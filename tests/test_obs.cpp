@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace parcm {
+namespace {
+
+// Installs `r` as the global registry for the lifetime of the guard so a
+// test observes only its own metrics.
+struct RegistryGuard {
+  explicit RegistryGuard(obs::Registry& r) : prev(obs::set_registry(&r)) {}
+  ~RegistryGuard() { obs::set_registry(prev); }
+  obs::Registry* prev;
+};
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(obs::json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(obs::json_escape(std::string_view("\x01\n", 2)), "\\u0001\\n");
+}
+
+TEST(JsonWriter, Numbers) {
+  EXPECT_EQ(obs::json_number(1.5), "1.5");
+  EXPECT_EQ(obs::json_number(-0.25), "-0.25");
+  // JSON has no representation for non-finite values.
+  EXPECT_EQ(obs::json_number(std::nan("")), "null");
+  EXPECT_EQ(obs::json_number(INFINITY), "null");
+}
+
+TEST(JsonWriter, CompactDocument) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("s").value("x\"y");
+  w.key("i").value(-3);
+  w.key("u").value(std::uint64_t{18446744073709551615ull});
+  w.key("b").value(true);
+  w.key("d").value(0.5);
+  w.key("n").null();
+  w.key("arr").begin_array().value(1).value(2).end_array();
+  w.key("obj").begin_object().end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"s\":\"x\\\"y\",\"i\":-3,\"u\":18446744073709551615,"
+            "\"b\":true,\"d\":0.5,\"n\":null,\"arr\":[1,2],\"obj\":{}}");
+}
+
+TEST(JsonWriter, PrettyDocument) {
+  obs::JsonWriter w(/*pretty=*/true);
+  w.begin_object();
+  w.key("a").value(1);
+  w.key("b").begin_array().value(2).end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+}
+
+TEST(Registry, CounterSemantics) {
+  obs::Registry r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.counter("missing"), 0u);
+  r.add_counter("hits");           // default delta 1
+  r.add_counter("hits", 4);
+  EXPECT_EQ(r.counter("hits"), 5u);
+  EXPECT_FALSE(r.empty());
+  r.clear();
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Registry, GaugeLastWriteWins) {
+  obs::Registry r;
+  r.set_gauge("blowup", 2.0);
+  r.set_gauge("blowup", 3.5);
+  EXPECT_EQ(r.gauges().at("blowup"), 3.5);
+}
+
+TEST(Registry, TimerAccumulates) {
+  obs::Registry r;
+  r.add_timer_ns("solve", 1'000'000);
+  r.add_timer_ns("solve", 500'000);
+  obs::TimerStat t = r.timers().at("solve");
+  EXPECT_EQ(t.count, 2u);
+  EXPECT_EQ(t.total_ns, 1'500'000u);
+  EXPECT_DOUBLE_EQ(t.total_ms(), 1.5);
+}
+
+TEST(Registry, SnapshotsAreSortedByName) {
+  obs::Registry r;
+  r.add_counter("zeta");
+  r.add_counter("alpha");
+  r.add_counter("midway");
+  std::vector<std::string> names;
+  for (const auto& [k, v] : r.counters()) names.push_back(k);
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "midway", "zeta"}));
+}
+
+TEST(Registry, JsonIsStableOrdered) {
+  obs::Registry r;
+  r.add_counter("b", 2);
+  r.add_counter("a", 1);
+  r.set_gauge("g", 0.5);
+  r.add_timer_ns("t", 2'000'000);
+  EXPECT_EQ(r.to_json(),
+            "{\"counters\":{\"a\":1,\"b\":2},\"gauges\":{\"g\":0.5},"
+            "\"timers\":{\"t\":{\"count\":1,\"total_ms\":2}}}");
+  // Identical content must serialize identically (machine diffing).
+  obs::Registry r2;
+  r2.set_gauge("g", 0.5);
+  r2.add_timer_ns("t", 2'000'000);
+  r2.add_counter("a", 1);
+  r2.add_counter("b", 2);
+  EXPECT_EQ(r.to_json(), r2.to_json());
+}
+
+TEST(Registry, ToStringListsEveryMetric) {
+  obs::Registry r;
+  r.add_counter("dfa.relaxations", 12);
+  r.set_gauge("blowup", 1.5);
+  r.add_timer_ns("solve", 3'000'000);
+  std::string s = r.to_string();
+  EXPECT_NE(s.find("dfa.relaxations"), std::string::npos);
+  EXPECT_NE(s.find("12"), std::string::npos);
+  EXPECT_NE(s.find("blowup"), std::string::npos);
+  EXPECT_NE(s.find("solve"), std::string::npos);
+  EXPECT_EQ(obs::Registry().to_string(), "(no metrics recorded)\n");
+}
+
+TEST(Registry, ConcurrentCountersStayConsistent) {
+  obs::Registry r;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&r] {
+      for (int i = 0; i < 1000; ++i) r.add_counter("shared");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(r.counter("shared"), 4000u);
+}
+
+TEST(Registry, GlobalInjection) {
+  obs::Registry mine;
+  {
+    RegistryGuard guard(mine);
+    obs::registry().add_counter("seen");
+    EXPECT_EQ(mine.counter("seen"), 1u);
+  }
+  // Restored: further reports no longer land in `mine`.
+  obs::registry().add_counter("obs.test.after_restore");
+  EXPECT_EQ(mine.counter("obs.test.after_restore"), 0u);
+}
+
+#if PARCM_OBS_ENABLED
+TEST(Macros, ReportIntoInstalledRegistry) {
+  obs::Registry mine;
+  RegistryGuard guard(mine);
+  PARCM_OBS_COUNT("macro.count", 2);
+  PARCM_OBS_COUNT("macro.count", 3);
+  PARCM_OBS_GAUGE("macro.gauge", 7.5);
+  {
+    PARCM_OBS_TIMER("macro.timer");
+  }
+  EXPECT_EQ(mine.counter("macro.count"), 5u);
+  EXPECT_EQ(mine.gauges().at("macro.gauge"), 7.5);
+  EXPECT_EQ(mine.timers().at("macro.timer").count, 1u);
+}
+
+TEST(Trace, ScopedTimersRecordNestedSpans) {
+  obs::Registry mine;
+  RegistryGuard guard(mine);
+  obs::trace().set_enabled(true);
+  obs::trace().clear();
+  {
+    PARCM_OBS_TIMER("outer");
+    { PARCM_OBS_TIMER("inner"); }
+    { PARCM_OBS_TIMER("inner"); }
+  }
+  obs::trace().set_enabled(false);
+  // Spans are stored in pre-order (begin order) with their nesting depth.
+  const auto& spans = obs::trace().spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[2].name, "inner");
+  EXPECT_EQ(spans[2].depth, 1);
+  EXPECT_GE(spans[0].dur_ns, spans[1].dur_ns);
+
+  std::string tree = obs::trace().tree();
+  EXPECT_NE(tree.find("outer"), std::string::npos);
+  EXPECT_NE(tree.find("  inner"), std::string::npos);
+
+  std::string json = obs::trace().chrome_json(/*pretty=*/false);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  obs::trace().clear();
+}
+#endif  // PARCM_OBS_ENABLED
+
+TEST(Trace, DisabledGlobalSinkIsNotFed) {
+  // Timers gate on trace().enabled() before ever calling begin().
+  obs::trace().set_enabled(false);
+  obs::trace().clear();
+  EXPECT_EQ(obs::detail::trace_begin("ignored"), -1);
+  obs::detail::trace_end(-1);
+  EXPECT_TRUE(obs::trace().spans().empty());
+  EXPECT_NE(obs::trace().chrome_json().find("\"traceEvents\""),
+            std::string::npos);
+}
+
+TEST(Trace, ExplicitSinkSpans) {
+  obs::TraceSink sink;
+  sink.set_enabled(true);
+  int a = sink.begin("a");
+  int b = sink.begin("b");
+  sink.end(b);
+  sink.end(a);
+  ASSERT_EQ(sink.spans().size(), 2u);
+  EXPECT_EQ(sink.spans()[0].name, "a");
+  EXPECT_EQ(sink.spans()[1].name, "b");
+  EXPECT_LE(sink.spans()[0].start_ns, sink.spans()[1].start_ns);
+  EXPECT_GE(sink.spans()[0].dur_ns, sink.spans()[1].dur_ns);
+  sink.clear();
+  EXPECT_TRUE(sink.spans().empty());
+}
+
+}  // namespace
+}  // namespace parcm

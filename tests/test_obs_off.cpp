@@ -1,0 +1,50 @@
+// Compiled with PARCM_OBS_ENABLED=0 (see tests/CMakeLists.txt): proves the
+// instrumentation macros are true no-ops in the OFF configuration and that
+// code *consuming* registries/JSON still compiles and works against a
+// library built either way.
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+static_assert(PARCM_OBS_ENABLED == 0,
+              "this test exercises the PARCM_OBS=OFF configuration");
+
+namespace parcm {
+namespace {
+
+TEST(ObsOff, MacrosCompileToNothing) {
+  obs::Registry mine;
+  obs::Registry* prev = obs::set_registry(&mine);
+  // None of these may touch the installed registry.
+  PARCM_OBS_COUNT("off.count", 7);
+  PARCM_OBS_GAUGE("off.gauge", 1.0);
+  {
+    PARCM_OBS_TIMER("off.timer");
+  }
+  obs::set_registry(prev);
+  EXPECT_TRUE(mine.empty());
+  EXPECT_EQ(mine.counter("off.count"), 0u);
+}
+
+TEST(ObsOff, MacrosAreValidSingleStatements) {
+  // Must parse as one statement (usable in an unbraced if/else).
+  if (false)
+    PARCM_OBS_COUNT("never", 1);
+  else
+    PARCM_OBS_GAUGE("never", 0.0);
+  SUCCEED();
+}
+
+TEST(ObsOff, ConsumersStillWork) {
+  // Registry and JsonWriter remain fully functional in OFF builds — only
+  // the reporting macros vanish.
+  obs::Registry r;
+  r.add_counter("manual", 3);
+  EXPECT_EQ(r.counter("manual"), 3u);
+  EXPECT_EQ(r.to_json(),
+            "{\"counters\":{\"manual\":3},\"gauges\":{},\"timers\":{}}");
+}
+
+}  // namespace
+}  // namespace parcm

@@ -5,6 +5,7 @@
 #include "figures/figures.hpp"
 #include "ir/validate.hpp"
 #include "lang/lower.hpp"
+#include "obs/metrics.hpp"
 #include "semantics/cost.hpp"
 #include "semantics/equivalence.hpp"
 #include "workload/randomprog.hpp"
@@ -75,6 +76,58 @@ TEST(Pipeline, ConstpropEnablesDce) {
   EXPECT_EQ(finals.finals,
             (std::set<std::vector<std::int64_t>>{{3}}));
 }
+
+#if PARCM_OBS_ENABLED
+// Runs the default pipeline on `g` with a fresh registry installed and
+// returns the counter snapshot the run produced.
+std::map<std::string, std::uint64_t> counters_of_run(const Graph& g) {
+  obs::Registry local;
+  obs::Registry* prev = obs::set_registry(&local);
+  default_pipeline().run(g);
+  obs::set_registry(prev);
+  return local.counters();
+}
+
+TEST(Pipeline, SolverIterationCountsRecordedOnFig2) {
+  Graph g = figures::fig2();
+  std::map<std::string, std::uint64_t> c = counters_of_run(g);
+  // The packed solver ran and reported its worklist relaxations.
+  EXPECT_GT(c["dfa.packed.solves"], 0u);
+  EXPECT_GT(c["dfa.packed.relaxations"], 0u);
+  EXPECT_GT(c["dfa.packed.bit_words"], 0u);
+  EXPECT_GT(c["motion.liveness.relaxations"], 0u);
+  EXPECT_EQ(c["dfa.packed.relaxations"],
+            c["dfa.packed.summary_relaxations"] +
+                c["dfa.packed.value_relaxations"]);
+}
+
+TEST(Pipeline, SolverIterationCountsDeterministic) {
+  int fig = 2;
+  for (Graph g : {figures::fig2(), figures::fig7()}) {
+    std::map<std::string, std::uint64_t> first = counters_of_run(g);
+    std::map<std::string, std::uint64_t> second = counters_of_run(g);
+    EXPECT_GT(first["dfa.packed.relaxations"], 0u) << "figure " << fig;
+    EXPECT_EQ(first, second) << "figure " << fig;
+    fig = 7;
+  }
+}
+
+TEST(Pipeline, PassStatsCarrySolverCounters) {
+  obs::Registry local;
+  obs::Registry* prev = obs::set_registry(&local);
+  PipelineResult r = default_pipeline().run(figures::fig2());
+  obs::set_registry(prev);
+  ASSERT_FALSE(r.passes.empty());
+  ASSERT_EQ(r.passes[0].name, "pcm");
+  // The pcm pass is attributed the solver work it caused, not the whole
+  // registry: relaxations land on pcm, liveness on dce.
+  EXPECT_GT(r.passes[0].counters["dfa.packed.relaxations"], 0u);
+  EXPECT_GT(r.passes[0].wall_ms, 0.0);
+  std::string json = r.to_json();
+  EXPECT_NE(json.find("\"passes\""), std::string::npos);
+  EXPECT_NE(json.find("dfa.packed.relaxations"), std::string::npos);
+}
+#endif  // PARCM_OBS_ENABLED
 
 class PipelineProperty : public ::testing::TestWithParam<std::uint64_t> {};
 
