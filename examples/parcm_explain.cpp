@@ -1,0 +1,272 @@
+// parcm_explain — answer "why did code motion do that?" for a program.
+//
+// Runs the transformation with an isolated remark sink and renders the
+// provenance stream: every insertion, replacement, blocked or skipped
+// candidate with its machine-readable reason chain (earliest ∧ down-safe,
+// bottleneck (P1), recursive-assignment guard (P2), per-interleaving
+// witness differs (P3), ...).
+//
+//   parcm_explain [options] [file]      (stdin when no file)
+//     --figure ID    load a paper figure instead of a file (1, 2, 3a, ... 10)
+//     --naive        use the refuted naive placement instead of PCM
+//     --pipeline     run the full default pipeline (pcm/constprop/sinking/dce)
+//     --pass NAME    keep only remarks emitted by pass NAME
+//     --kind K       keep only inserted|replaced|blocked|skipped|degraded
+//     --node N       keep only remarks anchored at node N
+//     --term TEXT    keep only remarks about TEXT (e.g. 'a + b')
+//     --why N:TERM   explain node N's decision for TERM and exit
+//                    (exit status 1 when no remark matches)
+//     --json [FILE]  write the parcm-remarks-v1 JSON stream
+//     --dot [FILE]   write annotated Graphviz (dataflow facts + badges)
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "figures/figures.hpp"
+#include "ir/printer.hpp"
+#include "ir/terms.hpp"
+#include "lang/lower.hpp"
+#include "motion/pcm.hpp"
+#include "motion/pipeline.hpp"
+#include "motion/report.hpp"
+#include "obs/remarks.hpp"
+
+namespace {
+
+using namespace parcm;
+
+// "--json" and "--dot" take an optional FILE operand: consume the next
+// argument only when it does not look like another option.
+std::optional<std::string> optional_operand(const std::vector<std::string>& a,
+                                            std::size_t* i) {
+  if (*i + 1 < a.size() && (a[*i + 1].empty() || a[*i + 1][0] != '-')) {
+    return a[++*i];
+  }
+  return std::nullopt;
+}
+
+bool write_or_print(const std::string& text,
+                    const std::optional<std::string>& file) {
+  if (!file) {
+    std::cout << text;
+    return true;
+  }
+  std::ofstream out(*file);
+  if (!out) {
+    std::cerr << "cannot write " << *file << "\n";
+    return false;
+  }
+  out << text;
+  std::cerr << "wrote " << *file << "\n";
+  return true;
+}
+
+void print_expanded(const obs::Remark& r) {
+  std::cout << "n" << r.node << " [" << obs::remark_kind_name(r.kind) << "]";
+  if (!r.pass.empty()) std::cout << " " << r.pass;
+  if (!r.term.empty()) std::cout << " `" << r.term << "`";
+  std::cout << "\n  " << r.message << "\n";
+  if (!r.reasons.empty()) {
+    std::cout << "  because:\n";
+    for (obs::RemarkReason reason : r.reasons) {
+      std::cout << "    - " << obs::remark_reason_label(reason);
+      if (const char* p = obs::remark_reason_pitfall(reason)) {
+        std::cout << " [" << p << "]";
+      }
+      std::cout << "\n";
+    }
+  }
+  if (!r.detail.empty()) std::cout << "  detail: " << r.detail << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool naive = false, pipeline = false;
+  bool want_json = false, want_dot = false;
+  std::optional<std::string> json_file, dot_file;
+  std::string figure_id, file, pass_filter, kind_filter, term_filter, why;
+  std::optional<std::int64_t> node_filter;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--naive") {
+      naive = true;
+    } else if (a == "--pipeline") {
+      pipeline = true;
+    } else if (a == "--figure" && i + 1 < args.size()) {
+      figure_id = args[++i];
+    } else if (a == "--pass" && i + 1 < args.size()) {
+      pass_filter = args[++i];
+    } else if (a == "--kind" && i + 1 < args.size()) {
+      kind_filter = args[++i];
+    } else if (a == "--term" && i + 1 < args.size()) {
+      term_filter = args[++i];
+    } else if (a == "--node" && i + 1 < args.size()) {
+      node_filter = std::stoll(args[++i]);
+    } else if (a == "--why" && i + 1 < args.size()) {
+      why = args[++i];
+    } else if (a == "--json") {
+      want_json = true;
+      json_file = optional_operand(args, &i);
+    } else if (a == "--dot") {
+      want_dot = true;
+      dot_file = optional_operand(args, &i);
+    } else if (a == "--help" || a == "-h") {
+      std::cout << "usage: parcm_explain [--figure ID] [--naive] "
+                   "[--pipeline] [--pass NAME] [--kind K] [--node N] "
+                   "[--term TEXT] [--why N:TERM] [--json [FILE]] "
+                   "[--dot [FILE]] [file]\n";
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "unknown option " << a << "\n";
+      return 2;
+    } else {
+      file = a;
+    }
+  }
+
+  std::string source;
+  if (!figure_id.empty()) {
+    source = figures::figure_source(figure_id);
+    if (source.empty()) {
+      std::cerr << "unknown figure " << figure_id << "\n";
+      return 2;
+    }
+  } else if (!file.empty()) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "cannot open " << file << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    source = ss.str();
+  } else {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    source = ss.str();
+  }
+
+  DiagnosticSink diags;
+  Graph program = lang::compile(source, diags);
+  if (!diags.ok()) {
+    std::cerr << diags.to_string() << "\n";
+    return 1;
+  }
+
+  // Capture an isolated provenance stream for this run.
+  obs::RemarkSink sink;
+  sink.set_enabled(true);
+  obs::RemarkSink* prev = obs::set_remark_sink(&sink);
+
+  std::optional<MotionResult> motion;
+  Graph transformed = program;
+  if (pipeline) {
+    PipelineResult r = default_pipeline().run(program);
+    transformed = std::move(r.graph);
+  } else {
+    motion = naive ? naive_parallel_code_motion(program)
+                   : parallel_code_motion(program);
+    transformed = motion->graph;
+  }
+  obs::set_remark_sink(prev);
+
+  std::vector<obs::Remark> remarks = sink.snapshot();
+  // Analyses emit remarks before any node is materialized, so the input
+  // graph's term numbering resolves their term strings.
+  resolve_remark_terms(program, remarks);
+#if !PARCM_OBS_ENABLED
+  std::cerr << "note: built with PARCM_OBS=OFF — no remarks are recorded\n";
+#endif
+
+  // --why N:TERM — TERM is the rendered term text ('a + b') or a term index.
+  std::int64_t why_node = -1;
+  std::string why_term;
+  if (!why.empty()) {
+    auto colon = why.find(':');
+    if (colon == std::string::npos) {
+      std::cerr << "--why expects NODE:TERM, e.g. 15:'a + b'\n";
+      return 2;
+    }
+    why_node = std::stoll(why.substr(0, colon));
+    why_term = why.substr(colon + 1);
+  }
+
+  auto matches = [&](const obs::Remark& r) {
+    if (!pass_filter.empty() && r.pass != pass_filter) return false;
+    if (!kind_filter.empty() && obs::remark_kind_name(r.kind) != kind_filter) {
+      return false;
+    }
+    if (node_filter && r.node != *node_filter) return false;
+    if (!term_filter.empty() && r.term != term_filter) return false;
+    if (!why.empty()) {
+      if (r.node != why_node) return false;
+      bool by_text = r.term == why_term;
+      bool by_index = !why_term.empty() &&
+                      why_term.find_first_not_of("0123456789") ==
+                          std::string::npos &&
+                      r.term_index == std::stoll(why_term);
+      if (!by_text && !by_index) return false;
+    }
+    return true;
+  };
+  std::vector<obs::Remark> selected;
+  for (const obs::Remark& r : remarks) {
+    if (matches(r)) selected.push_back(r);
+  }
+
+  if (!why.empty()) {
+    if (selected.empty()) {
+      std::cerr << "no remark for node " << why_node << " and term `"
+                << why_term << "`\n";
+      return 1;
+    }
+    for (const obs::Remark& r : selected) print_expanded(r);
+    return 0;
+  }
+
+  if (want_json) {
+    obs::RemarkSink filtered;
+    filtered.set_enabled(true);
+    for (const obs::Remark& r : selected) filtered.emit(r);
+    if (!write_or_print(filtered.to_json(/*pretty=*/true), json_file)) {
+      return 2;
+    }
+  }
+  if (want_dot) {
+    std::string dot;
+    if (motion) {
+      TermTable terms(program);
+      TermId t = term_filter.empty()
+                     ? (terms.size() > 0 ? TermId(0) : TermId())
+                     : terms.find(program, term_filter);
+      dot = motion_dot(*motion, t, selected,
+                       figure_id.empty() ? "parcm" : "fig" + figure_id);
+    } else {
+      std::vector<DotNodeAnnotation> ann(transformed.num_nodes());
+      for (const obs::Remark& r : selected) {
+        if (r.node < 0 ||
+            static_cast<std::size_t>(r.node) >= ann.size()) {
+          continue;
+        }
+        ann[static_cast<std::size_t>(r.node)].badges.push_back(
+            obs::remark_kind_name(r.kind));
+      }
+      dot = annotated_dot(transformed, ann);
+    }
+    if (!write_or_print(dot, dot_file)) return 2;
+  }
+  if (!want_json && !want_dot) {
+    for (const obs::Remark& r : selected) {
+      std::cout << obs::remark_to_string(r) << "\n";
+    }
+    std::cout << "(" << selected.size() << " remark"
+              << (selected.size() == 1 ? "" : "s") << ")\n";
+  }
+  return 0;
+}

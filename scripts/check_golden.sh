@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Golden remark-dump helper.
+#
+#   scripts/check_golden.sh [BUILD_DIR]            diff mode (default)
+#   scripts/check_golden.sh --regen [BUILD_DIR]    rewrite tests/golden/*
+#
+# Diff mode runs the golden remark tests against the committed dumps and
+# fails on any drift. Regen mode rewrites tests/golden/remarks_fig{2,7,10}.txt
+# in the source tree (commit the result) and then re-runs the tests to prove
+# the regenerated files round-trip.
+set -euo pipefail
+
+regen=0
+if [[ "${1:-}" == "--regen" ]]; then
+  regen=1
+  shift
+fi
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+test_bin="$build_dir/tests/test_remarks"
+
+if [[ ! -x "$test_bin" ]]; then
+  echo "error: $test_bin not found — configure and build first:" >&2
+  echo "  cmake -B $build_dir -S $repo_root && cmake --build $build_dir -j" >&2
+  exit 2
+fi
+
+if [[ "$regen" == 1 ]]; then
+  echo "== regenerating tests/golden/ =="
+  PARCM_REGEN_GOLDEN=1 "$test_bin" --gtest_filter='RemarkGolden.*'
+  git -C "$repo_root" --no-pager diff --stat -- tests/golden || true
+fi
+
+echo "== checking golden remark dumps =="
+"$test_bin" --gtest_filter='RemarkGolden.*'
+echo "golden remark dumps are up to date"

@@ -1,6 +1,7 @@
 #include "analyses/downsafety.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/remarks.hpp"
 
 namespace parcm {
 
@@ -26,6 +27,12 @@ PackedProblem make_downsafety_problem(const Graph& g,
       p.gen.push_back(BitVector(p.num_terms));
       p.kill.push_back(BitVector(p.num_terms, true));
       p.destroy.push_back(BitVector(p.num_terms));
+      PARCM_OBS_REMARK(obs::Remark{
+          obs::RemarkKind::kBlocked, "downsafety", n.value(), -1, "",
+          "barrier ends every down-safe region: hoisting across it could "
+          "become the earlier phase's bottleneck",
+          {obs::RemarkReason::kBarrierPhase},
+          ""});
       continue;
     }
     // Local function (backward): Const_tt if Comp (the computation happens

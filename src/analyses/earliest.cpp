@@ -1,6 +1,7 @@
 #include "analyses/earliest.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/remarks.hpp"
 
 namespace parcm {
 
@@ -59,6 +60,32 @@ MotionPredicates compute_motion_predicates(
             safety.up_result.stmt_summary[g.node(n).par_stmt.index()];
         blocked |= summary.ff;
         blocked.and_not(summary.tt);
+        if (PARCM_OBS_REMARKS_ON()) {
+          // Per-term provenance of the export decision: terms forced to
+          // re-initialize after the join (the P3 pitfall the refined
+          // up-safe_par synchronization prevents) and terms whose value the
+          // statement provably delivers across the join.
+          BitVector forced = earliest & summary.ff;
+          for (std::size_t t : forced.set_bits()) {
+            PARCM_OBS_REMARK(obs::Remark{
+                obs::RemarkKind::kBlocked, "", n.value(),
+                static_cast<std::int64_t>(t), "",
+                "post-join initialization must not be suppressed: every "
+                "interleaving is safe, but via different occurrences",
+                {obs::RemarkReason::kWitnessDiffers},
+                "join exit of the parallel statement"});
+          }
+          BitVector exported = safety.dnsafe[n.index()] & summary.tt;
+          for (std::size_t t : exported.set_bits()) {
+            PARCM_OBS_REMARK(obs::Remark{
+                obs::RemarkKind::kSkipped, "", n.value(),
+                static_cast<std::int64_t>(t), "",
+                "no initialization needed after the join: an establishing "
+                "component delivers the value on every interleaving",
+                {obs::RemarkReason::kExported, obs::RemarkReason::kUpSafe},
+                "join exit of the parallel statement"});
+          }
+        }
       }
       earliest &= blocked;
     }

@@ -1,6 +1,7 @@
 #include "analyses/upsafety.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/remarks.hpp"
 
 namespace parcm {
 
@@ -21,6 +22,20 @@ PackedProblem make_upsafety_problem(const Graph& g,
     // (covers recursive assignments: they compute t but leave it
     // unavailable), Id otherwise.
     BitVector gen = preds.comp(n) & preds.transp(n);
+    if (PARCM_OBS_REMARKS_ON()) {
+      // A computation that assigns its own operand (recursive assignment)
+      // leaves the term unavailable: it cannot seed up-safety.
+      BitVector killed_gen = preds.comp(n);
+      killed_gen.and_not(preds.transp(n));
+      for (std::size_t t : killed_gen.set_bits()) {
+        PARCM_OBS_REMARK(obs::Remark{
+            obs::RemarkKind::kSkipped, "upsafety", n.value(),
+            static_cast<std::int64_t>(t), "",
+            "computation does not establish availability",
+            {obs::RemarkReason::kComputes, obs::RemarkReason::kOperandKilled},
+            ""});
+      }
+    }
     p.gen.push_back(std::move(gen));
     p.kill.push_back(preds.mod(n));
     // Interference destroys availability iff the interleaved statement

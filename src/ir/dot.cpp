@@ -1,0 +1,99 @@
+#include "ir/dot.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ir/printer.hpp"
+
+namespace parcm {
+
+std::string dot_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+const DotNodeAnnotation kEmptyAnnotation{};
+
+const DotNodeAnnotation& annotation_of(
+    const std::vector<DotNodeAnnotation>& ann, NodeId n) {
+  return n.index() < ann.size() ? ann[n.index()] : kEmptyAnnotation;
+}
+
+void emit_annotated_region(const Graph& g, RegionId r,
+                           const std::vector<DotNodeAnnotation>& ann,
+                           const DotOptions& options, std::ostringstream& os,
+                           int indent) {
+  std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  std::vector<NodeId> nodes = g.region(r).nodes;
+  std::sort(nodes.begin(), nodes.end());
+  std::vector<ParStmtId> stmts = g.region(r).child_stmts;
+  std::sort(stmts.begin(), stmts.end());
+  for (NodeId n : nodes) {
+    const DotNodeAnnotation& a = annotation_of(ann, n);
+    std::string label;
+    if (options.number_nodes) label += std::to_string(n.value()) + ": ";
+    label += statement_to_string(g, n);
+    for (const std::string& b : a.badges) label += " [" + b + "]";
+    for (const std::string& f : a.facts) label += "\n" + f;
+    os << pad << "n" << n.value() << " [label=\"" << dot_escape(label)
+       << "\"";
+    const Node& node = g.node(n);
+    if (node.kind == NodeKind::kParBegin || node.kind == NodeKind::kParEnd) {
+      os << ", shape=ellipse";
+    } else if (node.kind == NodeKind::kStart || node.kind == NodeKind::kEnd) {
+      os << ", shape=doublecircle";
+    } else {
+      os << ", shape=box";
+    }
+    if (!a.fill.empty()) {
+      os << ", style=filled, fillcolor=\"" << dot_escape(a.fill) << "\"";
+    }
+    os << "];\n";
+  }
+  for (ParStmtId s : stmts) {
+    const ParStmt& stmt = g.par_stmt(s);
+    for (RegionId comp : stmt.components) {
+      os << pad << "subgraph cluster_r" << comp.value() << " {\n";
+      os << pad << "  style=dashed;\n";
+      emit_annotated_region(g, comp, ann, options, os, indent + 1);
+      os << pad << "}\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::string annotated_dot(const Graph& g,
+                          const std::vector<DotNodeAnnotation>& ann,
+                          const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph \"" << dot_escape(options.title) << "\" {\n";
+  os << "  node [fontname=\"monospace\"];\n";
+  emit_annotated_region(g, g.root_region(), ann, options, os, 1);
+  for (std::size_t i = 0; i < g.num_edges_total(); ++i) {
+    const Edge& e = g.edge(EdgeId(static_cast<EdgeId::underlying>(i)));
+    if (!e.valid) continue;
+    os << "  n" << e.from.value() << " -> n" << e.to.value();
+    const Node& from = g.node(e.from);
+    if (from.kind == NodeKind::kTest && from.out_edges.size() == 2) {
+      os << " [label=\""
+         << (from.out_edges[0].index() == i ? "T" : "F") << "\"]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace parcm

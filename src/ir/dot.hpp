@@ -1,0 +1,43 @@
+// Annotated Graphviz export: a PFG rendering that carries per-node
+// dataflow facts (D-Safe, U-Safe, Earliest, ...) and remark badges next to
+// the statement text. The exporter is deliberately generic — annotations
+// arrive as plain strings so any layer (analyses, motion, the parcm_explain
+// CLI) can assemble them without this file depending on those layers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/graph.hpp"
+
+namespace parcm {
+
+struct DotNodeAnnotation {
+  // Short fact lines rendered under the statement ("D-Safe: a+b", ...).
+  std::vector<std::string> facts;
+  // Compact badges rendered in brackets on the statement line
+  // ("inserted", "P3", ...).
+  std::vector<std::string> badges;
+  // Graphviz fillcolor; empty keeps the default (white).
+  std::string fill;
+};
+
+struct DotOptions {
+  std::string title = "parcm";
+  // Prefix every statement with its node id ("3: x := a + b").
+  bool number_nodes = true;
+};
+
+// Escapes a string for use inside a double-quoted DOT label. Newlines
+// become the DOT line-break escape.
+std::string dot_escape(const std::string& s);
+
+// Renders g as Graphviz, one dashed cluster per parallel component, with
+// `ann[n.index()]` attached to node n (out-of-range indices mean "no
+// annotation" so callers may pass a shorter — or empty — vector). Output is
+// deterministic: nodes and edges are emitted in id order.
+std::string annotated_dot(const Graph& g,
+                          const std::vector<DotNodeAnnotation>& ann,
+                          const DotOptions& options = {});
+
+}  // namespace parcm

@@ -1,5 +1,6 @@
 #include "ir/printer.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace parcm {
@@ -63,7 +64,13 @@ namespace {
 void emit_region(const Graph& g, RegionId r, std::ostringstream& os,
                  int indent) {
   std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
-  for (NodeId n : g.region(r).nodes) {
+  // Region membership lists follow transformation order; sort by node id so
+  // the rendering is deterministic regardless of how the graph was built.
+  std::vector<NodeId> nodes = g.region(r).nodes;
+  std::sort(nodes.begin(), nodes.end());
+  std::vector<ParStmtId> stmts = g.region(r).child_stmts;
+  std::sort(stmts.begin(), stmts.end());
+  for (NodeId n : nodes) {
     os << pad << "n" << n.value() << " [label=\"" << n.value() << ": "
        << statement_to_string(g, n) << "\"";
     const Node& node = g.node(n);
@@ -76,7 +83,7 @@ void emit_region(const Graph& g, RegionId r, std::ostringstream& os,
     }
     os << "];\n";
   }
-  for (ParStmtId s : g.region(r).child_stmts) {
+  for (ParStmtId s : stmts) {
     const ParStmt& stmt = g.par_stmt(s);
     for (RegionId comp : stmt.components) {
       os << pad << "subgraph cluster_r" << comp.value() << " {\n";

@@ -1,12 +1,14 @@
 #include "motion/bcm.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/remarks.hpp"
 #include "support/diagnostics.hpp"
 
 namespace parcm {
 
 MotionResult busy_code_motion(const Graph& g) {
   PARCM_OBS_COUNT("motion.bcm.runs", 1);
+  PARCM_OBS_REMARK_PASS("bcm");
   PARCM_CHECK(g.num_par_stmts() == 0,
               "busy_code_motion is the sequential baseline; use "
               "parallel_code_motion for parallel programs");

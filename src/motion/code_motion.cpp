@@ -2,9 +2,11 @@
 
 #include <deque>
 
+#include "ir/printer.hpp"
 #include "ir/regions.hpp"
 #include "ir/transform_utils.hpp"
 #include "obs/metrics.hpp"
+#include "obs/remarks.hpp"
 #include "support/diagnostics.hpp"
 
 namespace parcm {
@@ -132,6 +134,15 @@ void privatize_term(Graph& out, const LocalPredicates& preds,
 
       VarId priv = out.intern_var(out.var_name(motion.temp) + "_c" +
                                   std::to_string(comp.value()));
+      PARCM_OBS_REMARK(obs::Remark{
+          obs::RemarkKind::kDegraded, "",
+          out.component_entry(comp).value(),
+          static_cast<std::int64_t>(t.index()),
+          term_to_string(out, motion.term_value),
+          "sibling components race on the shared temporary: accesses in "
+          "this component renamed to " + out.var_name(priv),
+          {obs::RemarkReason::kPrivatized},
+          "component region r" + std::to_string(comp.value())});
       for (NodeId n : members) {
         Node& node = out.node(n);
         if (node.kind != NodeKind::kAssign) continue;
@@ -145,6 +156,14 @@ void privatize_term(Graph& out, const LocalPredicates& preds,
       NodeId bridge = out.new_assign(comp, priv, Rhs(Operand::var(motion.temp)));
       out.splice_before(bridge, out.component_entry(comp));
       motion.bridge_nodes.push_back(bridge);
+      PARCM_OBS_REMARK(obs::Remark{
+          obs::RemarkKind::kInserted, "", bridge.value(),
+          static_cast<std::int64_t>(t.index()),
+          term_to_string(out, motion.term_value),
+          out.var_name(priv) + " := " + out.var_name(motion.temp) +
+              " carries the upstream value into the component",
+          {obs::RemarkReason::kBridgeCopy, obs::RemarkReason::kPrivatized},
+          ""});
       renamed.emplace_back(comp, priv);
       motion.private_temps.emplace_back(comp, priv);
     }
@@ -335,17 +354,49 @@ MotionResult run_code_motion(const Graph& g, const CodeMotionConfig& config) {
     return frontier;
   };
 
+  // Reused across terms: emit_batch leaves the capacity in place, so the
+  // hot replacement loop allocates a remark buffer once per run.
+  std::vector<obs::Remark> replace_batch;
+
   for (TermId t : terms.all()) {
     TermMotion motion;
     motion.term = t;
     motion.term_value = terms.term(t);
     motion.temp = out.intern_var(fresh_temp_name(out, motion.term_value));
 
+    // Remark emission is hot on large programs (one remark per insertion
+    // and replacement); hoist the per-term invariant strings so each
+    // emission copies instead of re-rendering.
+    std::string term_str, replace_msg;
+    obs::ReasonChain replace_why[4];
+    if (PARCM_OBS_REMARKS_ON()) {
+      term_str = term_to_string(out, motion.term_value);
+      replace_msg =
+          "computation replaced by the temporary " + out.var_name(motion.temp);
+      // Index: bit 0 = up-safe, bit 1 = down-safe.
+      for (int mask = 0; mask < 4; ++mask) {
+        replace_why[mask].push_back(obs::RemarkReason::kComputes);
+        if (mask & 1) replace_why[mask].push_back(obs::RemarkReason::kUpSafe);
+        if (mask & 2) replace_why[mask].push_back(obs::RemarkReason::kDownSafe);
+      }
+    }
+
     std::vector<char> in_set(out.num_nodes(), 0);
     std::vector<NodeId> candidates;
     for (NodeId n : analyzed) {
       if (!res.predicates.earliest[n.index()].test(t.index())) continue;
-      if (useless_insert(n, t)) continue;
+      if (useless_insert(n, t)) {
+        PARCM_OBS_REMARK(obs::Remark{
+            obs::RemarkKind::kBlocked, "", n.value(),
+            static_cast<std::int64_t>(t.index()),
+            term_str,
+            "insertion would move the computation into a parallel component "
+            "that never performs it: the component could become the "
+            "bottleneck",
+            {obs::RemarkReason::kEarliest, obs::RemarkReason::kBottleneck},
+            ""});
+        continue;
+      }
       in_set[n.index()] = 1;
       candidates.push_back(n);
     }
@@ -356,10 +407,37 @@ MotionResult run_code_motion(const Graph& g, const CodeMotionConfig& config) {
       for (NodeId a : candidates) {
         in_set[a.index()] = 0;
         std::vector<char> mustuse = compute_mustuse(t, in_set);
-        for (NodeId m : sink_anchor(a, t, in_set, mustuse)) {
+        std::vector<NodeId> frontier = sink_anchor(a, t, in_set, mustuse);
+        for (NodeId m : frontier) {
           if (!in_set[m.index()]) {
             in_set[m.index()] = 1;
             anchors.push_back(m);
+          }
+        }
+        if (PARCM_OBS_REMARKS_ON()) {
+          if (frontier.empty()) {
+            PARCM_OBS_REMARK(obs::Remark{
+                obs::RemarkKind::kSkipped, "", a.value(),
+                static_cast<std::int64_t>(t.index()),
+                term_str,
+                "anchor dropped: every continuation kills the value before "
+                "any consumer needs it",
+                {obs::RemarkReason::kValueDies},
+                ""});
+          } else if (frontier.size() != 1 || frontier.front() != a) {
+            std::string where;
+            for (NodeId m : frontier) {
+              if (!where.empty()) where += ", ";
+              where += "n" + std::to_string(m.value());
+            }
+            PARCM_OBS_REMARK(obs::Remark{
+                obs::RemarkKind::kDegraded, "", a.value(),
+                static_cast<std::int64_t>(t.index()),
+                term_str,
+                "earliest anchor is not executionally optimal here: a path "
+                "would initialize the temporary twice, so the anchor sinks",
+                {obs::RemarkReason::kAnchorSunk},
+                "frontier: " + where});
           }
         }
       }
@@ -374,24 +452,61 @@ MotionResult run_code_motion(const Graph& g, const CodeMotionConfig& config) {
     for (NodeId n : anchors) {
       if (!in_set[n.index()]) continue;
       motion.insert_points.push_back(n);
+      // Provenance of the placement decision: the reason chain names the
+      // dataflow facts that justify the anchor, and flags the Fig. 7 case —
+      // an initialization after a join whose components are individually
+      // down-safe but whose safety witnesses differ per interleaving (P3).
+      obs::ReasonChain why;
+      bool edge_wise =
+          n == out.start() || out.node(n).kind == NodeKind::kParEnd;
+      if (PARCM_OBS_REMARKS_ON()) {
+        why.push_back(obs::RemarkReason::kEarliest);
+        why.push_back(obs::RemarkReason::kDownSafe);
+        if (edge_wise) why.push_back(obs::RemarkReason::kEdgePlacement);
+        if (out.node(n).kind == NodeKind::kParEnd) {
+          ParStmtId s = out.node(n).par_stmt;
+          if (s.valid() &&
+              s.index() < res.safety.up_result.stmt_summary.size() &&
+              res.safety.up_result.stmt_summary[s.index()].ff.test(
+                  t.index())) {
+            why.push_back(obs::RemarkReason::kWitnessDiffers);
+          }
+        }
+      }
       // "Insert at n" = initialize before n's statement runs. The start
       // node has no incoming edges, and inserting *before* a ParEnd would
       // pull the initialization inside the synchronization, so those two
       // anchor on each outgoing edge instead (edge-wise placement keeps the
       // node's branch structure intact for path pairing).
-      if (n == out.start() || out.node(n).kind == NodeKind::kParEnd) {
+      if (edge_wise) {
         std::vector<EdgeId> outgoing = out.node(n).out_edges;
         for (EdgeId e : outgoing) {
           NodeId init = out.new_assign(edge_region(out, e), motion.temp,
                                        Rhs(motion.term_value));
           wire_on_edge(out, e, init);
           motion.insert_nodes.push_back(init);
+          PARCM_OBS_REMARK(obs::Remark{
+              obs::RemarkKind::kInserted, "", n.value(),
+              static_cast<std::int64_t>(t.index()),
+              term_str,
+              "initialize " + out.var_name(motion.temp) +
+                  " on the outgoing edge (node n" +
+                  std::to_string(init.value()) + ")",
+              why, ""});
         }
       } else {
         NodeId init = out.new_assign(out.node(n).region, motion.temp,
                                      Rhs(motion.term_value));
         out.splice_before(init, n);
         motion.insert_nodes.push_back(init);
+        PARCM_OBS_REMARK(obs::Remark{
+            obs::RemarkKind::kInserted, "", n.value(),
+            static_cast<std::int64_t>(t.index()),
+            term_str,
+            "initialize " + out.var_name(motion.temp) +
+                " immediately before this node (node n" +
+                std::to_string(init.value()) + ")",
+            why, ""});
       }
     }
 
@@ -401,6 +516,18 @@ MotionResult run_code_motion(const Graph& g, const CodeMotionConfig& config) {
                   "replacement at a non-assignment");
       out.node(n).rhs = Rhs(Operand::var(motion.temp));
       motion.replaced.push_back(n);
+      if (PARCM_OBS_REMARKS_ON()) {
+        int mask =
+            (res.safety.upsafe[n.index()].test(t.index()) ? 1 : 0) |
+            (res.safety.dnsafe[n.index()].test(t.index()) ? 2 : 0);
+        replace_batch.push_back(obs::Remark{
+            obs::RemarkKind::kReplaced, "", n.value(),
+            static_cast<std::int64_t>(t.index()),
+            term_str, replace_msg, replace_why[mask], ""});
+      }
+    }
+    if (!replace_batch.empty()) {
+      obs::remarks().emit_batch(replace_batch);
     }
 
     if (config.variant == SafetyVariant::kRefined && config.privatize_temps &&

@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "obs/metrics.hpp"
+#include "obs/remarks.hpp"
 #include "support/diagnostics.hpp"
 
 namespace parcm {
@@ -114,6 +115,7 @@ ParallelLiveness compute_parallel_liveness(const Graph& g,
 DceResult eliminate_dead_assignments(const Graph& g,
                                      const DceOptions& options) {
   PARCM_OBS_TIMER("motion.dce");
+  PARCM_OBS_REMARK_PASS("dce");
   DceResult res{g, {}, 0};
   Graph& out = res.graph;
 
@@ -132,6 +134,13 @@ DceResult eliminate_dead_assignments(const Graph& g,
       if (node.kind != NodeKind::kAssign) continue;
       if (live.live_out[n.index()].test(node.lhs.index())) continue;
       // Dead: no interleaving reads the value before it is overwritten.
+      PARCM_OBS_REMARK(obs::Remark{
+          obs::RemarkKind::kReplaced, "", n.value(), -1, "",
+          "dead assignment to " + out.var_name(node.lhs) +
+              " eliminated: no interleaving reads the value before it is "
+              "overwritten",
+          {obs::RemarkReason::kDeadAssignment},
+          ""});
       node.kind = NodeKind::kSkip;
       node.rhs = Rhs();
       node.lhs = VarId();

@@ -2,8 +2,10 @@
 
 #include <deque>
 
+#include "ir/printer.hpp"
 #include "ir/regions.hpp"
 #include "ir/transform_utils.hpp"
+#include "obs/remarks.hpp"
 #include "support/diagnostics.hpp"
 
 namespace parcm {
@@ -103,6 +105,7 @@ MotionResult lazy_code_motion(const Graph& g) {
               "lazy_code_motion is sequential-only; the parallel "
               "transformation is parallel_code_motion");
 
+  PARCM_OBS_REMARK_PASS("lcm");
   MotionResult res{g, 0, {}, {}, {}};
   Graph& out = res.graph;
   res.synthetic_nodes = split_join_edges(out);
@@ -132,6 +135,17 @@ MotionResult lazy_code_motion(const Graph& g) {
       bool replace =
           comp && res.predicates.replace[n.index()].test(ti) &&
           !(latest && !useful);
+      if (latest && !useful && comp) {
+        // Isolation: the latest point coincides with its only consumer, so
+        // hoisting would trade the computation for an equal-cost copy.
+        PARCM_OBS_REMARK(obs::Remark{
+            obs::RemarkKind::kSkipped, "", n.value(),
+            static_cast<std::int64_t>(ti),
+            term_to_string(out, motion.term_value),
+            "latest point serves only its own computation: original kept",
+            {obs::RemarkReason::kLatest, obs::RemarkReason::kIsolated},
+            ""});
+      }
       if (insert) {
         motion.insert_points.push_back(n);
         if (n == out.start()) {
@@ -141,17 +155,44 @@ MotionResult lazy_code_motion(const Graph& g) {
                                          Rhs(motion.term_value));
             wire_on_edge(out, e, init);
             motion.insert_nodes.push_back(init);
+            PARCM_OBS_REMARK(obs::Remark{
+                obs::RemarkKind::kInserted, "", n.value(),
+                static_cast<std::int64_t>(ti),
+                term_to_string(out, motion.term_value),
+                "initialize " + out.var_name(motion.temp) +
+                    " on the outgoing edge (node n" +
+                    std::to_string(init.value()) + ")",
+                {obs::RemarkReason::kLatest,
+                 obs::RemarkReason::kEdgePlacement},
+                ""});
           }
         } else {
           NodeId init = out.new_assign(out.node(n).region, motion.temp,
                                        Rhs(motion.term_value));
           out.splice_before(init, n);
           motion.insert_nodes.push_back(init);
+          PARCM_OBS_REMARK(obs::Remark{
+              obs::RemarkKind::kInserted, "", n.value(),
+              static_cast<std::int64_t>(ti),
+              term_to_string(out, motion.term_value),
+              "initialize " + out.var_name(motion.temp) +
+                  " immediately before this node (node n" +
+                  std::to_string(init.value()) + ")",
+              {obs::RemarkReason::kLatest},
+              ""});
         }
       }
       if (replace) {
         out.node(n).rhs = Rhs(Operand::var(motion.temp));
         motion.replaced.push_back(n);
+        PARCM_OBS_REMARK(obs::Remark{
+            obs::RemarkKind::kReplaced, "", n.value(),
+            static_cast<std::int64_t>(ti),
+            term_to_string(out, motion.term_value),
+            "computation replaced by the temporary " +
+                out.var_name(motion.temp),
+            {obs::RemarkReason::kComputes},
+            ""});
       }
     }
     if (!motion.insert_nodes.empty() || !motion.replaced.empty()) {

@@ -1,16 +1,19 @@
 #include "motion/pcm.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/remarks.hpp"
 
 namespace parcm {
 
 MotionResult parallel_code_motion(const Graph& g) {
   PARCM_OBS_COUNT("motion.pcm.runs", 1);
+  PARCM_OBS_REMARK_PASS("pcm");
   return run_code_motion(g, CodeMotionConfig{SafetyVariant::kRefined});
 }
 
 MotionResult naive_parallel_code_motion(const Graph& g) {
   PARCM_OBS_COUNT("motion.pcm_naive.runs", 1);
+  PARCM_OBS_REMARK_PASS("pcm-naive");
   return run_code_motion(g, CodeMotionConfig{SafetyVariant::kNaive});
 }
 

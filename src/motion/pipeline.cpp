@@ -10,6 +10,7 @@
 #include "motion/sinking.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/remarks.hpp"
 #include "support/diagnostics.hpp"
 
 namespace parcm {
@@ -22,17 +23,19 @@ std::string PipelineResult::to_string() const {
   std::ostringstream os;
   os << "pipeline (" << passes.size() << " pass"
      << (passes.size() == 1 ? "" : "es") << ")\n";
-  char buf[128];
-  std::snprintf(buf, sizeof(buf), "  %-*s %7s %7s %6s %8s %10s\n",
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "  %-*s %7s %7s %6s %8s %8s %10s\n",
                 static_cast<int>(name_width), "pass", "before", "after",
-                "delta", "actions", "wall ms");
+                "delta", "actions", "remarks", "wall ms");
   os << buf;
   for (const PassStats& p : passes) {
     long long delta = static_cast<long long>(p.nodes_after) -
                       static_cast<long long>(p.nodes_before);
-    std::snprintf(buf, sizeof(buf), "  %-*s %7zu %7zu %+6lld %8zu %10.3f\n",
+    std::snprintf(buf, sizeof(buf),
+                  "  %-*s %7zu %7zu %+6lld %8zu %8zu %10.3f\n",
                   static_cast<int>(name_width), p.name.c_str(),
-                  p.nodes_before, p.nodes_after, delta, p.actions, p.wall_ms);
+                  p.nodes_before, p.nodes_after, delta, p.actions, p.remarks,
+                  p.wall_ms);
     os << buf;
   }
   return os.str();
@@ -50,6 +53,7 @@ std::string PipelineResult::to_json(bool pretty) const {
     w.key("node_delta").value(static_cast<std::int64_t>(p.nodes_after) -
                               static_cast<std::int64_t>(p.nodes_before));
     w.key("actions").value(p.actions);
+    w.key("remarks").value(p.remarks);
     w.key("wall_ms").value(p.wall_ms);
     w.key("counters").begin_object();
     for (const auto& [k, v] : p.counters) w.key(k).value(v);
@@ -125,9 +129,15 @@ PipelineResult Pipeline::run(const Graph& g) const {
     stats.name = pass.name;
     stats.nodes_before = res.graph.num_nodes();
     std::map<std::string, std::uint64_t> before = obs::registry().counters();
+    std::size_t remarks_before = obs::remarks().size();
     auto start = std::chrono::steady_clock::now();
     std::size_t actions = 0;
-    res.graph = pass.fn(res.graph, &actions);
+    {
+      // Remarks emitted by the pass body default to this pass's name (inner
+      // scopes — e.g. pcm inside the pcm pass — take precedence).
+      PARCM_OBS_REMARK_PASS(pass.name);
+      res.graph = pass.fn(res.graph, &actions);
+    }
     auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                   std::chrono::steady_clock::now() - start)
                   .count();
@@ -140,6 +150,7 @@ PipelineResult Pipeline::run(const Graph& g) const {
     }
     stats.nodes_after = res.graph.num_nodes();
     stats.actions = actions;
+    stats.remarks = obs::remarks().size() - remarks_before;
     res.passes.push_back(std::move(stats));
   }
   return res;

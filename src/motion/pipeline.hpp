@@ -28,6 +28,9 @@ struct PassStats {
   // relaxations, per-term motion counts, ...). Empty when the library is
   // built with PARCM_OBS=OFF.
   std::map<std::string, std::uint64_t> counters;
+  // Optimization remarks the pass emitted into the global obs::remarks()
+  // sink (zero when the sink is disabled or PARCM_OBS=OFF).
+  std::size_t remarks = 0;
 };
 
 struct PipelineResult {

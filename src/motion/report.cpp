@@ -1,13 +1,59 @@
 #include "motion/report.hpp"
 
+#include <algorithm>
+#include <set>
 #include <sstream>
 
 #include "ir/printer.hpp"
+#include "ir/terms.hpp"
 
 namespace parcm {
 
+std::vector<obs::Remark> motion_remarks(const MotionResult& result) {
+  const Graph& g = result.graph;
+  std::vector<obs::Remark> out;
+  for (const TermMotion& tm : result.terms) {
+    std::string term = term_to_string(g, tm.term_value);
+    auto index = static_cast<std::int64_t>(tm.term.index());
+    for (NodeId n : tm.insert_points) {
+      out.push_back(obs::Remark{
+          obs::RemarkKind::kInserted, "motion", n.value(), index, term,
+          "initialize " + g.var_name(tm.temp),
+          {obs::RemarkReason::kEarliest, obs::RemarkReason::kDownSafe},
+          statement_to_string(g, n)});
+    }
+    for (NodeId n : tm.replaced) {
+      out.push_back(obs::Remark{
+          obs::RemarkKind::kReplaced, "motion", n.value(), index, term,
+          "computation replaced by the temporary " + g.var_name(tm.temp),
+          {obs::RemarkReason::kComputes},
+          statement_to_string(g, n)});
+    }
+    for (NodeId n : tm.bridge_nodes) {
+      out.push_back(obs::Remark{
+          obs::RemarkKind::kInserted, "motion", n.value(), index, term,
+          "bridge copy for a component-private temporary",
+          {obs::RemarkReason::kBridgeCopy, obs::RemarkReason::kPrivatized},
+          statement_to_string(g, n)});
+    }
+  }
+  return out;
+}
+
+void resolve_remark_terms(const Graph& g, std::vector<obs::Remark>& remarks) {
+  TermTable terms(g);
+  for (obs::Remark& r : remarks) {
+    if (!r.term.empty() || r.term_index < 0) continue;
+    auto i = static_cast<std::size_t>(r.term_index);
+    if (i >= terms.size()) continue;
+    TermId t(static_cast<TermId::underlying>(i));
+    r.term = term_to_string(g, terms.term(t));
+  }
+}
+
 std::string motion_report(const MotionResult& result) {
   const Graph& g = result.graph;
+  std::vector<obs::Remark> remarks = motion_remarks(result);
   std::ostringstream os;
   os << "code motion report ("
      << (result.safety.variant == SafetyVariant::kRefined ? "refined/PCM"
@@ -17,16 +63,35 @@ std::string motion_report(const MotionResult& result) {
   os << "  terms moved: " << result.terms.size() << ", insertions: "
      << result.num_insertions() << ", replacements: "
      << result.num_replacements() << "\n";
+  auto has_reason = [](const obs::Remark& r, obs::RemarkReason reason) {
+    return std::find(r.reasons.begin(), r.reasons.end(), reason) !=
+           r.reasons.end();
+  };
   for (const TermMotion& tm : result.terms) {
+    auto index = static_cast<std::int64_t>(tm.term.index());
     os << "  term `" << term_to_string(g, tm.term_value) << "` -> temp "
        << g.var_name(tm.temp) << "\n";
     os << "    insert at:";
-    for (NodeId n : tm.insert_points) {
-      os << " n" << n.value() << "(" << statement_to_string(g, n) << ")";
+    for (const obs::Remark& r : remarks) {
+      if (r.term_index != index || r.kind != obs::RemarkKind::kInserted ||
+          has_reason(r, obs::RemarkReason::kBridgeCopy)) {
+        continue;
+      }
+      os << " n" << r.node << "(" << r.detail << ")";
     }
     os << "\n    replace at:";
-    for (NodeId n : tm.replaced) os << " n" << n.value();
+    for (const obs::Remark& r : remarks) {
+      if (r.term_index != index || r.kind != obs::RemarkKind::kReplaced) {
+        continue;
+      }
+      os << " n" << r.node;
+    }
     os << "\n";
+    if (!tm.bridge_nodes.empty()) {
+      os << "    bridge copies:";
+      for (NodeId n : tm.bridge_nodes) os << " n" << n.value();
+      os << "\n";
+    }
   }
   return os.str();
 }
@@ -49,6 +114,58 @@ std::string safety_table(const Graph& g, const MotionResult& result,
        << statement_to_string(g, n) << "\n";
   }
   return os.str();
+}
+
+std::string motion_dot(const MotionResult& result, TermId term,
+                       const std::vector<obs::Remark>& remarks,
+                       const std::string& title) {
+  const Graph& g = result.graph;
+  std::vector<DotNodeAnnotation> ann(g.num_nodes());
+  std::size_t t = term.index();
+  for (NodeId n : g.all_nodes()) {
+    DotNodeAnnotation& a = ann[n.index()];
+    if (n.index() < result.safety.upsafe.size()) {
+      std::string facts;
+      auto add = [&](const std::vector<BitVector>& v, const char* name) {
+        if (v[n.index()].test(t)) {
+          if (!facts.empty()) facts += " ";
+          facts += name;
+        }
+      };
+      add(result.safety.upsafe, "U-Safe");
+      add(result.safety.dnsafe, "D-Safe");
+      add(result.predicates.earliest, "Earliest");
+      add(result.predicates.replace, "Repl");
+      if (!facts.empty()) a.facts.push_back(facts);
+    }
+    for (const obs::Remark& r : remarks) {
+      if (r.node != static_cast<std::int64_t>(n.value())) continue;
+      if (r.term_index >= 0 &&
+          r.term_index != static_cast<std::int64_t>(t)) {
+        continue;
+      }
+      std::string badge = remark_kind_name(r.kind);
+      for (obs::RemarkReason reason : r.reasons) {
+        if (const char* p = remark_reason_pitfall(reason)) {
+          badge += std::string(" ") + p;
+        }
+      }
+      a.badges.push_back(std::move(badge));
+    }
+  }
+  // Tint the nodes the transformation materialized or rewrote.
+  std::set<NodeId> inserted, replaced;
+  for (const TermMotion& tm : result.terms) {
+    if (tm.term != term) continue;
+    inserted.insert(tm.insert_nodes.begin(), tm.insert_nodes.end());
+    inserted.insert(tm.bridge_nodes.begin(), tm.bridge_nodes.end());
+    replaced.insert(tm.replaced.begin(), tm.replaced.end());
+  }
+  for (NodeId n : inserted) ann[n.index()].fill = "palegreen";
+  for (NodeId n : replaced) ann[n.index()].fill = "lightgoldenrod";
+  DotOptions options;
+  options.title = title;
+  return annotated_dot(g, ann, options);
 }
 
 }  // namespace parcm

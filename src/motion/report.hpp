@@ -1,18 +1,46 @@
 // Human-readable transformation reports (used by examples and the CLI).
+//
+// Reports are renderings of optimization remarks: motion_remarks() distills
+// a MotionResult into the same obs::Remark records the passes emit live,
+// and motion_report()/motion_dot() format those records. The summary path
+// works in PARCM_OBS=OFF builds too — it never touches the global sink.
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "ir/dot.hpp"
 #include "motion/code_motion.hpp"
+#include "obs/remarks.hpp"
 
 namespace parcm {
 
-// Per-term insertions/replacements plus totals.
+// Summary remarks reconstructed from the result: one kInserted per
+// insertion point, one kReplaced per rewritten computation, one kInserted
+// (bridge-copy) per privatization bridge. Deterministic (term then node
+// order); pass name "motion".
+std::vector<obs::Remark> motion_remarks(const MotionResult& result);
+
+// Fills in empty `term` strings on remarks that carry a term_index, using
+// g's term numbering (stable across the transformation: motion only
+// appends nodes, so indices computed on the input graph stay valid).
+void resolve_remark_terms(const Graph& g, std::vector<obs::Remark>& remarks);
+
+// Per-term insertions/replacements plus totals — a rendering of
+// motion_remarks().
 std::string motion_report(const MotionResult& result);
 
 // Per-node safety table for one term: Comp/Transp/up-safe/down-safe/
 // earliest/replace. Heavy; intended for small (figure-sized) programs.
 std::string safety_table(const Graph& g, const MotionResult& result,
                          TermId term);
+
+// Annotated Graphviz export of the transformed graph: per-node dataflow
+// facts (U-Safe/D-Safe/Earliest/Replace for `term`) plus badges for any
+// `remarks` attached to the node (kind, and the paper-pitfall tag when a
+// reason carries one). Inserted/replaced nodes are tinted.
+std::string motion_dot(const MotionResult& result, TermId term,
+                       const std::vector<obs::Remark>& remarks = {},
+                       const std::string& title = "parcm");
 
 }  // namespace parcm

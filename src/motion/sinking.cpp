@@ -2,9 +2,11 @@
 
 #include <deque>
 
+#include "ir/printer.hpp"
 #include "ir/transform_utils.hpp"
 #include "motion/dce.hpp"
 #include "obs/metrics.hpp"
+#include "obs/remarks.hpp"
 #include "support/bitvector.hpp"
 #include "support/diagnostics.hpp"
 
@@ -188,6 +190,7 @@ class Sinker {
 
 SinkingResult sink_partially_dead_assignments(const Graph& g) {
   PARCM_OBS_TIMER("motion.sinking");
+  PARCM_OBS_REMARK_PASS("sinking");
   SinkingResult res{g, {}, 0, 0};
   Graph& out = res.graph;
 
@@ -206,14 +209,41 @@ SinkingResult sink_partially_dead_assignments(const Graph& g) {
     } else {
       check(node.rhs.trivial());
     }
-    if (ok) candidates.push_back(n);
+    if (ok) {
+      candidates.push_back(n);
+    } else {
+      PARCM_OBS_REMARK(obs::Remark{
+          obs::RemarkKind::kBlocked, "", n.value(), -1, "",
+          "assignment touches a variable with a potentially-parallel "
+          "(write, access) pair: moving it could change an interleaving",
+          {obs::RemarkReason::kContested},
+          statement_to_string(out, n)});
+    }
   }
 
   Sinker sinker(out);
   for (NodeId a : candidates) {
     if (out.node(a).kind != NodeKind::kAssign) continue;  // already sunk
+    std::size_t placed_before = res.copies_placed;
+    std::size_t dropped_before = res.copies_dropped;
     if (sinker.try_sink(a, &res.copies_placed, &res.copies_dropped)) {
       res.sunk.push_back(a);
+      PARCM_OBS_REMARK(obs::Remark{
+          obs::RemarkKind::kReplaced, "", a.value(), -1, "",
+          "partially dead assignment sunk: " +
+              std::to_string(res.copies_placed - placed_before) +
+              " cop(ies) placed, " +
+              std::to_string(res.copies_dropped - dropped_before) +
+              " dropped",
+          {obs::RemarkReason::kPartiallyDead},
+          ""});
+    } else if (PARCM_OBS_REMARKS_ON()) {
+      PARCM_OBS_REMARK(obs::Remark{
+          obs::RemarkKind::kSkipped, "", a.value(), -1, "",
+          "assignment is live on every continuation: sinking would only "
+          "churn the program",
+          {obs::RemarkReason::kUnprofitable},
+          statement_to_string(out, a)});
     }
   }
   PARCM_OBS_COUNT("motion.sinking.runs", 1);

@@ -1,5 +1,6 @@
 #include "obs/json.hpp"
 
+#include <cctype>
 #include <charconv>
 #include <cmath>
 
@@ -41,6 +42,163 @@ std::string json_number(double v) {
   std::string s(buf, p);
   // Bare exponentless integral doubles are valid JSON already; nothing to do.
   return s;
+}
+
+namespace {
+
+// Recursive-descent structural checker behind json_valid. Consumes one
+// grammar production from `s` at `pos`; returns false on any malformation.
+struct JsonChecker {
+  std::string_view s;
+  std::size_t pos = 0;
+  int depth = 0;
+  static constexpr int kMaxDepth = 256;
+
+  void skip_ws() {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t' ||
+                              s[pos] == '\n' || s[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool literal(std::string_view word) {
+    if (s.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+  bool string() {
+    if (pos >= s.size() || s[pos] != '"') return false;
+    ++pos;
+    while (pos < s.size()) {
+      unsigned char c = static_cast<unsigned char>(s[pos]);
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control character
+      if (c == '\\') {
+        ++pos;
+        if (pos >= s.size()) return false;
+        char e = s[pos];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos + i >= s.size() || !std::isxdigit(static_cast<unsigned char>(
+                                           s[pos + i]))) {
+              return false;
+            }
+          }
+          pos += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++pos;
+    }
+    return false;  // unterminated
+  }
+  bool digits() {
+    std::size_t start = pos;
+    while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos]))) {
+      ++pos;
+    }
+    return pos > start;
+  }
+  bool number() {
+    if (pos < s.size() && s[pos] == '-') ++pos;
+    if (pos < s.size() && s[pos] == '0') {
+      ++pos;
+    } else if (!digits()) {
+      return false;
+    }
+    if (pos < s.size() && s[pos] == '.') {
+      ++pos;
+      if (!digits()) return false;
+    }
+    if (pos < s.size() && (s[pos] == 'e' || s[pos] == 'E')) {
+      ++pos;
+      if (pos < s.size() && (s[pos] == '+' || s[pos] == '-')) ++pos;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+  bool value() {
+    if (++depth > kMaxDepth) return false;
+    skip_ws();
+    bool ok = false;
+    if (pos >= s.size()) {
+      ok = false;
+    } else if (s[pos] == '{') {
+      ok = members();
+    } else if (s[pos] == '[') {
+      ok = elements();
+    } else if (s[pos] == '"') {
+      ok = string();
+    } else if (s[pos] == 't') {
+      ok = literal("true");
+    } else if (s[pos] == 'f') {
+      ok = literal("false");
+    } else if (s[pos] == 'n') {
+      ok = literal("null");
+    } else {
+      ok = number();
+    }
+    --depth;
+    return ok;
+  }
+  bool members() {
+    ++pos;  // '{'
+    skip_ws();
+    if (pos < s.size() && s[pos] == '}') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (pos >= s.size() || s[pos] != ':') return false;
+      ++pos;
+      if (!value()) return false;
+      skip_ws();
+      if (pos < s.size() && s[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      break;
+    }
+    if (pos >= s.size() || s[pos] != '}') return false;
+    ++pos;
+    return true;
+  }
+  bool elements() {
+    ++pos;  // '['
+    skip_ws();
+    if (pos < s.size() && s[pos] == ']') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (pos < s.size() && s[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      break;
+    }
+    if (pos >= s.size() || s[pos] != ']') return false;
+    ++pos;
+    return true;
+  }
+};
+
+}  // namespace
+
+bool json_valid(std::string_view s) {
+  JsonChecker c{s};
+  if (!c.value()) return false;
+  c.skip_ws();
+  return c.pos == s.size();
 }
 
 void JsonWriter::newline_indent() {

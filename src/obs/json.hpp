@@ -19,6 +19,12 @@ namespace parcm::obs {
 // JSON string escaping of `s` (quotes not included).
 std::string json_escape(std::string_view s);
 
+// Structural validation: true iff `s` is exactly one complete JSON value
+// (objects, arrays, strings with escapes, numbers, literals). Used by the
+// schema sanity tests to prove every writer emits well-formed documents;
+// not a full parser — values are checked, not materialized.
+bool json_valid(std::string_view s);
+
 // Shortest round-trip decimal form of v ("null" for non-finite values,
 // which JSON cannot represent).
 std::string json_number(double v);

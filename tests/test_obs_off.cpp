@@ -6,6 +6,7 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/remarks.hpp"
 
 static_assert(PARCM_OBS_ENABLED == 0,
               "this test exercises the PARCM_OBS=OFF configuration");
@@ -34,6 +35,37 @@ TEST(ObsOff, MacrosAreValidSingleStatements) {
   else
     PARCM_OBS_GAUGE("never", 0.0);
   SUCCEED();
+}
+
+TEST(ObsOff, RemarkMacrosCompileToNothing) {
+  obs::RemarkSink mine;
+  mine.set_enabled(true);  // even an enabled sink must see nothing
+  obs::RemarkSink* prev = obs::set_remark_sink(&mine);
+  PARCM_OBS_REMARK_PASS("off-pass");
+  PARCM_OBS_REMARK(obs::Remark{obs::RemarkKind::kInserted, "off", 1, 0,
+                               "a + b", "must not be recorded",
+                               {obs::RemarkReason::kEarliest}, ""});
+  if (false)
+    PARCM_OBS_REMARK(obs::Remark{});
+  else
+    PARCM_OBS_REMARK_PASS("branch");
+  obs::set_remark_sink(prev);
+  EXPECT_TRUE(mine.empty());
+  EXPECT_EQ(mine.pass(), "");  // the pass scope macro vanished too
+  // The guard expression folds to a constant false.
+  EXPECT_FALSE(PARCM_OBS_REMARKS_ON());
+}
+
+TEST(ObsOff, RemarkConsumersStillWork) {
+  // The sink itself stays fully functional — only the macros vanish.
+  obs::RemarkSink sink;
+  sink.set_enabled(true);
+  sink.emit(obs::Remark{obs::RemarkKind::kBlocked, "manual", 2, -1, "",
+                        "hand-emitted", {obs::RemarkReason::kBarrierPhase},
+                        ""});
+  EXPECT_EQ(sink.size(), 1u);
+  EXPECT_NE(sink.to_json().find("parcm-remarks-v1"), std::string::npos);
+  EXPECT_NE(sink.to_string().find("hand-emitted"), std::string::npos);
 }
 
 TEST(ObsOff, ConsumersStillWork) {

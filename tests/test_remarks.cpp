@@ -1,0 +1,273 @@
+// The optimization-remark provenance layer: typed remarks with
+// machine-readable reason chains for every code-motion decision, plus
+// golden-file regression dumps for the paper's figures.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "figures/figures.hpp"
+#include "lang/lower.hpp"
+#include "motion/pcm.hpp"
+#include "motion/pipeline.hpp"
+#include "motion/report.hpp"
+#include "obs/json.hpp"
+#include "obs/remarks.hpp"
+
+namespace parcm {
+namespace {
+
+// Runs the figure through (refined or naive) PCM with an isolated sink and
+// returns the resolved remark stream.
+std::vector<obs::Remark> capture(const std::string& figure,
+                                 bool naive = false) {
+  Graph g = lang::compile_or_throw(figures::figure_source(figure));
+  obs::RemarkSink sink;
+  sink.set_enabled(true);
+  obs::RemarkSink* prev = obs::set_remark_sink(&sink);
+  MotionResult r =
+      naive ? naive_parallel_code_motion(g) : parallel_code_motion(g);
+  obs::set_remark_sink(prev);
+  std::vector<obs::Remark> remarks = sink.snapshot();
+  resolve_remark_terms(g, remarks);
+  return remarks;
+}
+
+std::string render(const std::vector<obs::Remark>& remarks) {
+  std::ostringstream os;
+  for (const obs::Remark& r : remarks) os << remark_to_string(r) << "\n";
+  return os.str();
+}
+
+bool has_reason(const obs::Remark& r, obs::RemarkReason reason) {
+  return std::find(r.reasons.begin(), r.reasons.end(), reason) !=
+         r.reasons.end();
+}
+
+// Golden-file comparison. PARCM_REGEN_GOLDEN=1 rewrites the files in the
+// source tree (see scripts/check_golden.sh).
+void check_golden(const std::string& name, const std::string& actual) {
+  std::string path = std::string(PARCM_GOLDEN_DIR) + "/" + name;
+  if (std::getenv("PARCM_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " — regenerate with PARCM_REGEN_GOLDEN=1";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << "remark stream for " << name
+      << " changed; if intentional, regenerate with PARCM_REGEN_GOLDEN=1 "
+         "(see scripts/check_golden.sh)";
+}
+
+#if !PARCM_OBS_ENABLED
+#define PARCM_REQUIRE_OBS() \
+  GTEST_SKIP() << "library built with PARCM_OBS=OFF: no remark stream"
+#else
+#define PARCM_REQUIRE_OBS() (void)0
+#endif
+
+TEST(RemarkSink, EmitSnapshotAndPassContext) {
+  obs::RemarkSink sink;
+  EXPECT_FALSE(sink.enabled());
+  sink.set_enabled(true);
+  sink.set_pass("unit");
+  sink.emit(obs::Remark{obs::RemarkKind::kInserted, "", 3, 0, "a + b",
+                        "hello", {obs::RemarkReason::kEarliest}, ""});
+  sink.emit(obs::Remark{obs::RemarkKind::kBlocked, "explicit", 4, -1, "",
+                        "kept", {}, ""});
+  ASSERT_EQ(sink.size(), 2u);
+  std::vector<obs::Remark> r = sink.snapshot();
+  EXPECT_EQ(r[0].pass, "unit");      // stamped from the scope context
+  EXPECT_EQ(r[1].pass, "explicit");  // explicit name wins
+  sink.clear();
+  EXPECT_TRUE(sink.empty());
+}
+
+TEST(RemarkSink, PassScopeRestoresPreviousName) {
+  obs::RemarkSink sink;
+  obs::RemarkSink* prev = obs::set_remark_sink(&sink);
+  sink.set_enabled(true);
+  {
+    obs::RemarkPassScope outer("outer");
+    {
+      obs::RemarkPassScope inner("inner");
+      EXPECT_EQ(obs::remarks().pass(), "inner");
+    }
+    EXPECT_EQ(obs::remarks().pass(), "outer");
+  }
+  EXPECT_EQ(obs::remarks().pass(), "");
+  obs::set_remark_sink(prev);
+}
+
+TEST(RemarkSink, DisabledSinkRecordsNothing) {
+  PARCM_REQUIRE_OBS();
+  Graph g = lang::compile_or_throw(figures::figure_source("7"));
+  obs::RemarkSink sink;  // enabled defaults to false
+  obs::RemarkSink* prev = obs::set_remark_sink(&sink);
+  parallel_code_motion(g);
+  obs::set_remark_sink(prev);
+  EXPECT_TRUE(sink.empty());
+}
+
+TEST(RemarkJson, SchemaIsValidAndVersioned) {
+  obs::RemarkSink sink;
+  sink.set_enabled(true);
+  sink.emit(obs::Remark{obs::RemarkKind::kBlocked, "pcm", 6, 0, "a + b",
+                        "a \"quoted\" message\nwith a newline",
+                        {obs::RemarkReason::kWitnessDiffers,
+                         obs::RemarkReason::kBottleneck},
+                        "detail"});
+  std::string json = sink.to_json(/*pretty=*/true);
+  EXPECT_TRUE(obs::json_valid(json)) << json;
+  EXPECT_NE(json.find("\"schema\": \"parcm-remarks-v1\""), std::string::npos);
+  EXPECT_NE(json.find("interleaving-witness-p3"), std::string::npos);
+  EXPECT_NE(json.find("\"P3\""), std::string::npos);
+  EXPECT_NE(json.find("\"P1\""), std::string::npos);
+}
+
+// The Fig. 7 pitfall, refined variant: both components are individually
+// down-safe for a+b, but the witnessing occurrence differs per interleaving
+// — so the initialization after the join must NOT be suppressed, and the
+// placement remark names P3.
+TEST(RemarkChains, Fig7RefinedBlocksSuppressionWithP3) {
+  PARCM_REQUIRE_OBS();
+  std::vector<obs::Remark> remarks = capture("7");
+  auto blocked = std::find_if(
+      remarks.begin(), remarks.end(), [](const obs::Remark& r) {
+        return r.kind == obs::RemarkKind::kBlocked &&
+               has_reason(r, obs::RemarkReason::kWitnessDiffers);
+      });
+  ASSERT_NE(blocked, remarks.end());
+  EXPECT_EQ(blocked->term, "a + b");
+  EXPECT_EQ(blocked->pass, "pcm");
+  // The insertion materialized at that join carries the same P3 reason.
+  auto inserted = std::find_if(
+      remarks.begin(), remarks.end(), [&](const obs::Remark& r) {
+        return r.kind == obs::RemarkKind::kInserted &&
+               r.node == blocked->node &&
+               has_reason(r, obs::RemarkReason::kWitnessDiffers);
+      });
+  ASSERT_NE(inserted, remarks.end());
+  EXPECT_TRUE(has_reason(*inserted, obs::RemarkReason::kEarliest));
+  EXPECT_TRUE(has_reason(*inserted, obs::RemarkReason::kDownSafe));
+  EXPECT_TRUE(has_reason(*inserted, obs::RemarkReason::kEdgePlacement));
+  EXPECT_STREQ(
+      obs::remark_reason_pitfall(obs::RemarkReason::kWitnessDiffers), "P3");
+}
+
+// The same figure under the refuted naive (atomic) view: the analysis
+// believes an establishing component delivers the value across the join and
+// skips the initialization — the useless-initialization suppression the
+// refined up-safe_par synchronization exists to prevent.
+TEST(RemarkChains, Fig7NaiveWronglyExportsAcrossJoin) {
+  PARCM_REQUIRE_OBS();
+  std::vector<obs::Remark> remarks = capture("7", /*naive=*/true);
+  auto skipped = std::find_if(
+      remarks.begin(), remarks.end(), [](const obs::Remark& r) {
+        return r.kind == obs::RemarkKind::kSkipped &&
+               has_reason(r, obs::RemarkReason::kExported);
+      });
+  ASSERT_NE(skipped, remarks.end());
+  EXPECT_EQ(skipped->pass, "pcm-naive");
+  // Naive never detects the per-interleaving witness problem.
+  for (const obs::Remark& r : remarks) {
+    EXPECT_FALSE(has_reason(r, obs::RemarkReason::kWitnessDiffers))
+        << remark_to_string(r);
+  }
+}
+
+// Fig. 2's recursive assignment u := u + 1 inside a parallel statement:
+// the P2 guard marks the occurrence non-replaceable.
+TEST(RemarkChains, Fig2RecursiveAssignmentGuardP2) {
+  PARCM_REQUIRE_OBS();
+  std::vector<obs::Remark> remarks = capture("2");
+  auto guard = std::find_if(
+      remarks.begin(), remarks.end(), [](const obs::Remark& r) {
+        return r.kind == obs::RemarkKind::kDegraded &&
+               has_reason(r, obs::RemarkReason::kRecursiveSplit);
+      });
+  ASSERT_NE(guard, remarks.end());
+  EXPECT_EQ(guard->pass, "predicates");
+  EXPECT_EQ(guard->detail, "u := u + 1");
+  EXPECT_STREQ(
+      obs::remark_reason_pitfall(obs::RemarkReason::kRecursiveSplit), "P2");
+}
+
+TEST(RemarkChains, PipelineAttributesRemarksPerPass) {
+  PARCM_REQUIRE_OBS();
+  Graph g = lang::compile_or_throw(figures::figure_source("2"));
+  obs::RemarkSink sink;
+  sink.set_enabled(true);
+  obs::RemarkSink* prev = obs::set_remark_sink(&sink);
+  PipelineResult result = default_pipeline().run(g);
+  obs::set_remark_sink(prev);
+  std::size_t total = 0;
+  for (const PassStats& p : result.passes) total += p.remarks;
+  EXPECT_EQ(total, sink.size());
+  EXPECT_GT(total, 0u);
+  EXPECT_NE(result.to_json().find("\"remarks\""), std::string::npos);
+  EXPECT_NE(result.to_string().find("remarks"), std::string::npos);
+}
+
+TEST(RemarkReport, MotionReportIsARenderingOfRemarks) {
+  Graph g = lang::compile_or_throw(figures::figure_source("10"));
+  MotionResult result = parallel_code_motion(g);
+  std::vector<obs::Remark> summary = motion_remarks(result);
+  // Works in OFF builds too: the summary path never touches the sink.
+  EXPECT_EQ(summary.size(), result.num_insertions() +
+                                result.num_replacements() +
+                                [&] {
+                                  std::size_t b = 0;
+                                  for (const TermMotion& t : result.terms) {
+                                    b += t.bridge_nodes.size();
+                                  }
+                                  return b;
+                                }());
+  std::string report = motion_report(result);
+  for (const TermMotion& tm : result.terms) {
+    EXPECT_NE(report.find("temp " + result.graph.var_name(tm.temp)),
+              std::string::npos);
+  }
+  EXPECT_NE(report.find("insert at:"), std::string::npos);
+  EXPECT_NE(report.find("replace at:"), std::string::npos);
+}
+
+TEST(RemarkDot, AnnotatedExportCarriesFactsAndBadges) {
+  PARCM_REQUIRE_OBS();
+  std::vector<obs::Remark> remarks = capture("7");
+  Graph g = lang::compile_or_throw(figures::figure_source("7"));
+  MotionResult result = parallel_code_motion(g);
+  TermTable terms(g);
+  std::string dot =
+      motion_dot(result, TermId(0), remarks, "fig7");
+  EXPECT_NE(dot.find("digraph \"fig7\""), std::string::npos);
+  EXPECT_NE(dot.find("Earliest"), std::string::npos);
+  EXPECT_NE(dot.find("[blocked P3]"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+}
+
+TEST(RemarkGolden, Fig2) {
+  PARCM_REQUIRE_OBS();
+  check_golden("remarks_fig2.txt", render(capture("2")));
+}
+
+TEST(RemarkGolden, Fig7) {
+  PARCM_REQUIRE_OBS();
+  check_golden("remarks_fig7.txt", render(capture("7")));
+}
+
+TEST(RemarkGolden, Fig10) {
+  PARCM_REQUIRE_OBS();
+  check_golden("remarks_fig10.txt", render(capture("10")));
+}
+
+}  // namespace
+}  // namespace parcm

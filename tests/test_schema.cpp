@@ -1,0 +1,67 @@
+// Schema sanity for the machine-readable artifacts: the parcm-remarks-v1
+// stream and the parcm-bench-v1 file produced by the benchmark harness must
+// be structurally valid JSON with their version tag, so downstream tooling
+// can dispatch on "schema" without guessing.
+#include <gtest/gtest.h>
+
+#include "bench_support.hpp"
+#include "figures/figures.hpp"
+#include "lang/lower.hpp"
+#include "motion/pcm.hpp"
+#include "obs/json.hpp"
+#include "obs/remarks.hpp"
+
+namespace parcm {
+namespace {
+
+TEST(JsonValid, AcceptsAndRejects) {
+  EXPECT_TRUE(obs::json_valid("{}"));
+  EXPECT_TRUE(obs::json_valid("[1, 2.5, -3e2, \"x\\n\", true, null]"));
+  EXPECT_TRUE(obs::json_valid("{\"a\": {\"b\": []}}"));
+  EXPECT_FALSE(obs::json_valid(""));
+  EXPECT_FALSE(obs::json_valid("{"));
+  EXPECT_FALSE(obs::json_valid("{\"a\":}"));
+  EXPECT_FALSE(obs::json_valid("[1,]"));
+  EXPECT_FALSE(obs::json_valid("{} trailing"));
+  EXPECT_FALSE(obs::json_valid("'single'"));
+}
+
+TEST(SchemaRemarks, EndToEndStreamIsValid) {
+#if !PARCM_OBS_ENABLED
+  GTEST_SKIP() << "library built with PARCM_OBS=OFF: no remark stream";
+#else
+  Graph g = lang::compile_or_throw(figures::figure_source("10"));
+  obs::RemarkSink sink;
+  sink.set_enabled(true);
+  obs::RemarkSink* prev = obs::set_remark_sink(&sink);
+  parallel_code_motion(g);
+  obs::set_remark_sink(prev);
+  ASSERT_FALSE(sink.empty());
+  for (bool pretty : {false, true}) {
+    std::string json = sink.to_json(pretty);
+    EXPECT_TRUE(obs::json_valid(json));
+    EXPECT_NE(json.find("parcm-remarks-v1"), std::string::npos);
+  }
+#endif
+}
+
+TEST(SchemaBench, HarnessJsonIsValid) {
+  // Synthetic rows through the real serializer the bench binaries use.
+  std::vector<benchsupport::ResultRow> rows(2);
+  rows[0].name = "BM_pipeline/fig10";
+  rows[0].iterations = 100;
+  rows[0].real_ns_per_iter = 1234.5;
+  rows[0].cpu_ns_per_iter = 1200.0;
+  rows[0].counters["nodes"] = 42.0;
+  rows[1].name = "BM_pipeline/\"quoted\"";
+  rows[1].iterations = 1;
+  std::string json = benchsupport::bench_json("bench_schema_test", rows);
+  EXPECT_TRUE(obs::json_valid(json)) << json;
+  EXPECT_NE(json.find("\"schema\": \"parcm-bench-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"bench\": \"bench_schema_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"results\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace parcm
