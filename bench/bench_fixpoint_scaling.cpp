@@ -15,11 +15,13 @@
 namespace parcm {
 namespace {
 
-void solve_upsafety(benchmark::State& state, const Graph& g) {
+void solve_upsafety(benchmark::State& state, const Graph& g,
+                    WorklistPolicy wl = WorklistPolicy::kSparseRpo) {
   TermTable terms(g);
   LocalPredicates preds(g, terms);
   InterleavingInfo itlv(g);
   PackedProblem p = make_upsafety_problem(g, preds, SafetyVariant::kRefined);
+  p.worklist = wl;
   std::size_t relaxations = 0;
   for (auto _ : state) {
     PackedResult r = solve_packed(g, p);
@@ -37,6 +39,14 @@ void BM_SequentialChain(benchmark::State& state) {
 }
 BENCHMARK(BM_SequentialChain)->Range(64, 8192);
 
+// Legacy dense-FIFO worklist on the same program: the sparse/FIFO pair of a
+// family quantifies what the sparse seeding saves (relaxations and time).
+void BM_SequentialChainFifo(benchmark::State& state) {
+  Graph g = families::seq_chain(static_cast<std::size_t>(state.range(0)));
+  solve_upsafety(state, g, WorklistPolicy::kDenseFifo);
+}
+BENCHMARK(BM_SequentialChainFifo)->Range(64, 8192);
+
 void BM_ParallelWide2(benchmark::State& state) {
   // Same total assignment count as the sequential chain, split over two
   // components.
@@ -46,6 +56,13 @@ void BM_ParallelWide2(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelWide2)->Range(64, 8192);
 
+void BM_ParallelWide2Fifo(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Graph g = families::par_wide(2, n / 2);
+  solve_upsafety(state, g, WorklistPolicy::kDenseFifo);
+}
+BENCHMARK(BM_ParallelWide2Fifo)->Range(64, 8192);
+
 void BM_ParallelComponents(benchmark::State& state) {
   // Fixed total size, varying component count.
   std::size_t comps = static_cast<std::size_t>(state.range(0));
@@ -54,12 +71,26 @@ void BM_ParallelComponents(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelComponents)->RangeMultiplier(2)->Range(2, 32);
 
+void BM_ParallelComponentsFifo(benchmark::State& state) {
+  std::size_t comps = static_cast<std::size_t>(state.range(0));
+  Graph g = families::par_wide(comps, 1024 / comps);
+  solve_upsafety(state, g, WorklistPolicy::kDenseFifo);
+}
+BENCHMARK(BM_ParallelComponentsFifo)->RangeMultiplier(2)->Range(2, 32);
+
 void BM_ParallelNesting(benchmark::State& state) {
   std::size_t depth = static_cast<std::size_t>(state.range(0));
   Graph g = families::par_nested(depth, 64);
   solve_upsafety(state, g);
 }
 BENCHMARK(BM_ParallelNesting)->DenseRange(1, 8);
+
+void BM_ParallelNestingFifo(benchmark::State& state) {
+  std::size_t depth = static_cast<std::size_t>(state.range(0));
+  Graph g = families::par_nested(depth, 64);
+  solve_upsafety(state, g, WorklistPolicy::kDenseFifo);
+}
+BENCHMARK(BM_ParallelNestingFifo)->DenseRange(1, 8);
 
 void BM_SeqSolverBaseline(benchmark::State& state) {
   // The plain sequential engine on the same chain: the "for free" claim is

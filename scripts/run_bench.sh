@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Fixpoint-engine benchmark driver.
+#
+#   scripts/run_bench.sh [BUILD_DIR]
+#
+# Runs bench_fixpoint_scaling (sparse-RPO vs dense-FIFO worklists across the
+# program families) and bench_pipeline (end-to-end pass pipeline) and writes
+# the unified parcm-bench-v1 artifacts at the repository root:
+#
+#   BENCH_fixpoint.json
+#   BENCH_pipeline.json
+#
+# test_schema validates both files whenever they exist, so a stale or
+# hand-edited artifact fails the suite. Tune the measurement length with
+# PARCM_BENCH_MIN_TIME (google-benchmark --benchmark_min_time, default 0.05).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+min_time="${PARCM_BENCH_MIN_TIME:-0.05}"
+
+for bench in bench_fixpoint_scaling bench_pipeline; do
+  if [[ ! -x "$build_dir/bench/$bench" ]]; then
+    echo "error: $build_dir/bench/$bench not found — configure and build first:" >&2
+    echo "  cmake -B $build_dir -S $repo_root && cmake --build $build_dir -j" >&2
+    exit 2
+  fi
+done
+
+echo "== bench_fixpoint_scaling -> BENCH_fixpoint.json =="
+"$build_dir/bench/bench_fixpoint_scaling" \
+  --benchmark_min_time="$min_time" \
+  --obs_json="$repo_root/BENCH_fixpoint.json"
+
+echo "== bench_pipeline -> BENCH_pipeline.json =="
+"$build_dir/bench/bench_pipeline" \
+  --benchmark_min_time="$min_time" \
+  --obs_json="$repo_root/BENCH_pipeline.json"
+
+echo "wrote $repo_root/BENCH_fixpoint.json and $repo_root/BENCH_pipeline.json"

@@ -1,2 +1,96 @@
-// direction.hpp is header-only; this TU anchors the module in the build.
 #include "dfa/direction.hpp"
+
+#include <utility>
+
+namespace parcm {
+
+DirectedView::DirectedView(const Graph& g, Direction dir) : g_(&g), dir_(dir) {
+  std::size_t n = g.num_nodes();
+
+  // CSR adjacency from the per-node edge lists (removed edges are already
+  // absent from those lists).
+  auto build = [&](Csr& csr, bool outgoing) {
+    csr.offsets.assign(n + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      NodeId node(static_cast<NodeId::underlying>(i));
+      const std::vector<EdgeId>& edges =
+          outgoing ? g.node(node).out_edges : g.node(node).in_edges;
+      csr.offsets[i + 1] =
+          csr.offsets[i] + static_cast<std::uint32_t>(edges.size());
+    }
+    csr.targets.resize(csr.offsets[n]);
+    for (std::size_t i = 0; i < n; ++i) {
+      NodeId node(static_cast<NodeId::underlying>(i));
+      const std::vector<EdgeId>& edges =
+          outgoing ? g.node(node).out_edges : g.node(node).in_edges;
+      std::uint32_t slot = csr.offsets[i];
+      for (EdgeId e : edges) {
+        csr.targets[slot++] = outgoing ? g.edge(e).to : g.edge(e).from;
+      }
+    }
+  };
+  build(out_, /*outgoing=*/true);
+  build(in_, /*outgoing=*/false);
+
+  // Reverse postorder over dir_succs from the directional entry, iterative
+  // DFS with an explicit (node, next-child) stack.
+  rpo_index_.assign(n, 0);
+  rpo_order_.resize(n);
+  std::vector<char> visited(n, 0);
+  std::vector<std::pair<NodeId, std::uint32_t>> stack;
+  std::vector<NodeId> postorder;
+  postorder.reserve(n);
+  NodeId root = entry();
+  visited[root.index()] = 1;
+  stack.emplace_back(root, 0);
+  while (!stack.empty()) {
+    auto& [node, next] = stack.back();
+    std::span<const NodeId> succs = dir_succs(node);
+    if (next < succs.size()) {
+      NodeId m = succs[next++];
+      if (!visited[m.index()]) {
+        visited[m.index()] = 1;
+        stack.emplace_back(m, 0);
+      }
+    } else {
+      postorder.push_back(node);
+      stack.pop_back();
+    }
+  }
+  std::size_t pos = 0;
+  for (std::size_t i = postorder.size(); i-- > 0;) {
+    rpo_index_[postorder[i].index()] = static_cast<std::uint32_t>(pos);
+    rpo_order_[pos++] = postorder[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!visited[i]) {
+      NodeId node(static_cast<NodeId::underlying>(i));
+      rpo_index_[i] = static_cast<std::uint32_t>(pos);
+      rpo_order_[pos++] = node;
+    }
+  }
+
+  // Region member lists: filling the buckets in RPO order sorts each
+  // region's list by rpo_index without an explicit sort.
+  std::size_t num_regions = g.num_regions();
+  member_offsets_.assign(num_regions + 1, 0);
+  for (std::size_t r = 0; r < num_regions; ++r) {
+    member_offsets_[r + 1] =
+        member_offsets_[r] +
+        static_cast<std::uint32_t>(
+            g.region(RegionId(static_cast<RegionId::underlying>(r)))
+                .nodes.size());
+  }
+  member_nodes_.resize(member_offsets_[num_regions]);
+  member_index_.assign(n, 0);
+  std::vector<std::uint32_t> cursor(member_offsets_.begin(),
+                                    member_offsets_.end() - 1);
+  for (NodeId node : rpo_order_) {
+    std::size_t r = g.node(node).region.index();
+    std::uint32_t slot = cursor[r]++;
+    member_nodes_[slot] = node;
+    member_index_[node.index()] = slot - member_offsets_[r];
+  }
+}
+
+}  // namespace parcm

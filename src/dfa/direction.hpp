@@ -1,8 +1,15 @@
 // Direction abstraction: backward analyses run on the reversed graph, where
 // ParEnd plays the role of a parallel statement's entry and ParBegin its
 // synchronizing exit. All solvers are written against this view.
+//
+// Construction precomputes CSR adjacency, a per-direction reverse-postorder
+// index, and RPO-sorted region member lists with dense component-local ids,
+// so the solvers' inner loops perform no heap allocation and their worklists
+// can prioritize by RPO position.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "ir/graph.hpp"
@@ -13,7 +20,7 @@ enum class Direction { kForward, kBackward };
 
 class DirectedView {
  public:
-  DirectedView(const Graph& g, Direction dir) : g_(&g), dir_(dir) {}
+  DirectedView(const Graph& g, Direction dir);
 
   const Graph& graph() const { return *g_; }
   Direction direction() const { return dir_; }
@@ -23,11 +30,29 @@ class DirectedView {
   NodeId entry() const { return forward() ? g_->start() : g_->end(); }
   NodeId exit() const { return forward() ? g_->end() : g_->start(); }
 
-  std::vector<NodeId> dir_preds(NodeId n) const {
-    return forward() ? g_->preds(n) : g_->succs(n);
+  std::span<const NodeId> dir_preds(NodeId n) const {
+    return forward() ? adjacent(in_, n) : adjacent(out_, n);
   }
-  std::vector<NodeId> dir_succs(NodeId n) const {
-    return forward() ? g_->succs(n) : g_->preds(n);
+  std::span<const NodeId> dir_succs(NodeId n) const {
+    return forward() ? adjacent(out_, n) : adjacent(in_, n);
+  }
+
+  // Reverse-postorder position of n: a DFS from entry() over dir_succs
+  // numbers every reachable node topologically up to back edges;
+  // unreachable nodes follow in creation order. rpo_node(rpo_index(n)) == n.
+  std::size_t rpo_index(NodeId n) const { return rpo_index_[n.index()]; }
+  NodeId rpo_node(std::size_t pos) const { return rpo_order_[pos]; }
+  std::size_t num_nodes() const { return rpo_order_.size(); }
+
+  // Direct members of region r sorted by rpo_index, and each node's dense
+  // index within its own region's member list (the component-local id used
+  // by the summary pass's eff tables).
+  std::span<const NodeId> region_members_rpo(RegionId r) const {
+    return {member_nodes_.data() + member_offsets_[r.index()],
+            member_offsets_[r.index() + 1] - member_offsets_[r.index()]};
+  }
+  std::uint32_t member_index(NodeId n) const {
+    return member_index_[n.index()];
   }
 
   // The node through which flow enters / leaves a parallel statement.
@@ -60,8 +85,27 @@ class DirectedView {
   }
 
  private:
+  // Compressed adjacency in forward orientation; the view swaps the two
+  // tables for backward analyses.
+  struct Csr {
+    std::vector<std::uint32_t> offsets;  // num_nodes + 1
+    std::vector<NodeId> targets;
+  };
+
+  std::span<const NodeId> adjacent(const Csr& c, NodeId n) const {
+    std::uint32_t begin = c.offsets[n.index()];
+    return {c.targets.data() + begin, c.offsets[n.index() + 1] - begin};
+  }
+
   const Graph* g_;
   Direction dir_;
+  Csr in_;
+  Csr out_;
+  std::vector<std::uint32_t> rpo_index_;
+  std::vector<NodeId> rpo_order_;
+  std::vector<std::uint32_t> member_offsets_;  // num_regions + 1
+  std::vector<NodeId> member_nodes_;
+  std::vector<std::uint32_t> member_index_;
 };
 
 }  // namespace parcm

@@ -9,6 +9,7 @@ BitProblem extract_term_problem(const PackedProblem& p, std::size_t term) {
   BitProblem b;
   b.dir = p.dir;
   b.policy = p.policy;
+  b.worklist = p.worklist;
   b.boundary = p.boundary.test(term);
   b.local.reserve(p.gen.size());
   b.destroy.reserve(p.gen.size());

@@ -21,6 +21,7 @@
 
 #include "dfa/direction.hpp"
 #include "dfa/lattice.hpp"
+#include "dfa/worklist.hpp"
 #include "support/bitvector.hpp"
 
 namespace parcm {
@@ -42,6 +43,9 @@ struct BitProblem {
   std::vector<bool> destroy;
   // Value at the directional entry node (s* forward, e* backward).
   bool boundary = false;
+  // Iteration strategy; kDenseFifo reproduces the legacy seed-everything
+  // FIFO baseline for benchmarks and regression tests.
+  WorklistPolicy worklist = WorklistPolicy::kSparseRpo;
 };
 
 struct BitResult {
@@ -70,6 +74,9 @@ struct PackedProblem {
   // Per node: terms destroyed under interference.
   std::vector<BitVector> destroy;
   BitVector boundary;
+  // Iteration strategy; kDenseFifo reproduces the legacy seed-everything
+  // FIFO baseline for benchmarks and regression tests.
+  WorklistPolicy worklist = WorklistPolicy::kSparseRpo;
 };
 
 struct PackedResult {

@@ -1,8 +1,9 @@
 #include "dfa/hier_solver.hpp"
 
 #include <algorithm>
-#include <deque>
 
+#include "dfa/region_meta.hpp"
+#include "dfa/worklist.hpp"
 #include "obs/metrics.hpp"
 #include "support/diagnostics.hpp"
 
@@ -66,8 +67,12 @@ namespace {
 // Step 1+2: per-statement summaries, innermost first.
 class SummaryPass {
  public:
-  SummaryPass(const DirectedView& view, const BitProblem& p)
-      : view_(view), g_(view.graph()), p_(p) {}
+  SummaryPass(const DirectedView& view, const BitProblem& p,
+              const std::vector<char>& region_destroy)
+      : view_(view),
+        g_(view.graph()),
+        p_(p),
+        region_destroy_(region_destroy) {}
 
   std::vector<BVFun> run(std::size_t* relaxations) {
     summaries_.assign(g_.num_par_stmts(), BVFun::kId);
@@ -82,17 +87,15 @@ class SummaryPass {
              g_.region_depth(g_.par_stmt(b).parent_region);
     });
 
+    std::vector<BVFun> ends;
+    std::vector<bool> destroys;
     for (ParStmtId s : order) {
       const ParStmt& stmt = g_.par_stmt(s);
-      std::vector<BVFun> ends;
-      std::vector<bool> destroys;
+      ends.clear();
+      destroys.clear();
       for (RegionId comp : stmt.components) {
         ends.push_back(component_effect(s, comp, relaxations));
-        bool d = false;
-        for (NodeId m : g_.nodes_in_region_recursive(comp)) {
-          if (p_.destroy[m.index()]) d = true;
-        }
-        destroys.push_back(d);
+        destroys.push_back(region_destroy_[comp.index()] != 0);
       }
       summaries_[s.index()] = apply_sync_policy(p_.policy, ends, destroys);
     }
@@ -103,21 +106,49 @@ class SummaryPass {
   // Functional MFP over F_B inside one component region: the effect of
   // executing from the statement's directional entry through node n, met
   // over all paths. Nested statements contribute their precomputed summary.
+  // The eff table and worklist are indexed by dense component-local ids
+  // (member_index) and reused across components.
   BVFun component_effect(ParStmtId s, RegionId comp, std::size_t* relaxations) {
     NodeId stmt_entry = view_.stmt_entry(s);
-    const std::vector<NodeId>& members = g_.region(comp).nodes;
+    std::span<const NodeId> members = view_.region_members_rpo(comp);
+    std::size_t k = members.size();
 
-    std::vector<BVFun> eff(g_.num_nodes(), BVFun::kConstTT);  // top of F_B
-    std::deque<NodeId> worklist(members.begin(), members.end());
-    std::vector<char> queued(g_.num_nodes(), 0);
-    for (NodeId n : members) queued[n.index()] = 1;
+    eff_.assign(k, BVFun::kConstTT);  // top of F_B
+    wl_.reset(k, p_.worklist);
 
     auto in_comp = [&](NodeId m) { return g_.node(m).region == comp; };
 
-    while (!worklist.empty()) {
-      NodeId n = worklist.front();
-      worklist.pop_front();
-      queued[n.index()] = 0;
+    if (p_.worklist == WorklistPolicy::kDenseFifo) {
+      // Legacy baseline: every member, in region-creation order.
+      for (NodeId n : g_.region(comp).nodes) wl_.push(view_.member_index(n));
+    } else {
+      // Sparse seeding: only equations violated at the top initialization —
+      // members adjacent to the statement entry (the Id meet lowers them),
+      // members with a Const_ff local function, and nested exits whose
+      // summary is Const_ff.
+      for (std::size_t i = 0; i < k; ++i) {
+        NodeId n = members[i];
+        bool seed;
+        if (view_.is_stmt_exit(n)) {
+          seed = summaries_[g_.node(n).par_stmt.index()] == BVFun::kConstFF;
+        } else if (p_.local[n.index()] == BVFun::kConstFF) {
+          seed = true;
+        } else {
+          seed = false;
+          for (NodeId m : view_.dir_preds(n)) {
+            if (m == stmt_entry) {
+              seed = true;
+              break;
+            }
+          }
+        }
+        if (seed) wl_.push(i);
+      }
+    }
+
+    while (!wl_.empty()) {
+      std::size_t pos = wl_.pop();
+      NodeId n = members[pos];
       ++*relaxations;
 
       BVFun value;
@@ -126,14 +157,14 @@ class SummaryPass {
         // nested summary applied to the value at its directional entry.
         ParStmtId nested = g_.node(n).par_stmt;
         value = compose(summaries_[nested.index()],
-                        eff[view_.stmt_entry(nested).index()]);
+                        eff_[view_.member_index(view_.stmt_entry(nested))]);
       } else {
         BVFun pre = BVFun::kConstTT;
         for (NodeId m : view_.dir_preds(n)) {
           if (m == stmt_entry) {
             pre = meet(pre, BVFun::kId);
           } else if (in_comp(m)) {
-            pre = meet(pre, eff[m.index()]);
+            pre = meet(pre, eff_[view_.member_index(m)]);
           } else {
             PARCM_CHECK(false, "component pred outside region");
           }
@@ -141,32 +172,25 @@ class SummaryPass {
         value = compose(p_.local[n.index()], pre);
       }
 
-      if (value != eff[n.index()]) {
-        eff[n.index()] = value;
+      if (value != eff_[pos]) {
+        eff_[pos] = value;
         for (NodeId m : view_.dir_succs(n)) {
           if (!in_comp(m)) continue;
           if (view_.is_stmt_exit(m) &&
               n != view_.stmt_entry(g_.node(m).par_stmt)) {
             continue;  // nested exits depend only on their entry's value
           }
-          if (!queued[m.index()]) {
-            queued[m.index()] = 1;
-            worklist.push_back(m);
-          }
+          wl_.push(view_.member_index(m));
         }
         if (view_.is_stmt_entry(n)) {
-          NodeId exit = view_.stmt_exit(g_.node(n).par_stmt);
-          if (!queued[exit.index()]) {
-            queued[exit.index()] = 1;
-            worklist.push_back(exit);
-          }
+          wl_.push(view_.member_index(view_.stmt_exit(g_.node(n).par_stmt)));
         }
       }
     }
 
     BVFun end_effect = BVFun::kConstTT;
     for (NodeId m : view_.component_exits_dir(comp)) {
-      end_effect = meet(end_effect, eff[m.index()]);
+      end_effect = meet(end_effect, eff_[view_.member_index(m)]);
     }
     return end_effect;
   }
@@ -174,7 +198,11 @@ class SummaryPass {
   const DirectedView& view_;
   const Graph& g_;
   const BitProblem& p_;
+  const std::vector<char>& region_destroy_;
   std::vector<BVFun> summaries_;
+  // Scratch reused across components (component-local dense indexing).
+  std::vector<BVFun> eff_;
+  Worklist wl_;
 };
 
 }  // namespace
@@ -188,28 +216,17 @@ BitResult solve_bit(const Graph& g, const BitProblem& p) {
   BitResult res;
   res.relaxations = 0;
 
-  // NonDest(n) per Sec. 2: no interleaving predecessor destroys. Computed
-  // from per-component aggregated destroy flags (linear, not quadratic).
-  std::vector<char> region_destroy(g.num_regions(), 0);
-  for (std::size_t ri = 0; ri < g.num_regions(); ++ri) {
-    RegionId r(static_cast<RegionId::underlying>(ri));
-    for (NodeId n : g.nodes_in_region_recursive(r)) {
-      if (p.destroy[n.index()]) region_destroy[ri] = 1;
-    }
-  }
-  res.nondest.assign(g.num_nodes(), true);
+  // NonDest(n) per Sec. 2, from the once-per-solve region metadata (linear,
+  // not quadratic).
+  std::vector<char> region_destroy = region_destroy_flags(g, p.destroy);
+  std::vector<char> region_nondest = region_nondest_flags(g, region_destroy);
+  res.nondest.reserve(g.num_nodes());
   for (NodeId n : g.all_nodes()) {
-    for (const Graph::Enclosing& enc : g.enclosing_stmts(n)) {
-      for (RegionId comp : g.par_stmt(enc.stmt).components) {
-        if (comp != enc.component && region_destroy[comp.index()]) {
-          res.nondest[n.index()] = false;
-        }
-      }
-    }
+    res.nondest.push_back(region_nondest[g.node(n).region.index()]);
   }
 
   // Steps 1 + 2.
-  SummaryPass summaries(view, p);
+  SummaryPass summaries(view, p, region_destroy);
   res.stmt_summary = summaries.run(&res.relaxations);
   std::size_t summary_relaxations = res.relaxations;
 
@@ -221,18 +238,38 @@ BitResult solve_bit(const Graph& g, const BitProblem& p) {
   res.out[dir_entry.index()] =
       apply_fun(p.local[dir_entry.index()], p.boundary);
 
-  std::deque<NodeId> worklist;
-  std::vector<char> queued(g.num_nodes(), 0);
-  for (NodeId n : g.all_nodes()) {
-    if (n == dir_entry) continue;
-    worklist.push_back(n);
-    queued[n.index()] = 1;
+  Worklist wl;
+  wl.reset(g.num_nodes(), p.worklist);
+  if (p.worklist == WorklistPolicy::kDenseFifo) {
+    for (NodeId n : g.all_nodes()) {
+      if (n != dir_entry) wl.push(view.rpo_index(n));
+    }
+  } else {
+    // Boundary wave plus equations violated at the top initialization (see
+    // solve_packed; the scalar analogues of "kill bit" and "summary has a
+    // Const_ff component" are equality with Const_ff).
+    for (NodeId m : view.dir_succs(dir_entry)) {
+      if (m == dir_entry) continue;
+      if (view.is_stmt_exit(m) &&
+          dir_entry != view.stmt_entry(g.node(m).par_stmt)) {
+        continue;
+      }
+      wl.push(view.rpo_index(m));
+    }
+    for (NodeId n : g.all_nodes()) {
+      if (n == dir_entry) continue;
+      bool violated = !res.nondest[n.index()] ||
+                      p.local[n.index()] == BVFun::kConstFF;
+      if (!violated && view.is_stmt_exit(n)) {
+        violated = res.stmt_summary[g.node(n).par_stmt.index()] ==
+                   BVFun::kConstFF;
+      }
+      if (violated) wl.push(view.rpo_index(n));
+    }
   }
 
-  while (!worklist.empty()) {
-    NodeId n = worklist.front();
-    worklist.pop_front();
-    queued[n.index()] = 0;
+  while (!wl.empty()) {
+    NodeId n = view.rpo_node(wl.pop());
     ++res.relaxations;
 
     bool pre;
@@ -253,20 +290,16 @@ BitResult solve_bit(const Graph& g, const BitProblem& p) {
     res.entry[n.index()] = pre;
     res.out[n.index()] = new_out;
 
-    auto enqueue = [&](NodeId m) {
-      if (m != dir_entry && !queued[m.index()]) {
-        queued[m.index()] = 1;
-        worklist.push_back(m);
-      }
-    };
     for (NodeId m : view.dir_succs(n)) {
+      if (m == dir_entry) continue;
       if (view.is_stmt_exit(m) && n != view.stmt_entry(g.node(m).par_stmt)) {
         continue;  // statement exits consume the entry's value, not exits'
       }
-      enqueue(m);
+      wl.push(view.rpo_index(m));
     }
     if (view.is_stmt_entry(n)) {
-      enqueue(view.stmt_exit(g.node(n).par_stmt));
+      NodeId exit = view.stmt_exit(g.node(n).par_stmt);
+      if (exit != dir_entry) wl.push(view.rpo_index(exit));
     }
   }
 

@@ -61,11 +61,54 @@ struct PackedFun {
   // Pointwise meet on the chain: tt' = f.tt & g.tt; ff' = f.ff | g.ff.
   static PackedFun met(const PackedFun& f, const PackedFun& g);
 
+  // In-place variants for the allocation-free solver kernels. They reuse
+  // this object's word storage, so none of them allocates once the masks
+  // have reached their final size.
+
+  // this := g after f. Must not alias g or f.
+  void compose_from(const PackedFun& g, const PackedFun& f) {
+    tt.assign_and_not(f.tt, g.ff);
+    tt |= g.tt;
+    ff.assign_and_not(f.ff, g.tt);
+    ff |= g.ff;
+  }
+
+  // this := met(this, o).
+  void meet_with(const PackedFun& o) {
+    tt &= o.tt;
+    ff |= o.ff;
+  }
+
+  // this := met(this, identity): on the chain Const_ff < Id < Const_tt the
+  // meet with Id lowers every Const_tt to Id and leaves Const_ff alone.
+  void meet_with_identity() { tt.reset_all(); }
+
+  // this := {gen, kill} after this (pre-compose a node's local function; gen
+  // and kill must be disjoint).
+  void compose_local(const BitVector& gen, const BitVector& kill) {
+    tt.and_not(kill);
+    tt |= gen;
+    ff.and_not(gen);
+    ff |= kill;
+  }
+
+  // this := top (Const_tt on every term). Masks must already be sized.
+  void assign_top() {
+    tt.set_all();
+    ff.reset_all();
+  }
+
   BitVector apply(const BitVector& b) const {
     BitVector out = b;
     out.and_not(ff);
     out |= tt;
     return out;
+  }
+
+  // dst := apply(b) without the temporary.
+  void apply_into(BitVector& dst, const BitVector& b) const {
+    dst.assign_and_not(b, ff);
+    dst |= tt;
   }
 
   BVFun at(std::size_t term) const {

@@ -1,8 +1,9 @@
 #include "dfa/packed.hpp"
 
 #include <algorithm>
-#include <deque>
 
+#include "dfa/region_meta.hpp"
+#include "dfa/worklist.hpp"
 #include "obs/metrics.hpp"
 #include "support/diagnostics.hpp"
 
@@ -34,16 +35,22 @@ PackedFun apply_sync_policy_packed(SyncPolicy policy, std::size_t num_terms,
     }
     case SyncPolicy::kUpSafePar: {
       // tt where some component ends Const_tt and no sibling destroys.
-      // others_destroy[i] = OR of destroys[j], j != i, via prefix/suffix ORs.
-      std::vector<BitVector> prefix(k + 1, BitVector(num_terms));
+      // others_destroy[i] = OR of destroys[j], j != i: one suffix array plus
+      // a running prefix accumulator; the fused and_not forms avoid the
+      // per-component `prefix[i] | suffix[i+1]` temporaries.
       std::vector<BitVector> suffix(k + 1, BitVector(num_terms));
-      for (std::size_t i = 0; i < k; ++i) prefix[i + 1] = prefix[i] | destroys[i];
-      for (std::size_t i = k; i-- > 0;) suffix[i] = suffix[i + 1] | destroys[i];
+      for (std::size_t i = k; i-- > 0;) {
+        suffix[i] = suffix[i + 1];
+        suffix[i] |= destroys[i];
+      }
       BitVector tt(num_terms);
+      BitVector prefix_run(num_terms);
+      BitVector cand(num_terms);
       for (std::size_t i = 0; i < k; ++i) {
-        BitVector cand = ends[i].tt;
-        cand.and_not(prefix[i] | suffix[i + 1]);
+        cand.assign_and_not(ends[i].tt, prefix_run);
+        cand.and_not(suffix[i + 1]);
         tt |= cand;
+        prefix_run |= destroys[i];
       }
       out.tt = tt;
       out.ff = BitVector(num_terms, true);
@@ -69,11 +76,17 @@ namespace {
 
 class PackedSummaryPass {
  public:
-  PackedSummaryPass(const DirectedView& view, const PackedProblem& p)
-      : view_(view), g_(view.graph()), p_(p) {}
+  PackedSummaryPass(const DirectedView& view, const PackedProblem& p,
+                    const std::vector<BitVector>& region_destroy)
+      : view_(view),
+        g_(view.graph()),
+        p_(p),
+        region_destroy_(region_destroy) {}
 
-  std::vector<PackedFun> run(std::size_t* relaxations) {
+  std::vector<PackedFun> run(std::size_t* relaxations, std::size_t* allocs) {
     summaries_.assign(g_.num_par_stmts(), PackedFun::identity(p_.num_terms));
+    value_ = PackedFun::identity(p_.num_terms);
+    ++*allocs;
 
     std::vector<ParStmtId> order;
     for (std::size_t i = 0; i < g_.num_par_stmts(); ++i) {
@@ -84,17 +97,15 @@ class PackedSummaryPass {
              g_.region_depth(g_.par_stmt(b).parent_region);
     });
 
+    std::vector<PackedFun> ends;
+    std::vector<BitVector> destroys;
     for (ParStmtId s : order) {
       const ParStmt& stmt = g_.par_stmt(s);
-      std::vector<PackedFun> ends;
-      std::vector<BitVector> destroys;
+      ends.clear();
+      destroys.clear();
       for (RegionId comp : stmt.components) {
-        ends.push_back(component_effect(s, comp, relaxations));
-        BitVector d(p_.num_terms);
-        for (NodeId m : g_.nodes_in_region_recursive(comp)) {
-          d |= p_.destroy[m.index()];
-        }
-        destroys.push_back(std::move(d));
+        ends.push_back(component_effect(s, comp, relaxations, allocs));
+        destroys.push_back(region_destroy_[comp.index()]);
       }
       summaries_[s.index()] =
           apply_sync_policy_packed(p_.policy, p_.num_terms, ends, destroys);
@@ -103,73 +114,101 @@ class PackedSummaryPass {
   }
 
  private:
-  PackedFun local_fun(NodeId n) const {
-    return PackedFun{p_.gen[n.index()], p_.kill[n.index()]};
-  }
-
+  // Functional MFP over F_B inside one component region: the effect of
+  // executing from the statement's directional entry through node n, met
+  // over all paths. Nested statements contribute their precomputed summary.
+  // The eff table and worklist are indexed by dense component-local ids
+  // (member_index) and reused across components.
   PackedFun component_effect(ParStmtId s, RegionId comp,
-                             std::size_t* relaxations) {
+                             std::size_t* relaxations, std::size_t* allocs) {
     NodeId stmt_entry = view_.stmt_entry(s);
-    const std::vector<NodeId>& members = g_.region(comp).nodes;
+    std::span<const NodeId> members = view_.region_members_rpo(comp);
+    std::size_t k = members.size();
 
-    std::vector<PackedFun> eff(g_.num_nodes(), PackedFun::top(p_.num_terms));
-    std::deque<NodeId> worklist(members.begin(), members.end());
-    std::vector<char> queued(g_.num_nodes(), 0);
-    for (NodeId n : members) queued[n.index()] = 1;
+    if (eff_.size() < k) {
+      *allocs += k - eff_.size();
+      eff_.resize(k);
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      eff_[i].tt.resize(p_.num_terms);
+      eff_[i].ff.resize(p_.num_terms);
+      eff_[i].assign_top();
+    }
+    wl_.reset(k, p_.worklist);
 
     auto in_comp = [&](NodeId m) { return g_.node(m).region == comp; };
 
-    while (!worklist.empty()) {
-      NodeId n = worklist.front();
-      worklist.pop_front();
-      queued[n.index()] = 0;
+    if (p_.worklist == WorklistPolicy::kDenseFifo) {
+      // Legacy baseline: every member, in region-creation order.
+      for (NodeId n : g_.region(comp).nodes) wl_.push(view_.member_index(n));
+    } else {
+      // Sparse seeding: only equations violated at the top initialization —
+      // members adjacent to the statement entry (the Id meet lowers them),
+      // members whose local function has a Const_ff component, and nested
+      // exits whose summary does.
+      for (std::size_t i = 0; i < k; ++i) {
+        NodeId n = members[i];
+        bool seed;
+        if (view_.is_stmt_exit(n)) {
+          seed = summaries_[g_.node(n).par_stmt.index()].ff.any();
+        } else if (p_.kill[n.index()].any()) {
+          seed = true;
+        } else {
+          seed = false;
+          for (NodeId m : view_.dir_preds(n)) {
+            if (m == stmt_entry) {
+              seed = true;
+              break;
+            }
+          }
+        }
+        if (seed) wl_.push(i);
+      }
+    }
+
+    while (!wl_.empty()) {
+      std::size_t pos = wl_.pop();
+      NodeId n = members[pos];
       ++*relaxations;
 
-      PackedFun value;
       if (view_.is_stmt_exit(n)) {
         ParStmtId nested = g_.node(n).par_stmt;
-        value = PackedFun::composed(summaries_[nested.index()],
-                                    eff[view_.stmt_entry(nested).index()]);
+        value_.compose_from(
+            summaries_[nested.index()],
+            eff_[view_.member_index(view_.stmt_entry(nested))]);
       } else {
-        PackedFun pre = PackedFun::top(p_.num_terms);
+        value_.assign_top();
         for (NodeId m : view_.dir_preds(n)) {
           if (m == stmt_entry) {
-            pre = PackedFun::met(pre, PackedFun::identity(p_.num_terms));
+            value_.meet_with_identity();
           } else if (in_comp(m)) {
-            pre = PackedFun::met(pre, eff[m.index()]);
+            value_.meet_with(eff_[view_.member_index(m)]);
           } else {
             PARCM_CHECK(false, "component pred outside region");
           }
         }
-        value = PackedFun::composed(local_fun(n), pre);
+        value_.compose_local(p_.gen[n.index()], p_.kill[n.index()]);
       }
 
-      if (!(value == eff[n.index()])) {
-        eff[n.index()] = value;
+      if (!(value_ == eff_[pos])) {
+        eff_[pos] = value_;
         for (NodeId m : view_.dir_succs(n)) {
           if (!in_comp(m)) continue;
           if (view_.is_stmt_exit(m) &&
               n != view_.stmt_entry(g_.node(m).par_stmt)) {
-            continue;
+            continue;  // nested exits depend only on their entry's value
           }
-          if (!queued[m.index()]) {
-            queued[m.index()] = 1;
-            worklist.push_back(m);
-          }
+          wl_.push(view_.member_index(m));
         }
         if (view_.is_stmt_entry(n)) {
-          NodeId exit = view_.stmt_exit(g_.node(n).par_stmt);
-          if (!queued[exit.index()]) {
-            queued[exit.index()] = 1;
-            worklist.push_back(exit);
-          }
+          wl_.push(view_.member_index(view_.stmt_exit(g_.node(n).par_stmt)));
         }
       }
     }
 
     PackedFun end_effect = PackedFun::top(p_.num_terms);
     for (NodeId m : view_.component_exits_dir(comp)) {
-      end_effect = PackedFun::met(end_effect, eff[m.index()]);
+      end_effect.meet_with(eff_[view_.member_index(m)]);
     }
     return end_effect;
   }
@@ -177,7 +216,12 @@ class PackedSummaryPass {
   const DirectedView& view_;
   const Graph& g_;
   const PackedProblem& p_;
+  const std::vector<BitVector>& region_destroy_;
   std::vector<PackedFun> summaries_;
+  // Scratch reused across components (component-local dense indexing).
+  std::vector<PackedFun> eff_;
+  PackedFun value_;
+  Worklist wl_;
 };
 
 }  // namespace
@@ -191,33 +235,29 @@ PackedResult solve_packed(const Graph& g, const PackedProblem& p) {
 
   PackedResult res;
   res.relaxations = 0;
+  std::size_t solver_allocs = 0;
+  std::size_t seeded = 0;
 
-  // NonDest via per-component aggregated destroy masks: iterating the raw
-  // interleaving-predecessor lists would be quadratic in the component
-  // size, defeating the framework's "as efficiently as sequential" claim.
-  std::vector<BitVector> region_destroy(g.num_regions(),
-                                        BitVector(p.num_terms));
-  for (std::size_t ri = 0; ri < g.num_regions(); ++ri) {
-    RegionId r(static_cast<RegionId::underlying>(ri));
-    for (NodeId n : g.nodes_in_region_recursive(r)) {
-      region_destroy[ri] |= p.destroy[n.index()];
-    }
-  }
-  res.nondest.assign(g.num_nodes(), BitVector(p.num_terms, true));
+  // Once-per-solve region metadata: destroy masks aggregated bottom-up over
+  // each region's subtree, and NonDest per region (Sec. 2) pushed down the
+  // nesting tree — iterating raw interleaving-predecessor lists would be
+  // quadratic in the component size, defeating the framework's "as
+  // efficiently as sequential" claim.
+  std::vector<BitVector> region_destroy =
+      region_destroy_masks(g, p.destroy, p.num_terms);
+  std::vector<BitVector> region_nondest =
+      region_nondest_masks(g, region_destroy, p.num_terms);
+  res.nondest.reserve(g.num_nodes());
   for (NodeId n : g.all_nodes()) {
-    for (const Graph::Enclosing& enc : g.enclosing_stmts(n)) {
-      for (RegionId comp : g.par_stmt(enc.stmt).components) {
-        if (comp != enc.component) {
-          res.nondest[n.index()].and_not(region_destroy[comp.index()]);
-        }
-      }
-    }
+    res.nondest.push_back(region_nondest[g.node(n).region.index()]);
   }
 
-  PackedSummaryPass summaries(view, p);
-  res.stmt_summary = summaries.run(&res.relaxations);
+  // Steps 1 + 2.
+  PackedSummaryPass summaries(view, p, region_destroy);
+  res.stmt_summary = summaries.run(&res.relaxations, &solver_allocs);
   std::size_t summary_relaxations = res.relaxations;
 
+  // Step 3: value-level greatest fixpoint of Definition 2.3.
   res.entry.assign(g.num_nodes(), BitVector(p.num_terms, true));
   res.out.assign(g.num_nodes(), BitVector(p.num_terms, true));
   NodeId dir_entry = view.entry();
@@ -229,54 +269,76 @@ PackedResult solve_packed(const Graph& g, const PackedProblem& p) {
     res.out[dir_entry.index()] = std::move(o);
   }
 
-  std::deque<NodeId> worklist;
-  std::vector<char> queued(g.num_nodes(), 0);
-  for (NodeId n : g.all_nodes()) {
-    if (n == dir_entry) continue;
-    worklist.push_back(n);
-    queued[n.index()] = 1;
+  Worklist wl;
+  wl.reset(g.num_nodes(), p.worklist);
+  if (p.worklist == WorklistPolicy::kDenseFifo) {
+    // Legacy baseline: seed everything in creation order.
+    for (NodeId n : g.all_nodes()) {
+      if (n != dir_entry) wl.push(view.rpo_index(n));
+    }
+  } else {
+    // Boundary wave: the entry's value is already below top, so its
+    // successors must re-evaluate.
+    for (NodeId m : view.dir_succs(dir_entry)) {
+      if (m == dir_entry) continue;
+      if (view.is_stmt_exit(m) &&
+          dir_entry != view.stmt_entry(g.node(m).par_stmt)) {
+        continue;
+      }
+      wl.push(view.rpo_index(m));
+    }
+    // Equations violated at the top initialization: a node leaves top only
+    // through interference (NonDest), a Const_ff local component, or a
+    // statement summary with a Const_ff component.
+    for (NodeId n : g.all_nodes()) {
+      if (n == dir_entry) continue;
+      bool violated =
+          !res.nondest[n.index()].all() || p.kill[n.index()].any();
+      if (!violated && view.is_stmt_exit(n)) {
+        violated = res.stmt_summary[g.node(n).par_stmt.index()].ff.any();
+      }
+      if (violated) wl.push(view.rpo_index(n));
+    }
+    seeded = wl.size();
   }
 
-  while (!worklist.empty()) {
-    NodeId n = worklist.front();
-    worklist.pop_front();
-    queued[n.index()] = 0;
+  BitVector pre(p.num_terms);
+  BitVector new_out(p.num_terms);
+  solver_allocs += 2;
+
+  while (!wl.empty()) {
+    NodeId n = view.rpo_node(wl.pop());
     ++res.relaxations;
 
-    BitVector pre(p.num_terms, true);
     if (view.is_stmt_exit(n)) {
       ParStmtId s = g.node(n).par_stmt;
-      pre = res.stmt_summary[s.index()].apply(
-          res.out[view.stmt_entry(s).index()]);
+      res.stmt_summary[s.index()].apply_into(
+          pre, res.out[view.stmt_entry(s).index()]);
     } else {
+      pre.set_all();
       for (NodeId m : view.dir_preds(n)) pre &= res.out[m.index()];
     }
     pre &= res.nondest[n.index()];
 
-    BitVector new_out = pre;
-    new_out.and_not(p.kill[n.index()]);
+    new_out.assign_and_not(pre, p.kill[n.index()]);
     new_out |= p.gen[n.index()];
 
     if (pre == res.entry[n.index()] && new_out == res.out[n.index()]) {
       continue;
     }
-    res.entry[n.index()] = std::move(pre);
-    res.out[n.index()] = std::move(new_out);
+    res.entry[n.index()] = pre;
+    res.out[n.index()] = new_out;
 
-    auto enqueue = [&](NodeId m) {
-      if (m != dir_entry && !queued[m.index()]) {
-        queued[m.index()] = 1;
-        worklist.push_back(m);
-      }
-    };
     for (NodeId m : view.dir_succs(n)) {
+      if (m == dir_entry) continue;
       if (view.is_stmt_exit(m) && n != view.stmt_entry(g.node(m).par_stmt)) {
-        continue;
+        continue;  // statement exits consume the entry's value, not exits'
       }
-      enqueue(m);
+      wl.push(view.rpo_index(m));
     }
     if (view.is_stmt_entry(n)) {
-      enqueue(view.stmt_exit(g.node(n).par_stmt));
+      NodeId exit = view.stmt_exit(g.node(n).par_stmt);
+      if (exit != dir_entry) wl.push(view.rpo_index(exit));
     }
   }
 
@@ -286,6 +348,8 @@ PackedResult solve_packed(const Graph& g, const PackedProblem& p) {
   PARCM_OBS_COUNT("dfa.packed.value_relaxations",
                   res.relaxations - summary_relaxations);
   PARCM_OBS_COUNT("dfa.packed.sync_applications", g.num_par_stmts());
+  PARCM_OBS_COUNT("dfa.packed.seeded", seeded);
+  PARCM_OBS_COUNT("dfa.packed.solver_allocs", solver_allocs);
   // Each relaxation touches every word of the node's term masks.
   PARCM_OBS_COUNT("dfa.packed.bit_words",
                   res.relaxations * ((p.num_terms + BitVector::kWordBits - 1) /

@@ -1,0 +1,85 @@
+#include "dfa/region_meta.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace parcm {
+
+namespace {
+
+// Region containing region r's owning statement; invalid for the root.
+// Component regions are always created after their ancestors, so parent
+// indices are strictly smaller than child indices.
+RegionId parent_region(const Graph& g, RegionId r) {
+  ParStmtId owner = g.region(r).owner;
+  if (!owner.valid()) return RegionId();
+  return g.par_stmt(owner).parent_region;
+}
+
+}  // namespace
+
+std::vector<BitVector> region_destroy_masks(
+    const Graph& g, const std::vector<BitVector>& node_destroy,
+    std::size_t num_terms) {
+  std::vector<BitVector> masks(g.num_regions(), BitVector(num_terms));
+  for (NodeId n : g.all_nodes()) {
+    masks[g.node(n).region.index()] |= node_destroy[n.index()];
+  }
+  for (std::size_t ri = g.num_regions(); ri-- > 1;) {
+    RegionId r(static_cast<RegionId::underlying>(ri));
+    RegionId parent = parent_region(g, r);
+    PARCM_CHECK(parent.valid() && parent.index() < ri,
+                "region created before its parent");
+    masks[parent.index()] |= masks[ri];
+  }
+  return masks;
+}
+
+std::vector<char> region_destroy_flags(const Graph& g,
+                                       const std::vector<bool>& node_destroy) {
+  std::vector<char> flags(g.num_regions(), 0);
+  for (NodeId n : g.all_nodes()) {
+    if (node_destroy[n.index()]) flags[g.node(n).region.index()] = 1;
+  }
+  for (std::size_t ri = g.num_regions(); ri-- > 1;) {
+    RegionId r(static_cast<RegionId::underlying>(ri));
+    RegionId parent = parent_region(g, r);
+    PARCM_CHECK(parent.valid() && parent.index() < ri,
+                "region created before its parent");
+    flags[parent.index()] = flags[parent.index()] | flags[ri];
+  }
+  return flags;
+}
+
+std::vector<BitVector> region_nondest_masks(
+    const Graph& g, const std::vector<BitVector>& region_destroy,
+    std::size_t num_terms) {
+  std::vector<BitVector> nondest(g.num_regions(), BitVector(num_terms, true));
+  // Forward scan: a region's parent precedes it, so the parent's mask is
+  // final when the component inherits it and drops its siblings' destroys.
+  for (std::size_t ri = 1; ri < g.num_regions(); ++ri) {
+    RegionId r(static_cast<RegionId::underlying>(ri));
+    ParStmtId owner = g.region(r).owner;
+    nondest[ri] = nondest[parent_region(g, r).index()];
+    for (RegionId sibling : g.par_stmt(owner).components) {
+      if (sibling != r) nondest[ri].and_not(region_destroy[sibling.index()]);
+    }
+  }
+  return nondest;
+}
+
+std::vector<char> region_nondest_flags(
+    const Graph& g, const std::vector<char>& region_destroy) {
+  std::vector<char> nondest(g.num_regions(), 1);
+  for (std::size_t ri = 1; ri < g.num_regions(); ++ri) {
+    RegionId r(static_cast<RegionId::underlying>(ri));
+    ParStmtId owner = g.region(r).owner;
+    char nd = nondest[parent_region(g, r).index()];
+    for (RegionId sibling : g.par_stmt(owner).components) {
+      if (sibling != r && region_destroy[sibling.index()]) nd = 0;
+    }
+    nondest[ri] = nd;
+  }
+  return nondest;
+}
+
+}  // namespace parcm

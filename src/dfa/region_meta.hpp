@@ -1,0 +1,38 @@
+// Once-per-solve region metadata for the hierarchical solvers.
+//
+// Both solvers need (a) per-region destroy masks aggregated over the
+// region's recursive subtree — the "some node of a sibling component
+// destroys" predicate behind NonDest and the synchronization policies — and
+// (b) the NonDest value itself, which is constant across all nodes of a
+// region. Regions are created parents-first, so one reverse index scan
+// folds children into parents and one forward scan pushes NonDest down the
+// nesting tree; neither materializes nodes_in_region_recursive.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/graph.hpp"
+#include "support/bitvector.hpp"
+
+namespace parcm {
+
+// Packed flavour: one destroy mask per region over the term universe.
+std::vector<BitVector> region_destroy_masks(
+    const Graph& g, const std::vector<BitVector>& node_destroy,
+    std::size_t num_terms);
+
+// Scalar flavour: one flag per region for the single-term solver.
+std::vector<char> region_destroy_flags(const Graph& g,
+                                       const std::vector<bool>& node_destroy);
+
+// NonDest per region: all-true at the root; a component drops every term
+// destroyed somewhere in a sibling component, at every nesting level.
+std::vector<BitVector> region_nondest_masks(
+    const Graph& g, const std::vector<BitVector>& region_destroy,
+    std::size_t num_terms);
+
+std::vector<char> region_nondest_flags(
+    const Graph& g, const std::vector<char>& region_destroy);
+
+}  // namespace parcm

@@ -1,0 +1,15 @@
+#include "dfa/worklist.hpp"
+
+namespace parcm {
+
+const char* worklist_policy_name(WorklistPolicy p) {
+  switch (p) {
+    case WorklistPolicy::kSparseRpo:
+      return "sparse-rpo";
+    case WorklistPolicy::kDenseFifo:
+      return "dense-fifo";
+  }
+  return "?";
+}
+
+}  // namespace parcm

@@ -84,6 +84,13 @@ class Graph {
   // Creates the root region plus start and end nodes (unconnected).
   Graph();
 
+  // Structural version stamp. Every mutation (including handing out a
+  // non-const Node&/Edge&) assigns a fresh value from a process-wide
+  // counter, so two graphs carry the same version only if one is an
+  // unmodified copy of the other — equal versions imply equal content,
+  // which is what AnalysisCache's fast path relies on.
+  std::uint64_t version() const { return version_; }
+
   // --- variables -----------------------------------------------------------
   VarId intern_var(const std::string& name);
   std::optional<VarId> find_var(const std::string& name) const;
@@ -100,9 +107,17 @@ class Graph {
 
   std::size_t num_nodes() const { return nodes_.size(); }
   std::size_t num_edges_total() const { return edges_.size(); }
-  Node& node(NodeId n) { return nodes_[n.index()]; }
+  // The non-const accessors conservatively bump the version: transforms
+  // mutate nodes in place through them (e.g. rewriting an assignment's rhs).
+  Node& node(NodeId n) {
+    bump_version();
+    return nodes_[n.index()];
+  }
   const Node& node(NodeId n) const { return nodes_[n.index()]; }
-  Edge& edge(EdgeId e) { return edges_[e.index()]; }
+  Edge& edge(EdgeId e) {
+    bump_version();
+    return edges_[e.index()];
+  }
   const Edge& edge(EdgeId e) const { return edges_[e.index()]; }
 
   NodeId start() const { return start_; }
@@ -144,6 +159,25 @@ class Graph {
   // components (the paper's Nodes(G') for a component G').
   std::vector<NodeId> nodes_in_region_recursive(RegionId r) const;
 
+  // Callback-style variant for hot loops: visits the same nodes without
+  // materializing a vector per call. Region traversal order matches
+  // nodes_in_region_recursive.
+  template <class Fn>
+  void for_each_node_in_region_recursive(RegionId r, Fn&& fn) const {
+    std::vector<RegionId> stack{r};
+    while (!stack.empty()) {
+      RegionId cur = stack.back();
+      stack.pop_back();
+      const Region& reg = regions_[cur.index()];
+      for (NodeId n : reg.nodes) fn(n);
+      for (ParStmtId s : reg.child_stmts) {
+        for (RegionId comp : par_stmts_[s.index()].components) {
+          stack.push_back(comp);
+        }
+      }
+    }
+  }
+
   // The unique component entry node: target of the ParBegin edge into r.
   // Derived from edges, so call only once the statement is fully wired.
   NodeId component_entry(RegionId r) const;
@@ -162,6 +196,8 @@ class Graph {
   void splice_after(NodeId n, NodeId after);
 
  private:
+  void bump_version();
+
   std::vector<Node> nodes_;
   std::vector<Edge> edges_;
   std::vector<Region> regions_;
@@ -170,6 +206,7 @@ class Graph {
   std::unordered_map<std::string, VarId> var_index_;
   NodeId start_;
   NodeId end_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace parcm

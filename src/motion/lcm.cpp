@@ -2,6 +2,7 @@
 
 #include <deque>
 
+#include "analyses/cache.hpp"
 #include "ir/printer.hpp"
 #include "ir/regions.hpp"
 #include "ir/transform_utils.hpp"
@@ -110,9 +111,10 @@ MotionResult lazy_code_motion(const Graph& g) {
   Graph& out = res.graph;
   res.synthetic_nodes = split_join_edges(out);
 
-  TermTable terms(out);
-  LocalPredicates preds(out, terms);
-  InterleavingInfo itlv(out);
+  std::shared_ptr<const AnalysisBundle> analyses =
+      analysis_cache().acquire(out);
+  const TermTable& terms = analyses->terms;
+  const LocalPredicates& preds = analyses->preds;
   res.safety = compute_safety(out, preds, SafetyVariant::kRefined);
   res.predicates = compute_motion_predicates(out, preds, res.safety);
   LcmInternals lcm = compute_lcm_internals(out, terms, preds, res.predicates);

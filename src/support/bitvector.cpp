@@ -101,6 +101,24 @@ BitVector& BitVector::and_not(const BitVector& o) {
   return *this;
 }
 
+BitVector& BitVector::assign_and_not(const BitVector& a, const BitVector& b) {
+  assert(a.size_ == b.size_);
+  size_ = a.size_;
+  words_.resize(a.words_.size());
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] = a.words_[i] & ~b.words_[i];
+  }
+  return *this;
+}
+
+BitVector& BitVector::or_with_and_not(const BitVector& a, const BitVector& b) {
+  assert(size_ == a.size_ && size_ == b.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= a.words_[i] & ~b.words_[i];
+  }
+  return *this;
+}
+
 void BitVector::invert() {
   for (auto& w : words_) w = ~w;
   normalize();
@@ -134,6 +152,22 @@ std::size_t BitVector::find_first() const {
 
 std::size_t BitVector::find_next(std::size_t i) const {
   ++i;
+  if (i >= size_) return size_;
+  std::size_t w = i / kWordBits;
+  Word masked = words_[w] & (~Word{0} << (i % kWordBits));
+  if (masked != 0) {
+    return w * kWordBits + static_cast<std::size_t>(std::countr_zero(masked));
+  }
+  for (++w; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return w * kWordBits +
+             static_cast<std::size_t>(std::countr_zero(words_[w]));
+    }
+  }
+  return size_;
+}
+
+std::size_t BitVector::find_first_from(std::size_t i) const {
   if (i >= size_) return size_;
   std::size_t w = i / kWordBits;
   Word masked = words_[w] & (~Word{0} << (i % kWordBits));

@@ -6,6 +6,7 @@
 // kept at zero (the class re-normalizes after every whole-word operation).
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -46,6 +47,13 @@ class BitVector {
   BitVector& operator^=(const BitVector& o);
   // this := this & ~o
   BitVector& and_not(const BitVector& o);
+  // Fused in-place forms used by the allocation-free solver kernels: each
+  // replaces a two-step sequence that would otherwise materialize a
+  // temporary BitVector. All operands must have equal size.
+  // this := a & ~b
+  BitVector& assign_and_not(const BitVector& a, const BitVector& b);
+  // this := this | (a & ~b)
+  BitVector& or_with_and_not(const BitVector& a, const BitVector& b);
   // Flip every bit.
   void invert();
 
@@ -68,6 +76,22 @@ class BitVector {
   std::size_t find_first() const;
   // Index of first set bit > i, or size() if none.
   std::size_t find_next(std::size_t i) const;
+  // Index of first set bit >= i, or size() if none.
+  std::size_t find_first_from(std::size_t i) const;
+
+  // Calls fn(i) for every set bit, in increasing order. Word-at-a-time, so
+  // considerably cheaper than iterating set_bits() on sparse vectors.
+  template <class Fn>
+  void for_each_set_bit(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      Word bits = words_[w];
+      while (bits != 0) {
+        Word lsb = bits & (~bits + 1);
+        fn(w * kWordBits + bit_index(lsb));
+        bits ^= lsb;
+      }
+    }
+  }
 
   std::vector<Word>& words() { return words_; }
   const std::vector<Word>& words() const { return words_; }
@@ -84,6 +108,10 @@ class BitVector {
   SetBitRange set_bits() const;
 
  private:
+  static std::size_t bit_index(Word isolated_bit) {
+    return static_cast<std::size_t>(std::countr_zero(isolated_bit));
+  }
+
   std::size_t size_ = 0;
   std::vector<Word> words_;
 };

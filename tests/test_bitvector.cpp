@@ -235,5 +235,77 @@ TEST_P(BitVectorLogicSweep, DeMorganAndAbsorption) {
 INSTANTIATE_TEST_SUITE_P(Seeds, BitVectorLogicSweep,
                          ::testing::Range<std::uint64_t>(0, 12));
 
+TEST(BitVector, AssignAndNot) {
+  BitVector a(130), b(130), dst;
+  a.set(0);
+  a.set(64);
+  a.set(129);
+  b.set(64);
+  dst.assign_and_not(a, b);
+  EXPECT_EQ(dst.size(), 130u);
+  EXPECT_EQ(dst, (a & ~b));
+  // Reassignment from a different size adopts the new size.
+  BitVector c(10, true), d(10);
+  dst.assign_and_not(c, d);
+  EXPECT_EQ(dst.size(), 10u);
+  EXPECT_EQ(dst.count(), 10u);
+}
+
+TEST(BitVector, OrWithAndNot) {
+  BitVector acc(130), a(130), b(130);
+  acc.set(1);
+  a.set(1);
+  a.set(65);
+  a.set(129);
+  b.set(129);
+  BitVector want = acc | (a & ~b);
+  acc.or_with_and_not(a, b);
+  EXPECT_EQ(acc, want);
+}
+
+TEST(BitVector, FusedOpsMatchTwoStepForms) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::size_t n = 1 + rng.below(300);
+    BitVector a(n), b(n), acc(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.chance(1, 2)) a.set(i);
+      if (rng.chance(1, 2)) b.set(i);
+      if (rng.chance(1, 3)) acc.set(i);
+    }
+    BitVector dst;
+    dst.assign_and_not(a, b);
+    EXPECT_EQ(dst, (a & ~b));
+    BitVector fused = acc;
+    fused.or_with_and_not(a, b);
+    EXPECT_EQ(fused, (acc | (a & ~b)));
+  }
+}
+
+TEST(BitVector, FindFirstFrom) {
+  BitVector a(200);
+  a.set(5);
+  a.set(64);
+  a.set(199);
+  EXPECT_EQ(a.find_first_from(0), 5u);
+  EXPECT_EQ(a.find_first_from(5), 5u);
+  EXPECT_EQ(a.find_first_from(6), 64u);
+  EXPECT_EQ(a.find_first_from(64), 64u);
+  EXPECT_EQ(a.find_first_from(65), 199u);
+  EXPECT_EQ(a.find_first_from(199), 199u);
+  EXPECT_EQ(a.find_first_from(200), 200u);
+}
+
+TEST(BitVector, ForEachSetBit) {
+  BitVector a(150);
+  std::vector<std::size_t> want = {0, 63, 64, 127, 149};
+  for (std::size_t i : want) a.set(i);
+  std::vector<std::size_t> got;
+  a.for_each_set_bit([&](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+  BitVector none(77);
+  none.for_each_set_bit([](std::size_t) { FAIL() << "no bits set"; });
+}
+
 }  // namespace
 }  // namespace parcm

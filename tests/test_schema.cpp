@@ -4,6 +4,10 @@
 // can dispatch on "schema" without guessing.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include "bench_support.hpp"
 #include "figures/figures.hpp"
 #include "lang/lower.hpp"
@@ -62,6 +66,35 @@ TEST(SchemaBench, HarnessJsonIsValid) {
   EXPECT_NE(json.find("\"results\""), std::string::npos);
   EXPECT_NE(json.find("\"obs\""), std::string::npos);
 }
+
+#ifdef PARCM_REPO_ROOT
+TEST(SchemaBench, CommittedArtifactsAreValid) {
+  // scripts/run_bench.sh drops BENCH_*.json at the repo root; whichever are
+  // present must parse and carry the schema tag, so a stale or hand-edited
+  // artifact cannot slip through review.
+  namespace fs = std::filesystem;
+  fs::path root(PARCM_REPO_ROOT);
+  std::size_t checked = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator(root)) {
+    fs::path p = entry.path();
+    std::string name = p.filename().string();
+    if (name.rfind("BENCH_", 0) != 0 || p.extension() != ".json") continue;
+    std::ifstream in(p);
+    ASSERT_TRUE(in.good()) << p;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string json = buf.str();
+    EXPECT_TRUE(obs::json_valid(json)) << p;
+    EXPECT_NE(json.find("\"schema\": \"parcm-bench-v1\""), std::string::npos)
+        << p;
+    EXPECT_NE(json.find("\"results\""), std::string::npos) << p;
+    ++checked;
+  }
+  // Zero artifacts is fine (fresh clone before any bench run); the test
+  // only guards the ones that exist.
+  SUCCEED() << checked << " artifacts checked";
+}
+#endif
 
 }  // namespace
 }  // namespace parcm
