@@ -1,0 +1,135 @@
+// parcm_fuzz — differential translation-validation fuzzer.
+//
+// Generates random parallel programs, runs them through a transformation
+// pipeline, and checks every result against the oracle
+// (verify::differential_check). Confirmed divergences are delta-debugged to
+// a minimal reproducer. Fully reproducible: the same --seed yields the same
+// programs, schedules and verdicts in any process.
+//
+//   parcm_fuzz [options]
+//     --seed N          campaign seed (default 1)
+//     --count N         programs to generate (default 100)
+//     --pipeline NAME   bcm | lcm | pcm | naive | sinking | dce | full
+//     --smoke           time-boxed CI mode (wall-clock cap, default 60 s)
+//     --seconds S       wall-clock cap in seconds (0 = none)
+//     --inject MODE     flip a safety ingredient to test the oracle:
+//                       naive | no-privatize | no-parend-export | no-sink
+//     --expect-catch    exit 0 iff the injected miscompile WAS caught
+//     --out DIR         write repro_<seed>_<i>.parcm + .regression.cpp
+//     --no-reduce       skip delta debugging of failures
+//     --atomic          check under atomic-assignment semantics instead of
+//                       the Remark 2.1 split model (PCM is only expected to
+//                       validate under split; see verify::Budget)
+//     --target-stmts N  generator statement budget (default 10)
+//     --max-par-depth N parallel nesting depth (default 2)
+//     --max-states N    exact-enumeration state cap
+//     --dump-program    print program #(--index, default 0) and exit
+//                       (the byte-identity anchor of the reproducer
+//                       contract; see tests/test_workload.cpp)
+//     --index N         program index for --dump-program
+//     --json            print the machine-readable campaign summary
+//     --stats           print the verify.* observability counters
+//
+// Exit codes: 0 clean (or caught, with --expect-catch), 1 unexpected
+// divergence, 2 usage error, 4 injected miscompile not caught.
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "lang/unparse.hpp"
+#include "obs/metrics.hpp"
+#include "verify/fuzz.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parcm;
+  verify::FuzzOptions opt;
+  bool expect_catch = false, dump_program = false, json = false, stats = false;
+  std::size_t dump_index = 0;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  auto next_u64 = [&args](std::size_t* i) -> std::uint64_t {
+    if (*i + 1 >= args.size()) {
+      std::cerr << args[*i] << " needs a value\n";
+      std::exit(2);
+    }
+    return std::stoull(args[++*i]);
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--seed") {
+      opt.seed = next_u64(&i);
+    } else if (a == "--count") {
+      opt.count = static_cast<std::size_t>(next_u64(&i));
+    } else if (a == "--pipeline") {
+      if (i + 1 >= args.size()) return 2;
+      opt.pipeline = args[++i];
+    } else if (a == "--smoke") {
+      if (opt.seconds <= 0) opt.seconds = 60;
+      opt.count = 100000;  // the wall clock is the real bound
+    } else if (a == "--seconds") {
+      opt.seconds = static_cast<double>(next_u64(&i));
+    } else if (a == "--inject") {
+      if (i + 1 >= args.size()) return 2;
+      opt.inject.enabled = true;
+      opt.inject.mode = args[++i];
+    } else if (a == "--expect-catch") {
+      expect_catch = true;
+    } else if (a == "--out") {
+      if (i + 1 >= args.size()) return 2;
+      opt.out_dir = args[++i];
+    } else if (a == "--no-reduce") {
+      opt.reduce = false;
+    } else if (a == "--atomic") {
+      opt.budget.split_assignments = false;
+    } else if (a == "--target-stmts") {
+      opt.gen.target_stmts = static_cast<std::size_t>(next_u64(&i));
+    } else if (a == "--max-par-depth") {
+      opt.gen.max_par_depth = static_cast<int>(next_u64(&i));
+    } else if (a == "--max-states") {
+      opt.budget.max_states = static_cast<std::size_t>(next_u64(&i));
+    } else if (a == "--dump-program") {
+      dump_program = true;
+    } else if (a == "--index") {
+      dump_index = static_cast<std::size_t>(next_u64(&i));
+    } else if (a == "--json") {
+      json = true;
+    } else if (a == "--stats") {
+      stats = true;
+    } else if (a == "--help" || a == "-h") {
+      std::cout << "usage: parcm_fuzz [--seed N] [--count N] "
+                   "[--pipeline bcm|lcm|pcm|naive|sinking|dce|full] "
+                   "[--smoke] [--seconds S] [--inject MODE] [--expect-catch] "
+                   "[--out DIR] [--no-reduce] [--atomic] [--dump-program "
+                   "[--index N]] [--json] [--stats]\n";
+      return 0;
+    } else {
+      std::cerr << "unknown option " << a << "\n";
+      return 2;
+    }
+  }
+
+  if (dump_program) {
+    std::cout << lang::to_source(
+        verify::fuzz_program(opt.seed, dump_index, opt.gen));
+    return 0;
+  }
+
+  verify::FuzzOutcome outcome = verify::run_fuzz(opt);
+  std::cout << outcome.summary() << "\n";
+  for (const verify::FuzzFailure& f : outcome.failures) {
+    std::cout << "--- reproducer #" << f.index << " ---\n"
+              << f.reduced_source;
+  }
+  if (json) std::cout << outcome.to_json(true) << "\n";
+  if (stats) std::cout << obs::registry().to_string();
+
+  if (expect_catch) {
+    if (outcome.divergences > 0) {
+      std::cout << "injected miscompile caught\n";
+      return 0;
+    }
+    std::cerr << "injected miscompile NOT caught\n";
+    return 4;
+  }
+  return outcome.ok() ? 0 : 1;
+}

@@ -12,6 +12,9 @@
 //     --stats       print pass wall times, solver iteration counts and
 //                   per-term motion counters (the obs registry + trace tree)
 //     --trace-json FILE  write a Chrome trace_event file for chrome://tracing
+//     --validate    re-check the transformation with the differential
+//                   translation-validation oracle; non-zero exit and a
+//                   witnessing interleaving on divergence
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -27,11 +30,12 @@
 #include "motion/report.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "verify/verify.hpp"
 
 int main(int argc, char** argv) {
   using namespace parcm;
   bool naive = false, dot = false, report = false, dce = false;
-  bool stats = false;
+  bool stats = false, validate = false;
   std::vector<std::string> observed;
   std::string table_term, figure_id, file, trace_json;
 
@@ -48,6 +52,8 @@ int main(int argc, char** argv) {
       dce = true;
     } else if (a == "--stats") {
       stats = true;
+    } else if (a == "--validate") {
+      validate = true;
     } else if (a == "--trace-json" && i + 1 < args.size()) {
       trace_json = args[++i];
     } else if (a.rfind("--trace-json=", 0) == 0) {
@@ -60,7 +66,8 @@ int main(int argc, char** argv) {
       figure_id = args[++i];
     } else if (a == "--help" || a == "-h") {
       std::cout << "usage: parcm_opt [--naive] [--dot] [--report] [--stats] "
-                   "[--trace-json FILE] [--table TERM] [--figure ID] [file]\n";
+                   "[--validate] [--trace-json FILE] [--table TERM] "
+                   "[--figure ID] [file]\n";
       return 0;
     } else if (!a.empty() && a[0] == '-') {
       std::cerr << "unknown option " << a << "\n";
@@ -119,6 +126,15 @@ int main(int argc, char** argv) {
   }
   std::cout << (dot ? to_dot(result.graph, file.empty() ? "parcm" : file)
                     : to_text(result.graph));
+  if (validate) {
+    verify::Verdict v = verify::differential_check(program, result.graph);
+    std::cout << "validate: " << v.summary() << "\n";
+    if (!v.ok()) {
+      std::cerr << "translation validation FAILED\n";
+      if (v.witness.has_value()) std::cerr << v.witness_text() << "\n";
+      return 3;
+    }
+  }
   if (stats) {
     std::cout << "\n== observability ==\n" << obs::registry().to_string();
     std::cout << "trace:\n" << obs::trace().tree();

@@ -20,6 +20,22 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 test_bin="$build_dir/tests/test_remarks"
 
+# Every golden dump the suite diffs against must exist up front: a missing
+# file must fail loudly by name, never skip as a silently-passing test.
+# (Checked before the binary so the failure is caught even on unbuilt trees;
+# regen mode is exempt since its whole point is recreating the files.)
+golden_files=(remarks_fig2.txt remarks_fig7.txt remarks_fig10.txt
+              repro_p2.parcm repro_p3.parcm)
+if [[ "$regen" == 0 ]]; then
+  for f in "${golden_files[@]}"; do
+    if [[ ! -f "$repo_root/tests/golden/$f" ]]; then
+      echo "error: missing golden file tests/golden/$f" >&2
+      echo "regenerate with: scripts/check_golden.sh --regen $build_dir" >&2
+      exit 3
+    fi
+  done
+fi
+
 if [[ ! -x "$test_bin" ]]; then
   echo "error: $test_bin not found — configure and build first:" >&2
   echo "  cmake -B $build_dir -S $repo_root && cmake --build $build_dir -j" >&2
@@ -33,5 +49,10 @@ if [[ "$regen" == 1 ]]; then
 fi
 
 echo "== checking golden remark dumps =="
-"$test_bin" --gtest_filter='RemarkGolden.*'
+out="$("$test_bin" --gtest_filter='RemarkGolden.*')"
+echo "$out"
+if grep -q "Running 0 tests" <<<"$out"; then
+  echo "error: gtest filter 'RemarkGolden.*' matched no tests" >&2
+  exit 4
+fi
 echo "golden remark dumps are up to date"

@@ -1,0 +1,118 @@
+#include "lang/unparse.hpp"
+
+#include "ir/expr.hpp"
+
+namespace parcm::lang {
+
+namespace {
+
+std::string operand_source(const AOperand& op) {
+  if (op.is_var) return op.name;
+  return std::to_string(op.value);
+}
+
+void indent_to(int indent, std::string* out) {
+  out->append(static_cast<std::size_t>(indent) * 2, ' ');
+}
+
+void append_block(const Block& block, int indent, std::string* out) {
+  out->append("{\n");
+  for (const Stmt& s : block) append_source(s, indent + 1, out);
+  indent_to(indent, out);
+  out->append("}");
+}
+
+void append_label(const Stmt& s, std::string* out) {
+  if (!s.label.empty()) {
+    out->append(" @");
+    out->append(s.label);
+  }
+}
+
+}  // namespace
+
+std::string to_source(const AExpr& expr) {
+  std::string out = operand_source(expr.a);
+  if (expr.is_binary()) {
+    out.append(" ");
+    out.append(bin_op_symbol(*expr.op));
+    out.append(" ");
+    out.append(operand_source(expr.b));
+  }
+  return out;
+}
+
+std::string to_source(const ACond& cond) {
+  if (cond.nondet) return "*";
+  return to_source(cond.expr);
+}
+
+void append_source(const Stmt& stmt, int indent, std::string* out) {
+  indent_to(indent, out);
+  switch (stmt.kind) {
+    case StmtKind::kAssign:
+      out->append(stmt.lhs);
+      out->append(" := ");
+      out->append(to_source(stmt.rhs));
+      append_label(stmt, out);
+      out->append(";\n");
+      return;
+    case StmtKind::kSkip:
+      out->append("skip");
+      append_label(stmt, out);
+      out->append(";\n");
+      return;
+    case StmtKind::kBarrier:
+      out->append("barrier");
+      append_label(stmt, out);
+      out->append(";\n");
+      return;
+    case StmtKind::kIf:
+      out->append("if (");
+      out->append(to_source(stmt.cond));
+      out->append(") ");
+      append_block(stmt.blocks[0], indent, out);
+      if (stmt.blocks.size() > 1 && !stmt.blocks[1].empty()) {
+        out->append(" else ");
+        append_block(stmt.blocks[1], indent, out);
+      }
+      out->append("\n");
+      return;
+    case StmtKind::kWhile:
+      out->append("while (");
+      out->append(to_source(stmt.cond));
+      out->append(") ");
+      append_block(stmt.blocks[0], indent, out);
+      out->append("\n");
+      return;
+    case StmtKind::kPar:
+    case StmtKind::kChoose: {
+      // The grammar requires at least two blocks; a degenerate single-block
+      // statement (a reducer intermediate) renders as its body inline.
+      const char* head = stmt.kind == StmtKind::kPar ? "par " : "choose ";
+      const char* sep = stmt.kind == StmtKind::kPar ? " and " : " or ";
+      if (stmt.blocks.size() < 2) {
+        out->resize(out->size() - static_cast<std::size_t>(indent) * 2);
+        if (!stmt.blocks.empty()) {
+          for (const Stmt& s : stmt.blocks[0]) append_source(s, indent, out);
+        }
+        return;
+      }
+      out->append(head);
+      for (std::size_t i = 0; i < stmt.blocks.size(); ++i) {
+        if (i > 0) out->append(sep);
+        append_block(stmt.blocks[i], indent, out);
+      }
+      out->append("\n");
+      return;
+    }
+  }
+}
+
+std::string to_source(const Program& program) {
+  std::string out;
+  for (const Stmt& s : program.body) append_source(s, 0, &out);
+  return out;
+}
+
+}  // namespace parcm::lang

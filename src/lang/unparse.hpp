@@ -1,0 +1,25 @@
+// Rendering a language AST back to parseable parcm source.
+//
+// The inverse of the parser, used by the fuzzer's delta-debugging reducer to
+// emit minimal reproducers as `.parcm` files: parse(to_source(p)) succeeds
+// for every well-formed program and yields a structurally identical AST
+// (round-tripped in tests/test_verify.cpp). Output is deterministic — the
+// same AST always renders to the same bytes — which is what the fuzzer's
+// same-seed-same-reproducer contract rests on.
+#pragma once
+
+#include <string>
+
+#include "lang/ast.hpp"
+
+namespace parcm::lang {
+
+std::string to_source(const Program& program);
+
+// Appends one statement (with trailing newline) at the given indent level.
+void append_source(const Stmt& stmt, int indent, std::string* out);
+
+std::string to_source(const AExpr& expr);
+std::string to_source(const ACond& cond);
+
+}  // namespace parcm::lang

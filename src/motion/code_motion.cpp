@@ -231,17 +231,26 @@ MotionResult run_code_motion(const Graph& g, const CodeMotionConfig& config) {
                                      BitVector(terms.size()));
   std::vector<BitVector> region_mod(out.num_regions(),
                                     BitVector(terms.size()));
+  // A barrier inside the subtree makes a component non-transparent for
+  // coverage even when it neither computes nor modifies anything: the
+  // barrier kills down-safety, so the Earliest frontier of a post-join use
+  // can lie entirely *inside* such components — suppressing those inserts
+  // leaves the replacement reading an uninitialized temporary (found by
+  // parcm_fuzz: nested par around a barrier plus any post-join occurrence).
+  std::vector<char> region_barrier(out.num_regions(), 0);
   for (std::size_t ri = 0; ri < out.num_regions(); ++ri) {
     RegionId r(static_cast<RegionId::underlying>(ri));
     out.for_each_node_in_region_recursive(r, [&](NodeId n) {
       region_comp[ri] |= preds.comp(n);
       region_mod[ri] |= preds.mod(n);
+      if (out.node(n).kind == NodeKind::kBarrier) region_barrier[ri] = 1;
     });
   }
   auto useless_insert = [&](NodeId n, TermId t) {
     for (const Graph::Enclosing& enc : out.enclosing_stmts(n)) {
       std::size_t c = enc.component.index();
-      if (!region_comp[c].test(t.index()) && !region_mod[c].test(t.index())) {
+      if (!region_comp[c].test(t.index()) && !region_mod[c].test(t.index()) &&
+          !region_barrier[c]) {
         return true;
       }
     }

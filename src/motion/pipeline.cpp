@@ -61,6 +61,15 @@ std::string PipelineResult::to_json(bool pretty) const {
     w.end_object();
   }
   w.end_array();
+  if (validation.has_value()) {
+    w.key("validation").begin_object();
+    w.key("status").value(verify::status_name(validation->status));
+    w.key("exact").value(validation->exact);
+    w.key("original_behaviours").value(validation->original_behaviours);
+    w.key("transformed_behaviours").value(validation->transformed_behaviours);
+    w.key("witness").value(validation->witness_text());
+    w.end_object();
+  }
   w.end_object();
   return w.take();
 }
@@ -121,9 +130,14 @@ Pipeline& Pipeline::add_validate() {
   });
 }
 
+Pipeline& Pipeline::validate_semantics(verify::Budget budget) {
+  semantic_budget_ = budget;
+  return *this;
+}
+
 PipelineResult Pipeline::run(const Graph& g) const {
   PARCM_OBS_TIMER("pipeline.run");
-  PipelineResult res{g, {}};
+  PipelineResult res{g, {}, {}};
   for (const Pass& pass : passes_) {
     PassStats stats;
     stats.name = pass.name;
@@ -151,6 +165,22 @@ PipelineResult Pipeline::run(const Graph& g) const {
     stats.nodes_after = res.graph.num_nodes();
     stats.actions = actions;
     stats.remarks = obs::remarks().size() - remarks_before;
+    res.passes.push_back(std::move(stats));
+  }
+  if (semantic_budget_.has_value()) {
+    PassStats stats;
+    stats.name = "differential-validate";
+    stats.nodes_before = g.num_nodes();
+    stats.nodes_after = res.graph.num_nodes();
+    auto start = std::chrono::steady_clock::now();
+    res.validation = verify::differential_check(g, res.graph,
+                                                *semantic_budget_);
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+    stats.wall_ms = static_cast<double>(ns) / 1e6;
+    stats.actions = res.validation->status == verify::Status::kDiverged;
+    PARCM_OBS_COUNT("verify.pipeline.validations", 1);
     res.passes.push_back(std::move(stats));
   }
   return res;

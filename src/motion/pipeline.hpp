@@ -9,10 +9,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "ir/graph.hpp"
+#include "verify/verify.hpp"
 
 namespace parcm {
 
@@ -36,10 +38,17 @@ struct PassStats {
 struct PipelineResult {
   Graph graph;
   std::vector<PassStats> passes;
+  // Differential translation-validation verdict comparing the pipeline's
+  // input against its final output; present when validate_semantics was
+  // requested. A structural add_validate failure throws; a semantic
+  // divergence is *recorded* here so callers (parcm_opt --validate, the
+  // fuzzer) decide how loudly to fail.
+  std::optional<verify::Verdict> validation;
 
   std::string to_string() const;
   // Machine-readable form: {"passes":[{name, nodes_before, nodes_after,
-  // node_delta, actions, wall_ms, counters}, ...]}. Stable key order.
+  // node_delta, actions, wall_ms, counters}, ...], "validation"?: {status,
+  // exact, witness}}. Stable key order.
   std::string to_json(bool pretty = false) const;
 };
 
@@ -56,6 +65,11 @@ class Pipeline {
   Pipeline& add_sinking();    // partial dead-code elimination (sinking)
   Pipeline& add_validate();   // structural check between passes
 
+  // Opt-in translation-validation post-pass: after the last pass, compare
+  // the observable behaviours of the pipeline's input and output with the
+  // differential oracle and record the verdict in PipelineResult.
+  Pipeline& validate_semantics(verify::Budget budget = {});
+
   // Runs every pass in order on a copy of g.
   PipelineResult run(const Graph& g) const;
 
@@ -67,6 +81,7 @@ class Pipeline {
     PassFn fn;
   };
   std::vector<Pass> passes_;
+  std::optional<verify::Budget> semantic_budget_;
 };
 
 // PCM -> constant propagation -> DCE (with every variable observable),

@@ -1,0 +1,322 @@
+#include "verify/fuzz.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "lang/lower.hpp"
+#include "lang/unparse.hpp"
+#include "motion/bcm.hpp"
+#include "motion/code_motion.hpp"
+#include "motion/dce.hpp"
+#include "motion/lcm.hpp"
+#include "motion/pipeline.hpp"
+#include "motion/sinking.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/remarks.hpp"
+#include "support/diagnostics.hpp"
+#include "verify/reduce.hpp"
+
+namespace parcm::verify {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15uLL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9uLL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBuLL;
+  return x ^ (x >> 31);
+}
+
+CodeMotionConfig injected_config(const InjectOptions& inject) {
+  CodeMotionConfig c;
+  if (!inject.enabled) return c;
+  if (inject.mode == "naive") {
+    c.variant = SafetyVariant::kNaive;
+  } else if (inject.mode == "no-privatize") {
+    c.privatize_temps = false;
+  } else if (inject.mode == "no-parend-export") {
+    c.parend_export_rule = false;
+  } else if (inject.mode == "no-sink") {
+    c.sink_anchors = false;
+  } else {
+    PARCM_CHECK(false, "unknown injection mode: " + inject.mode);
+  }
+  return c;
+}
+
+bool sequential_pipeline(const std::string& name) {
+  return name == "bcm" || name == "lcm";
+}
+
+}  // namespace
+
+FuzzOptions::FuzzOptions() : gen(default_fuzz_gen()) {}
+
+RandomProgramOptions default_fuzz_gen() {
+  RandomProgramOptions gen;
+  gen.target_stmts = 10;
+  gen.max_par_depth = 2;
+  gen.max_components = 3;
+  gen.num_vars = 4;
+  gen.while_permille = 30;  // keeps exact enumeration tractable
+  gen.cond_permille = 200;
+  gen.barrier_permille = 60;
+  gen.recursive_permille = 200;
+  gen.p2_shape_permille = 90;
+  gen.p3_shape_permille = 90;
+  return gen;
+}
+
+std::uint64_t fuzz_program_seed(std::uint64_t campaign_seed,
+                                std::size_t index) {
+  return mix(campaign_seed) ^ mix(static_cast<std::uint64_t>(index) + 1);
+}
+
+lang::Program fuzz_program(std::uint64_t campaign_seed, std::size_t index,
+                           const RandomProgramOptions& gen) {
+  Rng rng(fuzz_program_seed(campaign_seed, index));
+  return random_program_ast(rng, gen);
+}
+
+Graph apply_named_pipeline(const std::string& name, const Graph& g,
+                           const InjectOptions& inject) {
+  if (name == "pcm" || name == "naive" || name == "full") {
+    CodeMotionConfig config = injected_config(inject);
+    if (name == "naive") config.variant = SafetyVariant::kNaive;
+    if (name != "full") return run_code_motion(g, config).graph;
+    Pipeline p;
+    p.add("pcm", [config](const Graph& in, std::size_t* actions) {
+      MotionResult r = run_code_motion(in, config);
+      *actions = r.num_insertions() + r.num_replacements();
+      return std::move(r.graph);
+    });
+    p.add_validate().add_constprop().add_validate().add_sinking()
+        .add_validate().add_dce().add_validate();
+    return p.run(g).graph;
+  }
+  PARCM_CHECK(!inject.enabled,
+              "miscompile injection needs a code-motion stage; pipeline '" +
+                  name + "' has none");
+  if (name == "bcm") return busy_code_motion(g).graph;
+  if (name == "lcm") return lazy_code_motion(g).graph;
+  if (name == "sinking") return sink_partially_dead_assignments(g).graph;
+  if (name == "dce") return eliminate_dead_assignments(g).graph;
+  PARCM_CHECK(false, "unknown pipeline: " + name);
+}
+
+std::string FuzzOutcome::summary() const {
+  std::ostringstream os;
+  os << "fuzz: " << programs << " programs (" << exact << " exact, " << sampled
+     << " sampled, " << inconclusive << " inconclusive) — " << divergences
+     << " divergence" << (divergences == 1 ? "" : "s");
+  if (sampled_alarms > 0) {
+    os << ", " << sampled_alarms << " sampled-only divergence"
+       << (sampled_alarms == 1 ? "" : "s");
+  }
+  for (const FuzzFailure& f : failures) {
+    os << "\n  #" << f.index << " seed 0x" << std::hex << f.program_seed
+       << std::dec << ": " << f.verdict.summary() << "\n    reduced to "
+       << f.reduced_stmts << " statements / " << f.reduced_nodes << " nodes";
+    if (!f.repro_path.empty()) os << " -> " << f.repro_path;
+  }
+  return os.str();
+}
+
+std::string FuzzOutcome::to_json(bool pretty) const {
+  obs::JsonWriter w(pretty);
+  w.begin_object();
+  w.key("schema").value("parcm-fuzz-v1");
+  w.key("programs").value(programs);
+  w.key("exact").value(exact);
+  w.key("sampled").value(sampled);
+  w.key("inconclusive").value(inconclusive);
+  w.key("divergences").value(divergences);
+  w.key("sampled_alarms").value(sampled_alarms);
+  w.key("failures").begin_array();
+  for (const FuzzFailure& f : failures) {
+    w.begin_object();
+    w.key("index").value(f.index);
+    w.key("program_seed").value(f.program_seed);
+    w.key("status").value(status_name(f.verdict.status));
+    w.key("witness").value(f.verdict.witness_text());
+    w.key("pitfalls").begin_array();
+    for (const std::string& p : f.verdict.pitfalls) w.value(p);
+    w.end_array();
+    w.key("reduced_stmts").value(f.reduced_stmts);
+    w.key("reduced_nodes").value(f.reduced_nodes);
+    w.key("reduced_source").value(f.reduced_source);
+    w.key("repro_path").value(f.repro_path);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+std::string render_repro_source(const FuzzFailure& f, const FuzzOptions& o) {
+  std::ostringstream os;
+  os << "// parcm_fuzz reproducer (minimized by verify::reduce_program)\n"
+     << "// pipeline: " << o.pipeline;
+  if (o.inject.enabled) os << "  inject: " << o.inject.mode;
+  os << "\n// campaign seed: " << o.seed << "  program index: " << f.index
+     << "  program seed: 0x" << std::hex << f.program_seed << std::dec << "\n"
+     << "// verdict: " << f.verdict.summary() << "\n"
+     << "// replay: parcm_fuzz --seed " << o.seed << " --count "
+     << (f.index + 1) << " --pipeline " << o.pipeline;
+  if (o.inject.enabled) os << " --inject " << o.inject.mode;
+  os << "\n" << f.reduced_source;
+  return os.str();
+}
+
+std::string render_regression_test(const FuzzFailure& f,
+                                   const FuzzOptions& o) {
+  std::ostringstream os;
+  os << "// Ready-to-paste regression test for the reproducer above.\n"
+     << "// Drop into tests/test_verify_repro.cpp (or any parcm test file).\n"
+     << "TEST(VerifyRepro, Campaign" << o.seed << "Program" << f.index
+     << ") {\n"
+     << "  const char* kSource = R\"parcm(\n"
+     << f.reduced_source << ")parcm\";\n"
+     << "  Graph g = lang::compile_or_throw(kSource);\n"
+     << "  verify::InjectOptions inject;\n";
+  if (o.inject.enabled) {
+    os << "  inject.enabled = true;\n"
+       << "  inject.mode = \"" << o.inject.mode << "\";\n";
+  }
+  os << "  Graph t = verify::apply_named_pipeline(\"" << o.pipeline
+     << "\", g, inject);\n"
+     << "  verify::Verdict v = verify::differential_check(g, t);\n"
+     << "  ASSERT_TRUE(v.exact);\n"
+     << "  EXPECT_EQ(verify::Status::kDiverged, v.status);\n"
+     << "}\n";
+  return os.str();
+}
+
+FuzzOutcome run_fuzz(const FuzzOptions& options) {
+  PARCM_OBS_TIMER("verify.fuzz.run");
+  FuzzOutcome out;
+  RandomProgramOptions gen = options.gen;
+  if (sequential_pipeline(options.pipeline)) {
+    gen.max_par_depth = 0;
+    gen.p2_shape_permille = 0;
+    gen.p3_shape_permille = 0;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < options.count; ++i) {
+    if (options.seconds > 0) {
+      std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (elapsed.count() >= options.seconds) break;
+    }
+    std::uint64_t pseed = fuzz_program_seed(options.seed, i);
+    Rng rng(pseed);
+    lang::Program ast = random_program_ast(rng, gen);
+    Graph before = lang::lower(ast);
+
+    // Capture the transforming pass's remark stream for P1-P3 provenance.
+    obs::RemarkSink sink;
+    sink.set_enabled(true);
+    obs::RemarkSink* prev = obs::set_remark_sink(&sink);
+    Graph after;
+    try {
+      after = apply_named_pipeline(options.pipeline, before, options.inject);
+    } catch (...) {
+      obs::set_remark_sink(prev);
+      throw;
+    }
+    obs::set_remark_sink(prev);
+    std::vector<obs::Remark> remarks = sink.snapshot();
+
+    Verdict verdict =
+        differential_check(before, after, options.budget, &remarks);
+    ++out.programs;
+    PARCM_OBS_COUNT("verify.fuzz.programs", 1);
+
+    Budget confirmed_budget = options.budget;
+    if (verdict.status == Status::kDiverged && !verdict.exact) {
+      // A sampled kDiverged is already sound — the oracle only reports it
+      // when the original's behaviour set was enumerated to completion (an
+      // incomplete reference yields kInconclusive instead). Still try the
+      // two-sided exact re-check: an exact verdict carries the full
+      // behaviour counts and is what the reducer wants to replay against.
+      confirmed_budget.max_exact_nodes =
+          std::max(before.num_nodes(), after.num_nodes());
+      confirmed_budget.max_states = options.budget.max_states * 8;
+      Verdict exact_verdict =
+          differential_check(before, after, confirmed_budget, &remarks);
+      if (exact_verdict.exact) {
+        verdict = exact_verdict;
+      } else {
+        // Kept as a sampled divergence; tracked separately so campaign
+        // output shows how many finds lack an exact behaviour count.
+        ++out.sampled_alarms;
+        PARCM_OBS_COUNT("verify.fuzz.sampled_alarms", 1);
+      }
+    }
+    if (verdict.exact) {
+      ++out.exact;
+    } else if (verdict.status == Status::kInconclusive) {
+      ++out.inconclusive;
+      continue;
+    } else {
+      ++out.sampled;
+    }
+    if (verdict.status != Status::kDiverged) continue;
+
+    ++out.divergences;
+    PARCM_OBS_COUNT("verify.fuzz.divergences", 1);
+    if (out.failures.size() >= options.max_failures) continue;
+
+    FuzzFailure failure;
+    failure.index = i;
+    failure.program_seed = pseed;
+    failure.verdict = verdict;
+    failure.source = lang::to_source(ast);
+    // Reduction replays against the exact predicate, so only exact finds
+    // shrink; a sampled-only divergence keeps its full source.
+    if (options.reduce && verdict.exact) {
+      const std::string& pipeline = options.pipeline;
+      const InjectOptions& inject = options.inject;
+      Predicate still_fails = [&pipeline, &inject,
+                               &confirmed_budget](const lang::Program& p) {
+        try {
+          Graph g = lang::lower(p);
+          Graph t = apply_named_pipeline(pipeline, g, inject);
+          Verdict v = differential_check(g, t, confirmed_budget);
+          return v.exact && v.status == Status::kDiverged;
+        } catch (const InternalError&) {
+          // A reduction step that makes the pipeline itself throw is not
+          // the failure we are chasing.
+          return false;
+        }
+      };
+      ReduceResult reduced = reduce_program(ast, still_fails);
+      failure.reduced_source = lang::to_source(reduced.program);
+      failure.reduced_stmts = reduced.stmts_after;
+      failure.reduced_nodes = lang::lower(reduced.program).num_nodes();
+    } else {
+      failure.reduced_source = failure.source;
+      failure.reduced_stmts = count_statements(ast);
+      failure.reduced_nodes = before.num_nodes();
+    }
+    if (!options.out_dir.empty()) {
+      std::ostringstream name;
+      name << options.out_dir << "/repro_" << options.seed << "_" << i;
+      failure.repro_path = name.str() + ".parcm";
+      std::ofstream repro(failure.repro_path);
+      if (repro) {
+        repro << render_repro_source(failure, options);
+        std::ofstream test(name.str() + ".regression.cpp");
+        if (test) test << render_regression_test(failure, options);
+      } else {
+        failure.repro_path.clear();  // unwritable out_dir: keep the result
+      }
+    }
+    out.failures.push_back(std::move(failure));
+  }
+  return out;
+}
+
+}  // namespace parcm::verify

@@ -1,0 +1,178 @@
+#include "verify/reduce.hpp"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace parcm::verify {
+
+namespace {
+
+using lang::Block;
+using lang::Program;
+using lang::Stmt;
+using lang::StmtKind;
+
+enum class EditKind : std::uint8_t {
+  kDelete,         // remove the statement (and its subtree)
+  kInlineBlock,    // replace the statement by blocks[arg]'s contents
+  kDropComponent,  // erase blocks[arg] of a par/choose with >2 blocks
+  kRhsTrivial,     // x := a op b  ->  x := a
+  kOperandZeroA,   // first operand variable -> 0
+  kOperandZeroB,   // second operand variable -> 0
+  kCondNondet,     // deterministic condition -> `*`
+  kDropLabel,
+};
+
+struct Edit {
+  EditKind kind;
+  std::size_t stmt;  // DFS pre-order index
+  std::size_t arg = 0;
+};
+
+void enumerate_in_block(const Block& b, std::size_t* k, std::vector<Edit>* out) {
+  for (const Stmt& s : b) {
+    std::size_t id = (*k)++;
+    out->push_back({EditKind::kDelete, id});
+    for (std::size_t bi = 0; bi < s.blocks.size(); ++bi) {
+      out->push_back({EditKind::kInlineBlock, id, bi});
+    }
+    if (s.blocks.size() > 2 &&
+        (s.kind == StmtKind::kPar || s.kind == StmtKind::kChoose)) {
+      for (std::size_t bi = 0; bi < s.blocks.size(); ++bi) {
+        out->push_back({EditKind::kDropComponent, id, bi});
+      }
+    }
+    if (s.kind == StmtKind::kAssign) {
+      if (s.rhs.is_binary()) out->push_back({EditKind::kRhsTrivial, id});
+      if (s.rhs.a.is_var) out->push_back({EditKind::kOperandZeroA, id});
+      if (s.rhs.is_binary() && s.rhs.b.is_var) {
+        out->push_back({EditKind::kOperandZeroB, id});
+      }
+    }
+    if ((s.kind == StmtKind::kIf || s.kind == StmtKind::kWhile) &&
+        !s.cond.nondet) {
+      out->push_back({EditKind::kCondNondet, id});
+    }
+    if (!s.label.empty()) out->push_back({EditKind::kDropLabel, id});
+    for (const Block& child : s.blocks) enumerate_in_block(child, k, out);
+  }
+}
+
+std::vector<Edit> enumerate_edits(const Program& p) {
+  std::vector<Edit> out;
+  std::size_t k = 0;
+  enumerate_in_block(p.body, &k, &out);
+  return out;
+}
+
+struct Found {
+  Block* parent;
+  std::size_t index;
+};
+
+std::optional<Found> find_stmt(Block* b, std::size_t* k, std::size_t target) {
+  for (std::size_t i = 0; i < b->size(); ++i) {
+    if ((*k)++ == target) return Found{b, i};
+    for (Block& child : (*b)[i].blocks) {
+      if (auto f = find_stmt(&child, k, target)) return f;
+    }
+  }
+  return std::nullopt;
+}
+
+bool apply_edit(Program* p, const Edit& e) {
+  std::size_t k = 0;
+  std::optional<Found> f = find_stmt(&p->body, &k, e.stmt);
+  if (!f.has_value()) return false;
+  Stmt& s = (*f->parent)[f->index];
+  switch (e.kind) {
+    case EditKind::kDelete:
+      f->parent->erase(f->parent->begin() + static_cast<long>(f->index));
+      return true;
+    case EditKind::kInlineBlock: {
+      if (e.arg >= s.blocks.size()) return false;
+      Block body = std::move(s.blocks[e.arg]);
+      f->parent->erase(f->parent->begin() + static_cast<long>(f->index));
+      f->parent->insert(f->parent->begin() + static_cast<long>(f->index),
+                        std::make_move_iterator(body.begin()),
+                        std::make_move_iterator(body.end()));
+      return true;
+    }
+    case EditKind::kDropComponent:
+      if (s.blocks.size() <= 2 || e.arg >= s.blocks.size()) return false;
+      s.blocks.erase(s.blocks.begin() + static_cast<long>(e.arg));
+      return true;
+    case EditKind::kRhsTrivial:
+      if (!s.rhs.is_binary()) return false;
+      s.rhs.op.reset();
+      s.rhs.b = {};
+      return true;
+    case EditKind::kOperandZeroA:
+      if (!s.rhs.a.is_var) return false;
+      s.rhs.a = lang::AOperand::constant(0);
+      return true;
+    case EditKind::kOperandZeroB:
+      if (!s.rhs.is_binary() || !s.rhs.b.is_var) return false;
+      s.rhs.b = lang::AOperand::constant(0);
+      return true;
+    case EditKind::kCondNondet:
+      if (s.cond.nondet) return false;
+      s.cond.nondet = true;
+      s.cond.expr = {};
+      return true;
+    case EditKind::kDropLabel:
+      if (s.label.empty()) return false;
+      s.label.clear();
+      return true;
+  }
+  return false;
+}
+
+std::size_t count_in_block(const Block& b) {
+  std::size_t n = 0;
+  for (const Stmt& s : b) {
+    ++n;
+    for (const Block& child : s.blocks) n += count_in_block(child);
+  }
+  return n;
+}
+
+}  // namespace
+
+std::size_t count_statements(const Program& program) {
+  return count_in_block(program.body);
+}
+
+ReduceResult reduce_program(const Program& failing, const Predicate& still_fails,
+                            const ReduceOptions& options) {
+  PARCM_OBS_TIMER("verify.reduce");
+  ReduceResult res;
+  res.program = failing;
+  res.stmts_before = count_statements(failing);
+
+  bool progress = true;
+  while (progress && res.checks < options.max_checks) {
+    progress = false;
+    // Re-enumerate after every accepted edit: indices shift under deletion.
+    for (const Edit& e : enumerate_edits(res.program)) {
+      if (res.checks >= options.max_checks) break;
+      Program candidate = res.program;
+      if (!apply_edit(&candidate, e)) continue;
+      ++res.checks;
+      PARCM_OBS_COUNT("verify.reduce.checks", 1);
+      if (still_fails(candidate)) {
+        res.program = std::move(candidate);
+        progress = true;
+        PARCM_OBS_COUNT("verify.reduce.accepted", 1);
+        break;
+      }
+    }
+  }
+  res.stmts_after = count_statements(res.program);
+  return res;
+}
+
+}  // namespace parcm::verify

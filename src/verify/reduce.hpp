@@ -1,0 +1,50 @@
+// Delta-debugging reducer for failing fuzzer programs.
+//
+// Shrinks a language AST while a caller-supplied predicate (typically
+// "lower, transform, differential_check still diverges") keeps holding.
+// Reduction is greedy 1-minimal over a fixed edit vocabulary, visiting
+// parents before children so whole subtrees disappear first:
+//   - delete a statement (with its entire subtree),
+//   - inline one block of a compound statement in its place,
+//   - drop a component/alternative of a par/choose with >2 blocks,
+//   - simplify term-by-term: binary rhs -> trivial operand, variable
+//     operand -> the constant 0, deterministic condition -> `*`,
+//   - drop labels.
+// The result parses (lang::to_source round-trips) and re-checks against the
+// oracle at every step, so the emitted reproducer is guaranteed to still
+// fail. Deterministic: no randomness, stable edit order.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "lang/ast.hpp"
+
+namespace parcm::verify {
+
+// Returns true while the candidate still exhibits the failure. Must be a
+// pure function of the program (the reducer may call it many times).
+using Predicate = std::function<bool(const lang::Program&)>;
+
+struct ReduceOptions {
+  // Hard cap on predicate evaluations (each one may enumerate behaviours).
+  std::size_t max_checks = 4000;
+};
+
+struct ReduceResult {
+  lang::Program program;  // 1-minimal under the edit vocabulary
+  std::size_t checks = 0;
+  std::size_t stmts_before = 0;
+  std::size_t stmts_after = 0;
+};
+
+// `failing` must satisfy the predicate; the result still does.
+ReduceResult reduce_program(const lang::Program& failing,
+                            const Predicate& still_fails,
+                            const ReduceOptions& options = {});
+
+// Statements at every nesting depth (the reducer's size measure).
+std::size_t count_statements(const lang::Program& program);
+
+}  // namespace parcm::verify

@@ -4,6 +4,7 @@
 #pragma once
 
 #include "ir/graph.hpp"
+#include "lang/ast.hpp"
 #include "support/rng.hpp"
 
 namespace parcm {
@@ -31,8 +32,26 @@ struct RandomProgramOptions {
   int cond_permille = 0;
   // Chance (permille) of a barrier statement (only inside components).
   int barrier_permille = 0;
+  // Targeted pitfall shapes (random_program_ast only; both off by default).
+  // P2 shape: a parallel statement whose components compute the same term,
+  // one of them as a recursive assignment x := x op a — the case where
+  // separating initialization from replacement breaks sequential
+  // consistency (paper Fig. 3).
+  int p2_shape_permille = 0;
+  // P3 shape: two occurrences of one term bracketing a sibling component
+  // that modifies an operand, plus a post-join occurrence — the
+  // interference / up-down-safety case of Figs. 4, 6 and 7.
+  int p3_shape_permille = 0;
 };
 
 Graph random_program(Rng& rng, const RandomProgramOptions& options);
+
+// AST-producing twin of random_program for the translation-validation
+// fuzzer: the program can be unparsed (lang::to_source), reduced by
+// verify::reduce_program, and re-lowered. Draws an independent RNG stream —
+// graphs from random_program and random_program_ast with the same seed are
+// unrelated. Deterministic: the same seed yields a byte-identical source
+// rendering across processes and platforms (tests/test_workload.cpp).
+lang::Program random_program_ast(Rng& rng, const RandomProgramOptions& options);
 
 }  // namespace parcm

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Negative test for scripts/check_golden.sh: a missing golden dump must fail
+# loudly — non-zero exit naming the absent file — not skip as a silent pass.
+#
+# Hermetic: copies the repo's scripts/ + tests/golden/ into a scratch tree,
+# deletes one golden file there, and runs the check against the copy, so no
+# built binaries (and no mutation of the real tree) are needed — the
+# existence check fires before the binary check.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+scratch="$(mktemp -d)"
+trap 'rm -rf "$scratch"' EXIT
+
+mkdir -p "$scratch/scripts" "$scratch/tests"
+cp "$repo_root/scripts/check_golden.sh" "$scratch/scripts/"
+cp -r "$repo_root/tests/golden" "$scratch/tests/golden"
+rm "$scratch/tests/golden/repro_p3.parcm"
+
+set +e
+out="$("$scratch/scripts/check_golden.sh" 2>&1)"
+status=$?
+set -e
+
+if [[ "$status" -eq 0 ]]; then
+  echo "FAIL: check_golden.sh exited 0 with a golden file missing" >&2
+  echo "$out" >&2
+  exit 1
+fi
+if ! grep -q "repro_p3.parcm" <<<"$out"; then
+  echo "FAIL: failure message does not name the missing file" >&2
+  echo "$out" >&2
+  exit 1
+fi
+echo "ok: missing golden fails loudly (exit $status) and names the file"

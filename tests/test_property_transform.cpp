@@ -6,11 +6,19 @@
 // with full behavioural equality.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "analyses/earliest.hpp"
+#include "analyses/predicates.hpp"
+#include "ir/terms.hpp"
 #include "ir/validate.hpp"
+#include "lang/lower.hpp"
 #include "motion/bcm.hpp"
 #include "motion/pcm.hpp"
 #include "semantics/cost.hpp"
 #include "semantics/equivalence.hpp"
+#include "verify/fuzz.hpp"
+#include "verify/verify.hpp"
 #include "workload/randomprog.hpp"
 
 namespace parcm {
@@ -74,6 +82,75 @@ TEST_P(PcmProperty, TransformedGraphAlwaysValid) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PcmProperty,
                          ::testing::Range<std::uint64_t>(0, 40));
+
+// P2 (paper Sec. 3.3.2, Fig. 3): recursive assignments x := t with
+// x ∈ operands(t). Inside a parallel statement the conceptual split
+// x_t := t; x := x_t must never be materialized with other statements
+// between initialization and replacement — the refined analyses guarantee
+// that by refusing to replace such occurrences at all.
+class PcmRecursiveProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static RandomProgramOptions recursive_heavy() {
+    RandomProgramOptions opt = verify::default_fuzz_gen();
+    opt.recursive_permille = 500;
+    opt.p2_shape_permille = 250;
+    opt.p3_shape_permille = 100;
+    return opt;
+  }
+};
+
+TEST_P(PcmRecursiveProperty, RecursiveOccurrencesInsideParOnlyReplacedIfUpSafe) {
+  // Replacing `a := a+b` by `a := h` is only sound when h already holds the
+  // value (up-safety): the occurrence itself must never justify the
+  // initialization, because materializing its split `h := a+b; a := h`
+  // with sibling interference in between is exactly the P2 miscompile.
+  // Refined down-safety therefore treats it as a pure destroyer.
+  Rng rng(GetParam());
+  Graph g = lang::lower(random_program_ast(rng, recursive_heavy()));
+  TermTable terms(g);
+  LocalPredicates preds(g, terms);
+  SafetyInfo safety = compute_safety(g, preds, SafetyVariant::kRefined);
+  MotionResult r = parallel_code_motion(g);
+  validate_or_throw(r.graph);
+  for (const TermMotion& tm : r.terms) {
+    for (NodeId n : tm.replaced) {
+      if (n.index() >= g.num_nodes()) continue;  // created by the transform
+      if (!preds.recursive(n) || !g.pfg(n).valid()) continue;
+      EXPECT_TRUE(safety.upsafe[n.index()].test(tm.term.index()))
+          << "seed " << GetParam() << ": recursive occurrence n" << n.index()
+          << " inside a parallel statement was replaced without the value "
+             "being available — its own down-safety materialized the split "
+             "(P2)";
+    }
+  }
+}
+
+TEST_P(PcmRecursiveProperty, ConsistentOnRecursiveHeavyPrograms) {
+  Rng rng(GetParam() + 300);
+  Graph g = lang::lower(random_program_ast(rng, recursive_heavy()));
+  Graph t = verify::apply_named_pipeline("pcm", g);
+  verify::Budget budget;
+  budget.max_states = 1u << 19;
+  verify::Verdict v = verify::differential_check(g, t, budget);
+  if (v.status == verify::Status::kInconclusive || !v.exact) {
+    GTEST_SKIP() << "state space too large";
+  }
+  EXPECT_TRUE(v.ok()) << "seed " << GetParam() << ": " << v.summary();
+}
+
+TEST_P(PcmRecursiveProperty, FullPipelineConsistentOnRecursiveHeavyPrograms) {
+  Rng rng(GetParam() + 700);
+  Graph g = lang::lower(random_program_ast(rng, recursive_heavy()));
+  Graph t = verify::apply_named_pipeline("full", g);
+  verify::Verdict v = verify::differential_check(g, t);
+  if (v.status == verify::Status::kInconclusive || !v.exact) {
+    GTEST_SKIP() << "state space too large";
+  }
+  EXPECT_TRUE(v.ok()) << "seed " << GetParam() << ": " << v.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PcmRecursiveProperty,
+                         ::testing::Range<std::uint64_t>(0, 30));
 
 class BcmProperty : public ::testing::TestWithParam<std::uint64_t> {};
 

@@ -1,7 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "ir/terms.hpp"
 #include "ir/validate.hpp"
+#include "lang/lower.hpp"
+#include "lang/unparse.hpp"
+#include "verify/fuzz.hpp"
 #include "workload/families.hpp"
 #include "workload/randomprog.hpp"
 
@@ -72,6 +78,72 @@ TEST(RandomProgram, AlwaysHasAtLeastOneTerm) {
   Graph g = random_program(rng, opt);
   TermTable terms(g);
   EXPECT_GE(terms.size(), 1u);  // ...except the guaranteed final term
+}
+
+TEST(RandomProgramAst, AlwaysLowerableAndWellFormed) {
+  RandomProgramOptions opt = verify::default_fuzz_gen();
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(seed);
+    lang::Program p = random_program_ast(rng, opt);
+    Graph g = lang::lower(p);
+    DiagnosticSink sink;
+    EXPECT_TRUE(validate(g, sink)) << "seed " << seed << "\n"
+                                   << sink.to_string();
+  }
+}
+
+TEST(RandomProgramAst, SameSeedIsByteIdentical) {
+  // The reproducer contract at the source level: two independent generator
+  // runs from the same seed render to the same bytes.
+  RandomProgramOptions opt = verify::default_fuzz_gen();
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng r1(seed), r2(seed);
+    std::string a = lang::to_source(random_program_ast(r1, opt));
+    std::string b = lang::to_source(random_program_ast(r2, opt));
+    EXPECT_EQ(a, b) << "seed " << seed;
+  }
+}
+
+TEST(RandomProgramAst, PitfallShapesAppearWhenEnabled) {
+  RandomProgramOptions opt = verify::default_fuzz_gen();
+  opt.p2_shape_permille = 400;
+  opt.p3_shape_permille = 400;
+  std::size_t with_par = 0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    Rng rng(seed);
+    lang::Program p = random_program_ast(rng, opt);
+    with_par += lang::lower(p).num_par_stmts() > 0;
+  }
+  EXPECT_GT(with_par, 20u);
+}
+
+// Cross-process byte-identity: run the built parcm_fuzz binary twice with
+// the same seed and compare the dumped program bytes. This is the strong
+// form of the determinism contract — no shared in-process state can help.
+TEST(RandomProgramAst, SameSeedIsByteIdenticalAcrossProcesses) {
+#ifndef PARCM_FUZZ_BIN
+  GTEST_SKIP() << "parcm_fuzz binary path not configured";
+#else
+  auto run = [](const std::string& cmd) {
+    std::string out;
+    FILE* pipe = popen(cmd.c_str(), "r");
+    if (pipe == nullptr) return out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = fread(buf, 1, sizeof buf, pipe)) > 0) out.append(buf, n);
+    pclose(pipe);
+    return out;
+  };
+  const std::string base = std::string(PARCM_FUZZ_BIN);
+  for (const char* args : {" --seed 42 --dump-program --index 0",
+                           " --seed 42 --dump-program --index 9",
+                           " --seed 1234 --dump-program --index 3"}) {
+    std::string a = run(base + args);
+    std::string b = run(base + args);
+    ASSERT_FALSE(a.empty()) << args;
+    EXPECT_EQ(a, b) << args;
+  }
+#endif
 }
 
 TEST(Families, Fig2FamilyShape) {
