@@ -1,0 +1,282 @@
+// parcm_batch — sharded batch-compilation driver: optimize a whole corpus
+// of parcm programs across a work-stealing thread pool.
+//
+//   parcm_batch [options] <dir | manifest.txt | file.parcm ...>
+//     --jobs N         worker threads (default: hardware concurrency)
+//     --pipeline NAME  full | pcm | naive | bcm | lcm | sinking | dce |
+//                      constprop (default full)
+//     --validate       run the differential translation-validation oracle
+//                      on every program's output; divergences fail the run
+//     --timeout S      per-program wall-clock box in seconds (fractional ok)
+//     --wall-limit S   whole-batch wall-clock box; unstarted jobs report
+//                      skipped
+//     --steal-seed N   shuffle per-worker steal order (results must not
+//                      change; the determinism suite varies this)
+//     --json FILE      write the parcm-batch-v1 report ("-" = stdout)
+//     --pretty         pretty-print the JSON report
+//     --no-output      omit optimized program text from the report
+//     --remarks        retain per-program remark lines in the report
+//     --max-states N   exact-enumeration state cap for --validate
+//     --quiet          suppress the human summary
+//
+//   Synthetic corpus (no files needed):
+//     --gen N          batch N deterministically generated random programs
+//     --gen-seed S     corpus seed (default 42)
+//     --gen-stmts N    generator statement budget (default 10)
+//
+//   Scaling bench:
+//     --scaling LIST   e.g. 1,2,4,8,16 — run the same corpus once per jobs
+//                      value, print the speedup curve, and re-check that
+//                      the per-program report is byte-identical across runs
+//     --bench-json F   write the curve as a parcm-bench-v1 artifact
+//                      (scripts/run_bench.sh -> BENCH_batch.json)
+//
+// Exit codes: 0 clean, 1 failures/timeouts/validation divergences (or a
+// non-deterministic scaling run), 2 usage error.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/driver.hpp"
+#include "lang/unparse.hpp"
+#include "obs/json.hpp"
+#include "verify/fuzz.hpp"
+#include "workload/randomprog.hpp"
+
+using namespace parcm;
+
+namespace {
+
+std::vector<std::size_t> parse_jobs_list(const std::string& list) {
+  std::vector<std::size_t> out;
+  std::istringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stoull(item));
+  }
+  return out;
+}
+
+bool write_text(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::cout << text << "\n";
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return false;
+  }
+  out << text << "\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  driver::BatchOptions opt;
+  opt.jobs = 0;
+  std::vector<std::string> inputs;
+  std::string json_path, scaling_list, bench_json_path;
+  std::size_t gen_count = 0, gen_stmts = 10;
+  std::uint64_t gen_seed = 42;
+  bool pretty = false, quiet = false;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  auto next = [&args](std::size_t* i) -> std::string {
+    if (*i + 1 >= args.size()) {
+      std::cerr << args[*i] << " needs a value\n";
+      std::exit(2);
+    }
+    return args[++*i];
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--jobs") {
+      opt.jobs = std::stoull(next(&i));
+    } else if (a == "--pipeline") {
+      opt.pipeline = next(&i);
+    } else if (a == "--validate") {
+      opt.validate = true;
+    } else if (a == "--timeout") {
+      opt.timeout_seconds = std::stod(next(&i));
+    } else if (a == "--wall-limit") {
+      opt.wall_limit_seconds = std::stod(next(&i));
+    } else if (a == "--steal-seed") {
+      opt.steal_seed = std::stoull(next(&i));
+    } else if (a == "--json") {
+      json_path = next(&i);
+    } else if (a == "--pretty") {
+      pretty = true;
+    } else if (a == "--no-output") {
+      opt.keep_output = false;
+    } else if (a == "--remarks") {
+      opt.keep_remark_lines = true;
+    } else if (a == "--max-states") {
+      opt.budget.max_states = std::stoull(next(&i));
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (a == "--gen") {
+      gen_count = std::stoull(next(&i));
+    } else if (a == "--gen-seed") {
+      gen_seed = std::stoull(next(&i));
+    } else if (a == "--gen-stmts") {
+      gen_stmts = std::stoull(next(&i));
+    } else if (a == "--scaling") {
+      scaling_list = next(&i);
+    } else if (a == "--bench-json") {
+      bench_json_path = next(&i);
+    } else if (a == "--manifest") {
+      inputs.push_back(next(&i));
+    } else if (a == "--help" || a == "-h") {
+      std::cout
+          << "usage: parcm_batch [--jobs N] [--pipeline NAME] [--validate] "
+             "[--timeout S] [--wall-limit S] [--steal-seed N] [--json FILE] "
+             "[--pretty] [--no-output] [--remarks] [--max-states N] [--quiet] "
+             "[--gen N [--gen-seed S] [--gen-stmts N]] "
+             "[--scaling 1,2,4,8 [--bench-json FILE]] "
+             "<dir | manifest | file.parcm ...>\n";
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "unknown option " << a << "\n";
+      return 2;
+    } else {
+      inputs.push_back(a);
+    }
+  }
+
+  driver::Manifest manifest;
+  try {
+    if (gen_count > 0) {
+      RandomProgramOptions gen = verify::default_fuzz_gen();
+      gen.target_stmts = gen_stmts;
+      manifest = driver::Manifest::lazy(
+          gen_count, "gen" + std::to_string(gen_seed),
+          [gen_seed, gen](std::size_t i) {
+            return lang::to_source(verify::fuzz_program(gen_seed, i, gen));
+          });
+    } else if (inputs.size() == 1) {
+      manifest = driver::Manifest::from_path(inputs[0]);
+    } else if (!inputs.empty()) {
+      for (const std::string& path : inputs) {
+        driver::BatchJob job;
+        job.id = path;
+        job.path = path;
+        manifest.jobs.push_back(std::move(job));
+      }
+    } else {
+      std::cerr << "no input: pass a directory, a manifest file, .parcm "
+                   "files, or --gen N\n";
+      return 2;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  if (!scaling_list.empty()) {
+    std::vector<std::size_t> jobs_values = parse_jobs_list(scaling_list);
+    if (jobs_values.empty()) {
+      std::cerr << "--scaling needs a non-empty jobs list\n";
+      return 2;
+    }
+    // The batch payload must be schedule-independent: every run's
+    // timing-free report is held against the first run's.
+    std::string reference;
+    bool deterministic = true;
+    double jobs1_wall = 0.0;
+    struct Row {
+      std::size_t jobs = 0;
+      double wall_ms = 0.0;
+      double cpu_ms = 0.0;
+      double speedup = 0.0;
+      std::uint64_t steals = 0;
+      driver::BatchTotals totals;
+      double cache_hit_rate = 0.0;
+    };
+    std::vector<Row> rows;
+    for (std::size_t jobs : jobs_values) {
+      driver::BatchOptions run_opt = opt;
+      run_opt.jobs = jobs;
+      driver::BatchReport report = driver::run_batch(manifest, run_opt);
+      std::string payload = report.to_json(false, /*include_timing=*/false);
+      if (reference.empty()) {
+        reference = payload;
+        jobs1_wall = report.wall_ms;
+      } else if (payload != reference) {
+        deterministic = false;
+      }
+      Row row;
+      row.jobs = jobs;
+      row.wall_ms = report.wall_ms;
+      row.cpu_ms = report.cpu_ms;
+      row.speedup = report.wall_ms > 0 ? jobs1_wall / report.wall_ms : 0.0;
+      row.steals = report.queue.steals;
+      row.totals = report.totals;
+      row.cache_hit_rate = report.cache_hit_rate;
+      rows.push_back(row);
+      if (!quiet) {
+        std::printf(
+            "jobs %3zu: wall %10.1f ms  cpu %10.1f ms  speedup %5.2fx  "
+            "steals %6llu  done %zu/%zu\n",
+            row.jobs, row.wall_ms, row.cpu_ms, row.speedup,
+            static_cast<unsigned long long>(row.steals), row.totals.done,
+            row.totals.submitted);
+      }
+    }
+    if (!deterministic) {
+      std::cerr << "FAIL: batch payload differs across job counts\n";
+    } else if (!quiet) {
+      std::cout << "payload byte-identical across all "
+                << jobs_values.size() << " runs\n";
+    }
+    if (!bench_json_path.empty()) {
+      obs::JsonWriter w(/*pretty=*/true);
+      w.begin_object();
+      w.key("schema").value("parcm-bench-v1");
+      w.key("bench").value("parcm_batch_scaling");
+      w.key("results").begin_array();
+      for (const Row& row : rows) {
+        w.begin_object();
+        w.key("name").value("batch/jobs:" + std::to_string(row.jobs));
+        w.key("iterations").value(1);
+        w.key("real_ns_per_iter").value(row.wall_ms * 1e6);
+        w.key("cpu_ns_per_iter").value(row.cpu_ms * 1e6);
+        w.key("counters").begin_object();
+        w.key("programs").value(row.totals.submitted);
+        w.key("done").value(row.totals.done);
+        w.key("speedup_vs_jobs1").value(row.speedup);
+        w.key("steals").value(row.steals);
+        w.key("cache_hit_rate").value(row.cache_hit_rate);
+        w.key("deterministic").value(deterministic ? 1 : 0);
+        w.end_object();
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+      if (!write_text(bench_json_path, w.take())) return 2;
+    }
+    return deterministic ? 0 : 1;
+  }
+
+  driver::BatchReport report = driver::run_batch(manifest, opt);
+  if (!quiet) std::cout << report.summary() << "\n";
+  if (!quiet) {
+    for (const driver::ProgramResult& r : report.programs) {
+      if (r.status == driver::JobStatus::kDone && r.validation_ok) continue;
+      if (r.status == driver::JobStatus::kSkipped) continue;
+      std::cout << "  " << r.id << ": " << driver::job_status_name(r.status);
+      if (!r.error.empty()) std::cout << " — " << r.error;
+      if (!r.validation_ok) std::cout << " — " << r.validation;
+      std::cout << "\n";
+    }
+  }
+  if (!json_path.empty() &&
+      !write_text(json_path, report.to_json(pretty))) {
+    return 2;
+  }
+  return report.ok() ? 0 : 1;
+}

@@ -9,6 +9,9 @@
 //   parcm_fuzz [options]
 //     --seed N          campaign seed (default 1)
 //     --count N         programs to generate (default 100)
+//     --jobs N          worker threads for the check phase (default 1;
+//                       0 = hardware concurrency). The outcome is
+//                       identical at any jobs value.
 //     --pipeline NAME   bcm | lcm | pcm | naive | sinking | dce | full
 //     --smoke           time-boxed CI mode (wall-clock cap, default 60 s)
 //     --seconds S       wall-clock cap in seconds (0 = none)
@@ -60,6 +63,8 @@ int main(int argc, char** argv) {
       opt.seed = next_u64(&i);
     } else if (a == "--count") {
       opt.count = static_cast<std::size_t>(next_u64(&i));
+    } else if (a == "--jobs") {
+      opt.jobs = static_cast<std::size_t>(next_u64(&i));
     } else if (a == "--pipeline") {
       if (i + 1 >= args.size()) return 2;
       opt.pipeline = args[++i];
@@ -96,7 +101,7 @@ int main(int argc, char** argv) {
     } else if (a == "--stats") {
       stats = true;
     } else if (a == "--help" || a == "-h") {
-      std::cout << "usage: parcm_fuzz [--seed N] [--count N] "
+      std::cout << "usage: parcm_fuzz [--seed N] [--count N] [--jobs N] "
                    "[--pipeline bcm|lcm|pcm|naive|sinking|dce|full] "
                    "[--smoke] [--seconds S] [--inject MODE] [--expect-catch] "
                    "[--out DIR] [--no-reduce] [--atomic] [--dump-program "

@@ -9,6 +9,7 @@
 #
 #   BENCH_fixpoint.json
 #   BENCH_pipeline.json
+#   BENCH_batch.json     (parcm_batch --scaling: thread-pool speedup curve)
 #
 # test_schema validates both files whenever they exist, so a stale or
 # hand-edited artifact fails the suite. Tune the measurement length with
@@ -37,4 +38,14 @@ echo "== bench_pipeline -> BENCH_pipeline.json =="
   --benchmark_min_time="$min_time" \
   --obs_json="$repo_root/BENCH_pipeline.json"
 
-echo "wrote $repo_root/BENCH_fixpoint.json and $repo_root/BENCH_pipeline.json"
+echo "== parcm_batch --scaling -> BENCH_batch.json =="
+if [[ ! -x "$build_dir/examples/parcm_batch" ]]; then
+  echo "error: $build_dir/examples/parcm_batch not found — build first" >&2
+  exit 2
+fi
+"$build_dir/examples/parcm_batch" \
+  --gen "${PARCM_BENCH_BATCH_PROGRAMS:-1000}" \
+  --scaling "${PARCM_BENCH_BATCH_JOBS:-1,2,4,8,16}" \
+  --bench-json "$repo_root/BENCH_batch.json"
+
+echo "wrote $repo_root/BENCH_fixpoint.json, $repo_root/BENCH_pipeline.json and $repo_root/BENCH_batch.json"

@@ -123,9 +123,20 @@ void AnalysisCache::clear() {
   itlv_graph_ = nullptr;
 }
 
+namespace {
+thread_local AnalysisCache* thread_cache = nullptr;
+}  // namespace
+
 AnalysisCache& analysis_cache() {
   static AnalysisCache cache;
+  if (thread_cache) return *thread_cache;
   return cache;
+}
+
+AnalysisCache* set_thread_analysis_cache(AnalysisCache* c) {
+  AnalysisCache* prev = thread_cache;
+  thread_cache = c;
+  return prev;
 }
 
 }  // namespace parcm

@@ -67,7 +67,14 @@ class AnalysisCache {
   std::uint64_t itlv_version_ = 0;
 };
 
-// Process-wide instance used by the motion passes.
+// The cache the motion passes use: the calling thread's override when one
+// is installed (set_thread_analysis_cache), else the process-wide instance.
 AnalysisCache& analysis_cache();
+
+// Installs `c` as this thread's cache override (nullptr removes it);
+// returns the previous override. Batch-driver workers each run their own
+// cache so the single-slot bundle is never invalidated by a sibling
+// worker's unrelated graph and acquire() never contends across programs.
+AnalysisCache* set_thread_analysis_cache(AnalysisCache* c);
 
 }  // namespace parcm

@@ -38,8 +38,13 @@ SafetyInfo compute_safety(const Graph& g, const LocalPredicates& preds,
                     !obs::trace().enabled();
   if (concurrent) {
     PARCM_OBS_COUNT("analysis.safety.concurrent_solves", 1);
+    // The helper thread inherits this thread's effective obs destinations,
+    // so a batch-driver worker keeps its solver counters attributed to its
+    // own per-worker registry instead of the process-global one.
+    obs::ThreadBindings bindings = obs::current_thread_bindings();
     std::future<PackedResult> down =
-        std::async(std::launch::async, [&g, &down_problem] {
+        std::async(std::launch::async, [&g, &down_problem, bindings] {
+          obs::ThreadBindingsScope scope(bindings);
           return solve_packed(g, down_problem);
         });
     info.up_result = solve_packed(g, up_problem);

@@ -1,0 +1,456 @@
+#include "driver/driver.hpp"
+
+#include <algorithm>
+#include <ctime>
+#include <mutex>
+#include <numeric>
+#include <thread>
+
+#include "analyses/cache.hpp"
+#include "analyses/constprop.hpp"
+#include "driver/work_queue.hpp"
+#include "ir/printer.hpp"
+#include "lang/lower.hpp"
+#include "motion/bcm.hpp"
+#include "motion/dce.hpp"
+#include "motion/lcm.hpp"
+#include "motion/pcm.hpp"
+#include "motion/pipeline.hpp"
+#include "motion/sinking.hpp"
+#include "obs/json.hpp"
+#include "obs/remarks.hpp"
+#include "support/diagnostics.hpp"
+#include "support/rng.hpp"
+
+namespace parcm::driver {
+
+namespace {
+
+constexpr std::size_t kDefaultShardCap = 32;
+
+Pipeline build_named_pipeline(const std::string& name) {
+  if (name == "full") return default_pipeline();
+  Pipeline p;
+  if (name == "pcm") {
+    p.add_pcm().add_validate();
+  } else if (name == "naive") {
+    p.add("naive", [](const Graph& g, std::size_t* actions) {
+      MotionResult r = naive_parallel_code_motion(g);
+      *actions = r.num_insertions() + r.num_replacements();
+      return std::move(r.graph);
+    });
+    p.add_validate();
+  } else if (name == "bcm") {
+    p.add("bcm", [](const Graph& g, std::size_t* actions) {
+      MotionResult r = busy_code_motion(g);
+      *actions = r.num_insertions() + r.num_replacements();
+      return std::move(r.graph);
+    });
+    p.add_validate();
+  } else if (name == "lcm") {
+    p.add("lcm", [](const Graph& g, std::size_t* actions) {
+      MotionResult r = lazy_code_motion(g);
+      *actions = r.num_insertions() + r.num_replacements();
+      return std::move(r.graph);
+    });
+    p.add_validate();
+  } else if (name == "sinking") {
+    p.add_sinking().add_validate();
+  } else if (name == "dce") {
+    p.add_dce().add_validate();
+  } else if (name == "constprop") {
+    p.add_constprop().add_validate();
+  } else {
+    PARCM_CHECK(false, "unknown batch pipeline: " + name);
+  }
+  return p;
+}
+
+void default_runner(const BatchJob& job, WorkerContext& ctx,
+                    ProgramResult& result, const BatchOptions& options) {
+  std::string source = job.text();
+  ctx.check_deadline();
+  DiagnosticSink diag;
+  Graph g = lang::compile(source, diag);
+  PARCM_CHECK(diag.ok(), "parse failed: " + diag.to_string());
+  ctx.check_deadline();
+  Pipeline pipeline = build_named_pipeline(options.pipeline);
+  if (options.validate) pipeline.validate_semantics(options.budget);
+  pipeline.on_pass_start(
+      [&ctx](const std::string&) { ctx.check_deadline(); });
+  PipelineResult res = pipeline.run(g);
+  ctx.check_deadline();
+  result.nodes_before = g.num_nodes();
+  result.nodes_after = res.graph.num_nodes();
+  for (const PassStats& ps : res.passes) result.actions += ps.actions;
+  if (options.keep_output) result.output = to_text(res.graph);
+  if (res.validation.has_value()) {
+    result.validation = res.validation->summary();
+    result.validation_ok =
+        res.validation->status != verify::Status::kDiverged;
+  }
+}
+
+// Everything the workers share; the aggregation side is mutex-protected
+// and touched only on drain.
+struct BatchShared {
+  const Manifest* manifest = nullptr;
+  const BatchOptions* options = nullptr;
+  std::vector<std::unique_ptr<WorkStealingDeque>> deques;
+  GlobalInjector injector;
+  std::chrono::steady_clock::time_point batch_start;
+
+  std::mutex mu;
+  BatchReport* report = nullptr;  // programs preallocated, manifest order
+  obs::Registry aggregate;
+};
+
+struct WorkerTally {
+  std::uint64_t own_pops = 0;
+  std::uint64_t injector_pops = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t steal_attempts = 0;
+};
+
+void drain_results(BatchShared& shared, std::vector<ProgramResult>& buffer) {
+  if (buffer.empty()) return;
+  std::lock_guard<std::mutex> lock(shared.mu);
+  for (ProgramResult& r : buffer) {
+    shared.report->programs[r.index] = std::move(r);
+  }
+  buffer.clear();
+}
+
+void run_one_job(std::size_t index, std::size_t worker, BatchShared& shared,
+                 std::vector<ProgramResult>& buffer) {
+  const BatchOptions& options = *shared.options;
+  const BatchJob& job = shared.manifest->jobs[index];
+  ProgramResult result;
+  result.index = index;
+  result.id = job.id;
+  auto start = std::chrono::steady_clock::now();
+  bool has_deadline = options.timeout_seconds > 0;
+  auto deadline =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(options.timeout_seconds));
+  WorkerContext ctx(worker, deadline, has_deadline);
+  obs::RemarkSink& sink = obs::remarks();
+  sink.clear();
+  try {
+    if (options.test_before_job) options.test_before_job(index);
+    ctx.check_deadline();
+    if (options.runner) {
+      options.runner(job, index, ctx, result);
+    } else {
+      default_runner(job, ctx, result, options);
+    }
+    result.status = JobStatus::kDone;
+  } catch (const TimeoutError&) {
+    result.status = JobStatus::kTimedOut;
+    result.error = "per-program timeout exceeded";
+  } catch (const std::exception& e) {
+    result.status = JobStatus::kFailed;
+    result.error = e.what();
+  } catch (...) {
+    result.status = JobStatus::kFailed;
+    result.error = "unknown exception";
+  }
+  if (options.collect_remarks && result.status == JobStatus::kDone) {
+    result.remark_count = sink.size();
+    if (options.keep_remark_lines) {
+      for (const obs::Remark& r : sink.snapshot()) {
+        result.remarks.push_back(obs::remark_to_string(r));
+      }
+    }
+  }
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  buffer.push_back(std::move(result));
+  if (buffer.size() >= std::max<std::size_t>(1, options.drain_batch)) {
+    drain_results(shared, buffer);
+  }
+}
+
+void worker_main(std::size_t worker, BatchShared& shared) {
+  const BatchOptions& options = *shared.options;
+
+  // Per-worker observability and analysis state: programs run with exactly
+  // the single-thread semantics, merged on drain.
+  obs::Registry registry;
+  obs::RemarkSink sink;
+  sink.set_enabled(options.collect_remarks);
+  AnalysisCache cache;
+  obs::Registry* prev_registry = obs::set_thread_registry(&registry);
+  obs::RemarkSink* prev_sink = obs::set_thread_remark_sink(&sink);
+  AnalysisCache* prev_cache = set_thread_analysis_cache(&cache);
+
+  // Deterministically shuffled steal-victim order (worker-level shuffle;
+  // outputs must not depend on it).
+  std::vector<std::size_t> victims;
+  for (std::size_t v = 0; v < shared.deques.size(); ++v) {
+    if (v != worker) victims.push_back(v);
+  }
+  Rng rng(options.steal_seed * 0x9E3779B97F4A7C15ull + worker + 1);
+  for (std::size_t i = victims.size(); i > 1; --i) {
+    std::swap(victims[i - 1], victims[rng.below(i)]);
+  }
+
+  WorkStealingDeque& own = *shared.deques[worker];
+  std::vector<ProgramResult> buffer;
+  WorkerTally tally;
+  for (;;) {
+    if (options.wall_limit_seconds > 0) {
+      std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - shared.batch_start;
+      if (elapsed.count() >= options.wall_limit_seconds) break;
+    }
+    std::size_t job = 0;
+    if (own.pop(&job)) {
+      ++tally.own_pops;
+    } else if (shared.injector.pop(&job)) {
+      ++tally.injector_pops;
+    } else {
+      bool stole = false, contended = false;
+      for (std::size_t v : victims) {
+        ++tally.steal_attempts;
+        if (shared.deques[v]->steal(&job)) {
+          ++tally.steals;
+          stole = true;
+          break;
+        }
+        // A lost CAS (as opposed to an empty deque) means work may remain;
+        // sweep again instead of exiting.
+        if (!shared.deques[v]->empty()) contended = true;
+      }
+      if (!stole) {
+        if (!contended && shared.injector.exhausted()) break;
+        std::this_thread::yield();
+        continue;
+      }
+    }
+    run_one_job(job, worker, shared, buffer);
+  }
+
+  drain_results(shared, buffer);
+  set_thread_analysis_cache(prev_cache);
+  obs::set_thread_remark_sink(prev_sink);
+  obs::set_thread_registry(prev_registry);
+  {
+    std::lock_guard<std::mutex> lock(shared.mu);
+    shared.report->queue.own_pops += tally.own_pops;
+    shared.report->queue.injector_pops += tally.injector_pops;
+    shared.report->queue.steals += tally.steals;
+    shared.report->queue.steal_attempts += tally.steal_attempts;
+  }
+  shared.aggregate.merge_from(registry);
+}
+
+}  // namespace
+
+const char* job_status_name(JobStatus s) {
+  switch (s) {
+    case JobStatus::kDone: return "done";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kTimedOut: return "timed-out";
+    case JobStatus::kSkipped: return "skipped";
+  }
+  return "?";
+}
+
+BatchReport run_batch(const Manifest& manifest, const BatchOptions& options) {
+  BatchReport report;
+  report.pipeline = options.pipeline;
+  report.validated = options.validate;
+  std::size_t workers = options.jobs;
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers = std::max<std::size_t>(1, std::min(workers, std::size_t{256}));
+  report.workers = workers;
+  report.totals.submitted = manifest.size();
+  report.programs.resize(manifest.size());
+  for (std::size_t i = 0; i < manifest.size(); ++i) {
+    report.programs[i].index = i;
+    report.programs[i].id = manifest.jobs[i].id;
+  }
+  if (manifest.empty()) return report;
+
+  // Size-ordered sharding: big programs first, dealt round-robin across
+  // the per-worker deques; the rest feeds the global injector in the same
+  // order.
+  std::vector<std::size_t> order(manifest.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&manifest](std::size_t a, std::size_t b) {
+                     return manifest.jobs[a].size_hint >
+                            manifest.jobs[b].size_hint;
+                   });
+
+  BatchShared shared;
+  shared.manifest = &manifest;
+  shared.options = &options;
+  shared.report = &report;
+  std::size_t shard_cap =
+      options.shard_cap > 0 ? options.shard_cap : kDefaultShardCap;
+  std::size_t dealt = std::min(order.size(), shard_cap * workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    shared.deques.push_back(
+        std::make_unique<WorkStealingDeque>(manifest.size()));
+  }
+  // Deal in reverse so each deque's bottom (the owner's LIFO end) holds its
+  // biggest job: workers start their largest program first.
+  for (std::size_t i = dealt; i-- > 0;) {
+    shared.deques[i % workers]->push(order[i]);
+  }
+  shared.injector.seed(
+      std::vector<std::size_t>(order.begin() + dealt, order.end()));
+
+  auto wall_start = std::chrono::steady_clock::now();
+  shared.batch_start = wall_start;
+  std::clock_t cpu_start = std::clock();
+
+  if (workers == 1) {
+    worker_main(0, shared);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([w, &shared] { worker_main(w, shared); });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  report.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+  report.cpu_ms = 1000.0 *
+                  static_cast<double>(std::clock() - cpu_start) /
+                  static_cast<double>(CLOCKS_PER_SEC);
+
+  for (const ProgramResult& r : report.programs) {
+    switch (r.status) {
+      case JobStatus::kDone:
+        ++report.totals.done;
+        if (!r.validation_ok) ++report.validation_failures;
+        break;
+      case JobStatus::kFailed: ++report.totals.failed; break;
+      case JobStatus::kTimedOut: ++report.totals.timed_out; break;
+      case JobStatus::kSkipped: ++report.totals.skipped; break;
+    }
+  }
+  report.counters = shared.aggregate.counters();
+  report.timers = shared.aggregate.timers();
+  auto counter = [&report](const char* name) -> std::uint64_t {
+    auto it = report.counters.find(name);
+    return it == report.counters.end() ? 0 : it->second;
+  };
+  report.cache_hits = counter("analysis.cache.hits");
+  report.cache_misses = counter("analysis.cache.misses");
+  std::uint64_t lookups = report.cache_hits + report.cache_misses;
+  report.cache_hit_rate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(report.cache_hits) /
+                         static_cast<double>(lookups);
+  return report;
+}
+
+std::string BatchReport::summary() const {
+  std::string s = "batch: " + std::to_string(totals.submitted) +
+                  " programs on " + std::to_string(workers) + " worker" +
+                  (workers == 1 ? "" : "s") + " — " +
+                  std::to_string(totals.done) + " done, " +
+                  std::to_string(totals.failed) + " failed, " +
+                  std::to_string(totals.timed_out) + " timed out";
+  if (totals.skipped > 0) {
+    s += ", " + std::to_string(totals.skipped) + " skipped";
+  }
+  if (validated) {
+    s += "; validation: " + std::to_string(validation_failures) +
+         " divergence" + (validation_failures == 1 ? "" : "s");
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "; wall %.1f ms, cpu %.1f ms, cache hit rate %.2f, steals %llu",
+                wall_ms, cpu_ms, cache_hit_rate,
+                static_cast<unsigned long long>(queue.steals));
+  s += buf;
+  return s;
+}
+
+std::string BatchReport::to_json(bool pretty, bool include_timing) const {
+  obs::JsonWriter w(pretty);
+  w.begin_object();
+  w.key("schema").value("parcm-batch-v1");
+  w.key("pipeline").value(pipeline);
+  w.key("validated").value(validated);
+  w.key("totals").begin_object();
+  w.key("submitted").value(totals.submitted);
+  w.key("done").value(totals.done);
+  w.key("failed").value(totals.failed);
+  w.key("timed_out").value(totals.timed_out);
+  w.key("skipped").value(totals.skipped);
+  w.key("validation_failures").value(validation_failures);
+  w.end_object();
+  if (include_timing) {
+    w.key("workers").value(workers);
+    w.key("wall_ms").value(wall_ms);
+    w.key("cpu_ms").value(cpu_ms);
+    w.key("queue").begin_object();
+    w.key("own_pops").value(queue.own_pops);
+    w.key("injector_pops").value(queue.injector_pops);
+    w.key("steals").value(queue.steals);
+    w.key("steal_attempts").value(queue.steal_attempts);
+    w.end_object();
+    w.key("cache").begin_object();
+    w.key("hits").value(cache_hits);
+    w.key("misses").value(cache_misses);
+    w.key("hit_rate").value(cache_hit_rate);
+    w.end_object();
+  }
+  w.key("programs").begin_array();
+  for (const ProgramResult& r : programs) {
+    w.begin_object();
+    w.key("index").value(r.index);
+    w.key("id").value(r.id);
+    w.key("status").value(job_status_name(r.status));
+    if (!r.error.empty()) w.key("error").value(r.error);
+    if (include_timing) w.key("wall_ms").value(r.wall_ms);
+    w.key("nodes_before").value(r.nodes_before);
+    w.key("nodes_after").value(r.nodes_after);
+    w.key("actions").value(r.actions);
+    w.key("remark_count").value(r.remark_count);
+    if (!r.remarks.empty()) {
+      w.key("remarks").begin_array();
+      for (const std::string& line : r.remarks) w.value(line);
+      w.end_array();
+    }
+    if (!r.validation.empty()) {
+      w.key("validation").value(r.validation);
+      w.key("validation_ok").value(r.validation_ok);
+    }
+    if (!r.output.empty()) w.key("output").value(r.output);
+    w.end_object();
+  }
+  w.end_array();
+  if (include_timing) {
+    w.key("metrics").begin_object();
+    w.key("counters").begin_object();
+    for (const auto& [k, v] : counters) w.key(k).value(v);
+    w.end_object();
+    w.key("timers").begin_object();
+    for (const auto& [k, v] : timers) {
+      w.key(k).begin_object();
+      w.key("count").value(v.count);
+      w.key("total_ms").value(v.total_ms());
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace parcm::driver

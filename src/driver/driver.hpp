@@ -1,0 +1,190 @@
+// Sharded batch-compilation engine.
+//
+// run_batch takes a Manifest of `.parcm` programs and pushes every one
+// through the optimization pipeline across a work-stealing thread pool:
+//
+//   sharding      jobs are sorted by size (big programs first, so the batch
+//                 tail stays short) and dealt round-robin into per-worker
+//                 Chase–Lev deques; the overflow seeds a global injector
+//                 that workers drain when their own deque runs dry, which
+//                 bounds in-flight memory (backpressure: a worker holds at
+//                 most its initial shard plus one injector draw, and
+//                 finished results are merged on drain instead of piling
+//                 up per worker).
+//   isolation     each worker installs its own obs::Registry, RemarkSink
+//                 and AnalysisCache as thread overrides, so programs are
+//                 processed with exactly the single-thread observability
+//                 semantics — per-program outputs and remark streams are
+//                 byte-identical at any --jobs value and any steal order
+//                 (tests/test_batch_determinism.cpp holds this).
+//   failure       one bad program degrades to a reported failure: internal
+//                 errors and parse errors mark the job kFailed, a
+//                 per-program deadline unwinds between passes as
+//                 kTimedOut, and the batch always completes with balanced
+//                 counters (submitted = done + failed + timed_out +
+//                 skipped).
+//   validation    opt-in --validate runs the differential
+//                 translation-validation oracle on every program's output
+//                 and records the verdict per program.
+//
+// The aggregate report carries per-program verdicts, remark counts,
+// wall/cpu time, cache hit rates and queue/steal statistics, and renders
+// as `parcm-batch-v1` JSON.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "driver/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "verify/verify.hpp"
+
+namespace parcm::driver {
+
+// Thrown by deadline checks when a program exceeds its per-job timeout;
+// the worker catches it and reports the job as kTimedOut.
+struct TimeoutError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// Per-job view handed to custom runners: the worker index and the job's
+// deadline. check_deadline() is the cooperative cancellation point — the
+// default runner wires it between pipeline passes.
+class WorkerContext {
+ public:
+  WorkerContext(std::size_t worker,
+                std::chrono::steady_clock::time_point deadline, bool has_deadline)
+      : worker_(worker), deadline_(deadline), has_deadline_(has_deadline) {}
+
+  std::size_t worker() const { return worker_; }
+  bool past_deadline() const {
+    return has_deadline_ && std::chrono::steady_clock::now() > deadline_;
+  }
+  void check_deadline() const {
+    if (past_deadline()) throw TimeoutError("per-program timeout exceeded");
+  }
+
+ private:
+  std::size_t worker_;
+  std::chrono::steady_clock::time_point deadline_;
+  bool has_deadline_;
+};
+
+enum class JobStatus : std::uint8_t {
+  kDone,      // pipeline (and validation, when requested) completed
+  kFailed,    // parse error or exception; `error` carries the message
+  kTimedOut,  // per-program deadline fired
+  kSkipped,   // never ran (batch wall limit reached first)
+};
+
+const char* job_status_name(JobStatus s);
+
+struct ProgramResult {
+  std::size_t index = 0;  // manifest position
+  std::string id;
+  JobStatus status = JobStatus::kSkipped;
+  std::string error;
+  double wall_ms = 0.0;
+  std::size_t nodes_before = 0;
+  std::size_t nodes_after = 0;
+  std::size_t actions = 0;       // summed pass actions
+  std::size_t remark_count = 0;
+  std::vector<std::string> remarks;  // rendered lines (collect_remarks)
+  std::string output;                // optimized program text (keep_output)
+  // Differential-validation verdict summary; empty when not validated.
+  std::string validation;
+  bool validation_ok = true;
+};
+
+struct BatchOptions {
+  // Worker threads; 0 = std::thread::hardware_concurrency().
+  std::size_t jobs = 0;
+  // full | pcm | naive | bcm | lcm | sinking | dce | constprop
+  std::string pipeline = "full";
+  // Run the translation-validation oracle on every program's output.
+  bool validate = false;
+  verify::Budget budget;
+  // Per-program wall-clock box in seconds; 0 = none.
+  double timeout_seconds = 0;
+  // Whole-batch wall-clock box; jobs not started in time report kSkipped.
+  double wall_limit_seconds = 0;
+  // Seeds the per-worker shuffle of steal-victim order. Results are
+  // independent of this value — the determinism suite varies it to prove
+  // that.
+  std::uint64_t steal_seed = 0;
+  // Results buffered per worker before a merge-on-drain into the report.
+  std::size_t drain_batch = 16;
+  // Initial deque shard per worker; everything beyond stays in the global
+  // injector. 0 = default (32).
+  std::size_t shard_cap = 0;
+  bool keep_output = true;
+  // Enable the per-worker remark sink and record per-program remark counts.
+  bool collect_remarks = true;
+  // Additionally retain every rendered remark line in ProgramResult (the
+  // determinism suite diffs these; off by default to bound report size).
+  bool keep_remark_lines = false;
+  // Test hook, called on the worker right before a job runs (fault and
+  // delay injection for the stress suite).
+  std::function<void(std::size_t index)> test_before_job;
+  // Replaces the default compile+pipeline body. The driver still provides
+  // scheduling, per-worker obs isolation, timing, timeout and exception
+  // containment; the runner fills the result's payload fields.
+  std::function<void(const BatchJob&, std::size_t index, WorkerContext&,
+                     ProgramResult&)>
+      runner;
+};
+
+struct BatchTotals {
+  std::size_t submitted = 0;
+  std::size_t done = 0;
+  std::size_t failed = 0;
+  std::size_t timed_out = 0;
+  std::size_t skipped = 0;
+};
+
+struct QueueStats {
+  std::uint64_t own_pops = 0;
+  std::uint64_t injector_pops = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t steal_attempts = 0;
+};
+
+struct BatchReport {
+  std::vector<ProgramResult> programs;  // manifest order
+  BatchTotals totals;
+  QueueStats queue;
+  std::size_t workers = 0;
+  std::string pipeline;
+  bool validated = false;
+  double wall_ms = 0.0;
+  double cpu_ms = 0.0;
+  // Merged per-worker registries (merge-on-drain aggregation).
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, obs::TimerStat> timers;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double cache_hit_rate = 0.0;  // hits / (hits + misses), 0 when unused
+  std::size_t validation_failures = 0;
+
+  bool ok() const {
+    return totals.failed == 0 && totals.timed_out == 0 &&
+           validation_failures == 0;
+  }
+
+  // One-paragraph human summary.
+  std::string summary() const;
+  // `parcm-batch-v1` JSON. include_timing=false omits every
+  // schedule-dependent field (wall/cpu times, worker count, queue/steal
+  // statistics, merged metrics) leaving exactly the per-program payload
+  // that is byte-identical across job counts and steal orders.
+  std::string to_json(bool pretty = false, bool include_timing = true) const;
+};
+
+BatchReport run_batch(const Manifest& manifest, const BatchOptions& options);
+
+}  // namespace parcm::driver

@@ -1,0 +1,125 @@
+#include "driver/manifest.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace parcm::driver {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  PARCM_CHECK(in.good(), "cannot open program file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::size_t file_size_or_zero(const std::string& path) {
+  std::error_code ec;
+  std::uintmax_t n = fs::file_size(path, ec);
+  return ec ? 0 : static_cast<std::size_t>(n);
+}
+
+}  // namespace
+
+std::string BatchJob::text() const {
+  if (!source.empty()) return source;
+  if (load) return load();
+  return read_file(path);
+}
+
+Manifest Manifest::from_directory(const std::string& dir) {
+  PARCM_CHECK(fs::is_directory(dir), "not a directory: " + dir);
+  std::vector<std::string> paths;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".parcm") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  Manifest m;
+  for (std::string& p : paths) {
+    BatchJob job;
+    job.id = p;
+    job.size_hint = file_size_or_zero(p);
+    job.path = std::move(p);
+    m.jobs.push_back(std::move(job));
+  }
+  return m;
+}
+
+Manifest Manifest::from_file(const std::string& path) {
+  std::ifstream in(path);
+  PARCM_CHECK(in.good(), "cannot open manifest: " + path);
+  fs::path base = fs::path(path).parent_path();
+  Manifest m;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    // Trim surrounding whitespace.
+    std::size_t b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos) continue;
+    std::size_t e = line.find_last_not_of(" \t\r");
+    std::string entry = line.substr(b, e - b + 1);
+    fs::path p(entry);
+    if (p.is_relative()) p = base / p;
+    BatchJob job;
+    job.id = entry;
+    job.path = p.string();
+    job.size_hint = file_size_or_zero(job.path);
+    PARCM_CHECK(fs::is_regular_file(job.path),
+                "manifest " + path + " names a missing file: " + job.path);
+    m.jobs.push_back(std::move(job));
+  }
+  return m;
+}
+
+Manifest Manifest::from_path(const std::string& path) {
+  if (fs::is_directory(path)) return from_directory(path);
+  if (fs::path(path).extension() == ".parcm") {
+    Manifest m;
+    BatchJob job;
+    job.id = path;
+    job.path = path;
+    job.size_hint = file_size_or_zero(path);
+    m.jobs.push_back(std::move(job));
+    return m;
+  }
+  return from_file(path);
+}
+
+Manifest Manifest::from_sources(
+    std::vector<std::pair<std::string, std::string>> sources) {
+  Manifest m;
+  for (auto& [id, source] : sources) {
+    BatchJob job;
+    job.id = std::move(id);
+    job.size_hint = source.size();
+    job.source = std::move(source);
+    m.jobs.push_back(std::move(job));
+  }
+  return m;
+}
+
+Manifest Manifest::lazy(std::size_t count, const std::string& prefix,
+                        std::function<std::string(std::size_t)> gen) {
+  Manifest m;
+  m.jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    BatchJob job;
+    job.id = prefix + "#" + std::to_string(i);
+    job.load = [gen, i] { return gen(i); };
+    m.jobs.push_back(std::move(job));
+  }
+  return m;
+}
+
+}  // namespace parcm::driver

@@ -1,0 +1,59 @@
+// Batch-compilation manifests: the job list consumed by driver::run_batch.
+//
+// A manifest is an ordered list of `.parcm` programs, each identified by a
+// stable id (the path, or a caller-chosen name for in-memory sources). The
+// report preserves manifest order regardless of how jobs were scheduled, so
+// batch output is diffable across runs and job counts.
+//
+// Sources load lazily: a job constructed from a path reads the file on the
+// worker that runs it and releases it with the job, so a thousand-program
+// corpus never sits in memory at once (bounded in-flight memory).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace parcm::driver {
+
+struct BatchJob {
+  std::string id;
+  // Exactly one of the three is the source of truth, checked in this
+  // order: inline `source`, a `load` callback (lazy generation — the
+  // parallel fuzzer), a file `path`.
+  std::string source;
+  std::function<std::string()> load;
+  std::string path;
+  // Scheduling weight: file size or source length. Bigger programs are
+  // sharded first so the batch tail is short.
+  std::size_t size_hint = 0;
+
+  // Resolves the program text; throws InternalError on an unreadable path.
+  std::string text() const;
+};
+
+struct Manifest {
+  std::vector<BatchJob> jobs;
+
+  std::size_t size() const { return jobs.size(); }
+  bool empty() const { return jobs.empty(); }
+
+  // Every *.parcm file directly inside `dir`, sorted by filename.
+  static Manifest from_directory(const std::string& dir);
+  // One path per line, relative to the manifest file's directory; blank
+  // lines and `#` comments are skipped.
+  static Manifest from_file(const std::string& path);
+  // Directory or manifest file, decided by what `path` points at.
+  static Manifest from_path(const std::string& path);
+  // In-memory sources: (id, program text) pairs.
+  static Manifest from_sources(
+      std::vector<std::pair<std::string, std::string>> sources);
+  // `count` lazily generated jobs named `<prefix>#<i>`; `gen` is invoked on
+  // the worker that runs job i, exactly once.
+  static Manifest lazy(std::size_t count, const std::string& prefix,
+                       std::function<std::string(std::size_t)> gen);
+};
+
+}  // namespace parcm::driver

@@ -1,0 +1,79 @@
+// Work-stealing scheduling primitives for the batch-compilation driver.
+//
+// Each worker owns a Chase–Lev deque: the owner pushes and pops jobs at the
+// bottom (LIFO, cache-warm), thieves steal from the top (FIFO, so the
+// oldest — largest, under size-ordered sharding — job migrates first). The
+// memory orderings follow Lê/Pop/Cohen/Zappa Nardelli, "Correct and
+// Efficient Work-Stealing for Weak Memory Models" (PPoPP'13). Capacity is
+// fixed at construction: the driver knows the whole job set up front, so
+// the growable-buffer reclamation problem never arises.
+//
+// Jobs enter through a GlobalInjector — an atomic cursor over the
+// size-ordered job list. Workers refill from the injector only when their
+// own deque runs dry, which bounds in-flight memory: at any moment a worker
+// holds at most its initial shard plus one injector draw.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace parcm::driver {
+
+// Fixed-capacity Chase–Lev deque of job indices. Owner calls push/pop;
+// any thread may call steal.
+class WorkStealingDeque {
+ public:
+  // Capacity is rounded up to a power of two and must accommodate every
+  // push (the driver sizes it to the whole batch).
+  explicit WorkStealingDeque(std::size_t capacity);
+
+  // Owner only. Returns false when full (the driver never overfills; the
+  // return value exists for the hammer tests).
+  bool push(std::size_t job);
+
+  // Owner only. Returns false when empty.
+  bool pop(std::size_t* job);
+
+  // Any thread. Returns false when empty or when the race for the top
+  // element was lost.
+  bool steal(std::size_t* job);
+
+  bool empty() const;
+
+ private:
+  std::size_t mask_;
+  std::unique_ptr<std::atomic<std::size_t>[]> buffer_;
+  // top_ is the steal end, bottom_ the owner end; bottom_ - top_ is the
+  // current size. int64 so the transient bottom_ = top_ - 1 state of a
+  // losing pop is representable.
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+};
+
+// Atomic cursor over the size-ordered job list: pop-only MPMC queue. The
+// driver seeds it with every job index beyond the initial per-worker
+// shards.
+class GlobalInjector {
+ public:
+  void seed(std::vector<std::size_t> jobs) { jobs_ = std::move(jobs); }
+
+  bool pop(std::size_t* job) {
+    std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= jobs_.size()) return false;
+    *job = jobs_[i];
+    return true;
+  }
+
+  bool exhausted() const {
+    return next_.load(std::memory_order_relaxed) >= jobs_.size();
+  }
+
+ private:
+  std::vector<std::size_t> jobs_;
+  std::atomic<std::size_t> next_{0};
+};
+
+}  // namespace parcm::driver

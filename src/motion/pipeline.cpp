@@ -135,10 +135,16 @@ Pipeline& Pipeline::validate_semantics(verify::Budget budget) {
   return *this;
 }
 
+Pipeline& Pipeline::on_pass_start(std::function<void(const std::string&)> hook) {
+  pass_start_hook_ = std::move(hook);
+  return *this;
+}
+
 PipelineResult Pipeline::run(const Graph& g) const {
   PARCM_OBS_TIMER("pipeline.run");
   PipelineResult res{g, {}, {}};
   for (const Pass& pass : passes_) {
+    if (pass_start_hook_) pass_start_hook_(pass.name);
     PassStats stats;
     stats.name = pass.name;
     stats.nodes_before = res.graph.num_nodes();
@@ -168,6 +174,7 @@ PipelineResult Pipeline::run(const Graph& g) const {
     res.passes.push_back(std::move(stats));
   }
   if (semantic_budget_.has_value()) {
+    if (pass_start_hook_) pass_start_hook_("differential-validate");
     PassStats stats;
     stats.name = "differential-validate";
     stats.nodes_before = g.num_nodes();

@@ -70,6 +70,12 @@ class Pipeline {
   // differential oracle and record the verdict in PipelineResult.
   Pipeline& validate_semantics(verify::Budget budget = {});
 
+  // Called with the pass name immediately before each pass (including the
+  // differential-validate post-pass). The batch driver installs a deadline
+  // check here, so a per-program timeout fires between passes and unwinds
+  // as an exception instead of abandoning a half-transformed graph.
+  Pipeline& on_pass_start(std::function<void(const std::string&)> hook);
+
   // Runs every pass in order on a copy of g.
   PipelineResult run(const Graph& g) const;
 
@@ -82,6 +88,7 @@ class Pipeline {
   };
   std::vector<Pass> passes_;
   std::optional<verify::Budget> semantic_budget_;
+  std::function<void(const std::string&)> pass_start_hook_;
 };
 
 // PCM -> constant propagation -> DCE (with every variable observable),

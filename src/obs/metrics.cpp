@@ -12,14 +12,24 @@ namespace {
 
 Registry default_registry;
 std::atomic<Registry*> current_registry{&default_registry};
+thread_local Registry* thread_registry = nullptr;
 
 }  // namespace
 
-Registry& registry() { return *current_registry.load(std::memory_order_acquire); }
+Registry& registry() {
+  if (thread_registry) return *thread_registry;
+  return *current_registry.load(std::memory_order_acquire);
+}
 
 Registry* set_registry(Registry* r) {
   return current_registry.exchange(r ? r : &default_registry,
                                    std::memory_order_acq_rel);
+}
+
+Registry* set_thread_registry(Registry* r) {
+  Registry* prev = thread_registry;
+  thread_registry = r;
+  return prev;
 }
 
 void Registry::add_counter(std::string_view name, std::uint64_t delta) {
@@ -69,6 +79,22 @@ std::uint64_t Registry::counter(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
+}
+
+void Registry::merge_from(const Registry& other) {
+  // Snapshot first: locking both registries at once invites deadlock, and
+  // merge sources are quiescent per-worker registries anyway.
+  auto counters = other.counters();
+  auto gauges = other.gauges();
+  auto timers = other.timers();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [k, v] : counters) counters_[k] += v;
+  for (const auto& [k, v] : gauges) gauges_[k] = v;
+  for (const auto& [k, v] : timers) {
+    TimerStat& t = timers_[k];
+    t.count += v.count;
+    t.total_ns += v.total_ns;
+  }
 }
 
 void Registry::clear() {

@@ -49,6 +49,11 @@ class Registry {
   // Single counter value; 0 when absent.
   std::uint64_t counter(std::string_view name) const;
 
+  // Adds every metric of `other` into this registry: counters and timers
+  // sum, gauges take `other`'s value. The batch driver uses this to drain
+  // per-worker registries into one aggregate.
+  void merge_from(const Registry& other);
+
   void clear();
   bool empty() const;
 
@@ -67,13 +72,21 @@ class Registry {
   std::map<std::string, TimerStat, std::less<>> timers_;
 };
 
-// The process-global registry the macros report into.
+// The registry the macros report into: the calling thread's override when
+// one is installed (set_thread_registry), else the process-global one.
 Registry& registry();
 
 // Injects `r` as the global registry (nullptr restores the default);
 // returns the previously installed one. Used by tests and by callers that
 // want an isolated measurement window.
 Registry* set_registry(Registry* r);
+
+// Installs `r` as this thread's registry override (nullptr removes it);
+// returns the previous override. Worker threads of the batch driver each
+// install their own registry so counters accumulate contention-free and can
+// be merged deterministically on drain; registry() keeps resolving to the
+// process-global instance on threads without an override.
+Registry* set_thread_registry(Registry* r);
 
 namespace detail {
 // Implemented in trace.cpp: forwards to the global TraceSink when tracing

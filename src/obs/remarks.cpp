@@ -11,14 +11,28 @@ namespace {
 
 RemarkSink default_sink;
 std::atomic<RemarkSink*> current_sink{&default_sink};
+thread_local RemarkSink* thread_sink = nullptr;
 
 }  // namespace
 
-RemarkSink& remarks() { return *current_sink.load(std::memory_order_acquire); }
+RemarkSink& remarks() {
+  if (thread_sink) return *thread_sink;
+  return *current_sink.load(std::memory_order_acquire);
+}
 
 RemarkSink* set_remark_sink(RemarkSink* s) {
   return current_sink.exchange(s ? s : &default_sink,
                                std::memory_order_acq_rel);
+}
+
+RemarkSink* set_thread_remark_sink(RemarkSink* s) {
+  RemarkSink* prev = thread_sink;
+  thread_sink = s;
+  return prev;
+}
+
+ThreadBindings current_thread_bindings() {
+  return ThreadBindings{&registry(), &remarks()};
 }
 
 const char* remark_kind_name(RemarkKind kind) {

@@ -164,12 +164,48 @@ class RemarkSink {
   std::vector<Remark> remarks_;
 };
 
-// The process-global sink the macros report into.
+// The sink the macros report into: the calling thread's override when one
+// is installed (set_thread_remark_sink), else the process-global one.
 RemarkSink& remarks();
 
 // Injects `s` as the global sink (nullptr restores the default); returns
 // the previously installed one. Mirrors obs::set_registry.
 RemarkSink* set_remark_sink(RemarkSink* s);
+
+// Installs `s` as this thread's sink override (nullptr removes it); returns
+// the previous override. Batch-driver workers and parallel fuzz campaigns
+// each capture their own remark stream this way without fighting over the
+// process-global sink. Mirrors obs::set_thread_registry.
+RemarkSink* set_thread_remark_sink(RemarkSink* s);
+
+// The effective (registry, remark sink) pair of the calling thread, for
+// hand-off to helper threads that should report into the same destination.
+// A helper thread installs the bindings for its lifetime via
+// ThreadBindingsScope — the std::async safety solves use this so their
+// counters stay attributed to the spawning worker, not to whichever global
+// sinks the helper thread would otherwise see.
+struct ThreadBindings {
+  Registry* registry = nullptr;
+  RemarkSink* remarks = nullptr;
+};
+ThreadBindings current_thread_bindings();
+
+class ThreadBindingsScope {
+ public:
+  explicit ThreadBindingsScope(const ThreadBindings& b)
+      : prev_registry_(set_thread_registry(b.registry)),
+        prev_sink_(set_thread_remark_sink(b.remarks)) {}
+  ~ThreadBindingsScope() {
+    set_thread_remark_sink(prev_sink_);
+    set_thread_registry(prev_registry_);
+  }
+  ThreadBindingsScope(const ThreadBindingsScope&) = delete;
+  ThreadBindingsScope& operator=(const ThreadBindingsScope&) = delete;
+
+ private:
+  Registry* prev_registry_;
+  RemarkSink* prev_sink_;
+};
 
 // RAII pass-name scope: remarks emitted while alive and not already naming
 // a pass are attributed to `name`; the previous name is restored on exit.

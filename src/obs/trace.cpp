@@ -18,7 +18,7 @@ namespace detail {
 
 int trace_begin(std::string_view name) {
   TraceSink& t = trace();
-  return t.enabled() ? t.begin(name) : -1;
+  return t.enabled() && t.owned_by_caller() ? t.begin(name) : -1;
 }
 
 void trace_end(int span) {

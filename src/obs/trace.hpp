@@ -7,10 +7,12 @@
 // and https://ui.perfetto.dev.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 namespace parcm::obs {
@@ -28,8 +30,18 @@ class TraceSink {
  public:
   TraceSink();
 
-  void set_enabled(bool enabled) { enabled_ = enabled; }
-  bool enabled() const { return enabled_; }
+  // Enabling adopts the calling thread as the sink's owner: the span stack
+  // is LIFO per thread, so spans opened on other threads (batch-driver
+  // workers, the async safety solves) are dropped rather than corrupting
+  // the tree — ScopedTimer still feeds their wall time into the registry.
+  void set_enabled(bool enabled) {
+    if (enabled) owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+    enabled_.store(enabled, std::memory_order_release);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+  bool owned_by_caller() const {
+    return owner_.load(std::memory_order_relaxed) == std::this_thread::get_id();
+  }
 
   // Opens a span; returns its handle (index). Spans close LIFO — the RAII
   // ScopedTimer guarantees this.
@@ -49,7 +61,8 @@ class TraceSink {
  private:
   std::uint64_t now_ns() const;
 
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::thread::id> owner_{};
   int open_depth_ = 0;
   std::chrono::steady_clock::time_point epoch_;
   std::vector<TraceSpan> spans_;

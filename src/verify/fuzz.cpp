@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "driver/driver.hpp"
 #include "lang/lower.hpp"
 #include "lang/unparse.hpp"
 #include "motion/bcm.hpp"
@@ -48,6 +49,65 @@ CodeMotionConfig injected_config(const InjectOptions& inject) {
 
 bool sequential_pipeline(const std::string& name) {
   return name == "bcm" || name == "lcm";
+}
+
+// Phase-1 result of one program: everything the sequential tally/reduce
+// phase needs, computed independently per index (and so in parallel).
+struct ProgramVerdict {
+  bool ran = false;
+  Verdict verdict;
+  bool sampled_alarm = false;
+  Budget confirmed_budget;
+};
+
+ProgramVerdict check_one(const FuzzOptions& options,
+                         const RandomProgramOptions& gen, std::size_t i) {
+  ProgramVerdict slot;
+  std::uint64_t pseed = fuzz_program_seed(options.seed, i);
+  Rng rng(pseed);
+  lang::Program ast = random_program_ast(rng, gen);
+  Graph before = lang::lower(ast);
+
+  // Capture the transforming pass's remark stream for P1-P3 provenance.
+  // The sink is installed as a *thread* override, so on a batch worker it
+  // shadows the worker's own sink instead of a process-global — per-program
+  // streams stay exact at any --jobs value.
+  obs::RemarkSink sink;
+  sink.set_enabled(true);
+  obs::RemarkSink* prev = obs::set_thread_remark_sink(&sink);
+  Graph after;
+  try {
+    after = apply_named_pipeline(options.pipeline, before, options.inject);
+  } catch (...) {
+    obs::set_thread_remark_sink(prev);
+    throw;
+  }
+  obs::set_thread_remark_sink(prev);
+  std::vector<obs::Remark> remarks = sink.snapshot();
+
+  slot.verdict = differential_check(before, after, options.budget, &remarks);
+  slot.confirmed_budget = options.budget;
+  if (slot.verdict.status == Status::kDiverged && !slot.verdict.exact) {
+    // A sampled kDiverged is already sound — the oracle only reports it
+    // when the original's behaviour set was enumerated to completion (an
+    // incomplete reference yields kInconclusive instead). Still try the
+    // two-sided exact re-check: an exact verdict carries the full
+    // behaviour counts and is what the reducer wants to replay against.
+    slot.confirmed_budget.max_exact_nodes =
+        std::max(before.num_nodes(), after.num_nodes());
+    slot.confirmed_budget.max_states = options.budget.max_states * 8;
+    Verdict exact_verdict =
+        differential_check(before, after, slot.confirmed_budget, &remarks);
+    if (exact_verdict.exact) {
+      slot.verdict = exact_verdict;
+    } else {
+      // Kept as a sampled divergence; tracked separately so campaign
+      // output shows how many finds lack an exact behaviour count.
+      slot.sampled_alarm = true;
+    }
+  }
+  slot.ran = true;
+  return slot;
 }
 
 }  // namespace
@@ -203,57 +263,61 @@ FuzzOutcome run_fuzz(const FuzzOptions& options) {
     gen.p2_shape_permille = 0;
     gen.p3_shape_permille = 0;
   }
-  const auto start = std::chrono::steady_clock::now();
+
+  // Phase 1 — per-program check. Every slot is a pure function of
+  // (options, index), so with jobs > 1 the loop fans out through the batch
+  // driver: each worker writes only its own indices, and the sequential
+  // phase below reads the slots in index order — the campaign outcome is
+  // identical at any jobs value.
+  std::vector<ProgramVerdict> slots(options.count);
+  if (options.jobs != 1) {
+    driver::BatchOptions batch;
+    batch.jobs = options.jobs;
+    batch.wall_limit_seconds = options.seconds;
+    batch.keep_output = false;
+    // check_one installs its own per-program sink; no batch-level capture.
+    batch.collect_remarks = false;
+    batch.runner = [&options, &gen, &slots](const driver::BatchJob&,
+                                            std::size_t index,
+                                            driver::WorkerContext&,
+                                            driver::ProgramResult&) {
+      slots[index] = check_one(options, gen, index);
+    };
+    driver::Manifest manifest = driver::Manifest::lazy(
+        options.count, "fuzz", [](std::size_t) { return std::string(); });
+    driver::BatchReport report = driver::run_batch(manifest, batch);
+    for (const driver::ProgramResult& r : report.programs) {
+      PARCM_CHECK(r.status != driver::JobStatus::kFailed,
+                  "fuzz program #" + std::to_string(r.index) +
+                      " failed: " + r.error);
+    }
+    // Re-emit the workers' pipeline/oracle counters into the caller's
+    // registry so a campaign reports the same metrics at any jobs value.
+    for (const auto& [name, delta] : report.counters) {
+      obs::registry().add_counter(name, delta);
+    }
+  } else {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < options.count; ++i) {
+      if (options.seconds > 0) {
+        std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        if (elapsed.count() >= options.seconds) break;
+      }
+      slots[i] = check_one(options, gen, i);
+    }
+  }
+
+  // Phase 2 — sequential tally, reduction and reporting in index order.
   for (std::size_t i = 0; i < options.count; ++i) {
-    if (options.seconds > 0) {
-      std::chrono::duration<double> elapsed =
-          std::chrono::steady_clock::now() - start;
-      if (elapsed.count() >= options.seconds) break;
-    }
-    std::uint64_t pseed = fuzz_program_seed(options.seed, i);
-    Rng rng(pseed);
-    lang::Program ast = random_program_ast(rng, gen);
-    Graph before = lang::lower(ast);
-
-    // Capture the transforming pass's remark stream for P1-P3 provenance.
-    obs::RemarkSink sink;
-    sink.set_enabled(true);
-    obs::RemarkSink* prev = obs::set_remark_sink(&sink);
-    Graph after;
-    try {
-      after = apply_named_pipeline(options.pipeline, before, options.inject);
-    } catch (...) {
-      obs::set_remark_sink(prev);
-      throw;
-    }
-    obs::set_remark_sink(prev);
-    std::vector<obs::Remark> remarks = sink.snapshot();
-
-    Verdict verdict =
-        differential_check(before, after, options.budget, &remarks);
+    ProgramVerdict& slot = slots[i];
+    if (!slot.ran) continue;  // seconds box fired before this index
+    Verdict& verdict = slot.verdict;
     ++out.programs;
     PARCM_OBS_COUNT("verify.fuzz.programs", 1);
-
-    Budget confirmed_budget = options.budget;
-    if (verdict.status == Status::kDiverged && !verdict.exact) {
-      // A sampled kDiverged is already sound — the oracle only reports it
-      // when the original's behaviour set was enumerated to completion (an
-      // incomplete reference yields kInconclusive instead). Still try the
-      // two-sided exact re-check: an exact verdict carries the full
-      // behaviour counts and is what the reducer wants to replay against.
-      confirmed_budget.max_exact_nodes =
-          std::max(before.num_nodes(), after.num_nodes());
-      confirmed_budget.max_states = options.budget.max_states * 8;
-      Verdict exact_verdict =
-          differential_check(before, after, confirmed_budget, &remarks);
-      if (exact_verdict.exact) {
-        verdict = exact_verdict;
-      } else {
-        // Kept as a sampled divergence; tracked separately so campaign
-        // output shows how many finds lack an exact behaviour count.
-        ++out.sampled_alarms;
-        PARCM_OBS_COUNT("verify.fuzz.sampled_alarms", 1);
-      }
+    if (slot.sampled_alarm) {
+      ++out.sampled_alarms;
+      PARCM_OBS_COUNT("verify.fuzz.sampled_alarms", 1);
     }
     if (verdict.exact) {
       ++out.exact;
@@ -269,6 +333,10 @@ FuzzOutcome run_fuzz(const FuzzOptions& options) {
     PARCM_OBS_COUNT("verify.fuzz.divergences", 1);
     if (out.failures.size() >= options.max_failures) continue;
 
+    std::uint64_t pseed = fuzz_program_seed(options.seed, i);
+    Rng rng(pseed);
+    lang::Program ast = random_program_ast(rng, gen);
+
     FuzzFailure failure;
     failure.index = i;
     failure.program_seed = pseed;
@@ -279,6 +347,7 @@ FuzzOutcome run_fuzz(const FuzzOptions& options) {
     if (options.reduce && verdict.exact) {
       const std::string& pipeline = options.pipeline;
       const InjectOptions& inject = options.inject;
+      const Budget& confirmed_budget = slot.confirmed_budget;
       Predicate still_fails = [&pipeline, &inject,
                                &confirmed_budget](const lang::Program& p) {
         try {
@@ -299,7 +368,7 @@ FuzzOutcome run_fuzz(const FuzzOptions& options) {
     } else {
       failure.reduced_source = failure.source;
       failure.reduced_stmts = count_statements(ast);
-      failure.reduced_nodes = before.num_nodes();
+      failure.reduced_nodes = lang::lower(ast).num_nodes();
     }
     if (!options.out_dir.empty()) {
       std::ostringstream name;

@@ -36,6 +36,10 @@ struct InjectOptions {
 struct FuzzOptions {
   std::uint64_t seed = 1;
   std::size_t count = 100;
+  // Worker threads for the per-program check phase (driver::run_batch).
+  // Reduction and reporting stay sequential in index order, so the outcome
+  // is identical at any jobs value; 0 = hardware concurrency.
+  std::size_t jobs = 1;
   // bcm | lcm | pcm | naive | sinking | dce | full
   // (bcm/lcm force sequential generation; full = pcm+constprop+sinking+dce)
   std::string pipeline = "pcm";
