@@ -8,7 +8,8 @@
 //    "bench": "bench_foo",
 //    "results": [{"name", "iterations", "real_ns_per_iter",
 //                 "cpu_ns_per_iter", "counters": {...}}, ...],
-//    "obs": { the obs::Registry snapshot (counters/gauges/timers) }}
+//    "obs": { the obs::Registry snapshot (parcm-metrics-v1) },
+//    "alloc": { operator-new accounting for the bench's main thread }}
 //
 // The output path comes from --obs_json=FILE (stripped before the flags
 // reach google-benchmark) or, when the flag is absent, from the
@@ -26,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/alloc.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 
@@ -86,6 +88,13 @@ inline std::string bench_json(const std::string& bench_name,
   w.end_array();
   w.key("obs");
   obs::registry().write_json(w);
+  // Allocation pressure of the whole run (google-benchmark overhead
+  // included) — coarse, but enough to catch an allocation-rate regression.
+  w.key("alloc").begin_object();
+  w.key("hook_active").value(obs::alloc_hook_active());
+  w.key("main_thread_allocs").value(obs::thread_alloc_count());
+  w.key("main_thread_bytes").value(obs::thread_alloc_bytes());
+  w.end_object();
   w.end_object();
   return w.take();
 }

@@ -13,6 +13,10 @@
 //     --steal-seed N   shuffle per-worker steal order (results must not
 //                      change; the determinism suite varies this)
 //     --json FILE      write the parcm-batch-v1 report ("-" = stdout)
+//     --trace-json F   enable span tracing and write the multi-track
+//                      Chrome trace_event timeline (parcm-trace-v1; open
+//                      in ui.perfetto.dev) — one track per worker plus
+//                      the async safety-solve helpers
 //     --pretty         pretty-print the JSON report
 //     --no-output      omit optimized program text from the report
 //     --remarks        retain per-program remark lines in the report
@@ -43,6 +47,8 @@
 #include "driver/driver.hpp"
 #include "lang/unparse.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "verify/fuzz.hpp"
 #include "workload/randomprog.hpp"
 
@@ -80,7 +86,7 @@ int main(int argc, char** argv) {
   driver::BatchOptions opt;
   opt.jobs = 0;
   std::vector<std::string> inputs;
-  std::string json_path, scaling_list, bench_json_path;
+  std::string json_path, trace_json_path, scaling_list, bench_json_path;
   std::size_t gen_count = 0, gen_stmts = 10;
   std::uint64_t gen_seed = 42;
   bool pretty = false, quiet = false;
@@ -109,6 +115,8 @@ int main(int argc, char** argv) {
       opt.steal_seed = std::stoull(next(&i));
     } else if (a == "--json") {
       json_path = next(&i);
+    } else if (a == "--trace-json") {
+      trace_json_path = next(&i);
     } else if (a == "--pretty") {
       pretty = true;
     } else if (a == "--no-output") {
@@ -135,6 +143,7 @@ int main(int argc, char** argv) {
       std::cout
           << "usage: parcm_batch [--jobs N] [--pipeline NAME] [--validate] "
              "[--timeout S] [--wall-limit S] [--steal-seed N] [--json FILE] "
+             "[--trace-json FILE] "
              "[--pretty] [--no-output] [--remarks] [--max-states N] [--quiet] "
              "[--gen N [--gen-seed S] [--gen-stmts N]] "
              "[--scaling 1,2,4,8 [--bench-json FILE]] "
@@ -177,6 +186,10 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Tracing must be on before run_batch spawns workers (the sink adopts
+  // this thread as owner; workers bind their span buffers at start-up).
+  if (!trace_json_path.empty()) obs::trace().set_enabled(true);
+
   if (!scaling_list.empty()) {
     std::vector<std::size_t> jobs_values = parse_jobs_list(scaling_list);
     if (jobs_values.empty()) {
@@ -196,11 +209,17 @@ int main(int argc, char** argv) {
       std::uint64_t steals = 0;
       driver::BatchTotals totals;
       double cache_hit_rate = 0.0;
+      double allocs_per_program = 0.0;
+      double latency_p50_ns = 0.0;
+      double latency_p99_ns = 0.0;
     };
     std::vector<Row> rows;
     for (std::size_t jobs : jobs_values) {
       driver::BatchOptions run_opt = opt;
       run_opt.jobs = jobs;
+      // Each scaling step gets a fresh timeline; the trace file ends up
+      // holding the last (largest) jobs value.
+      if (!trace_json_path.empty()) obs::trace().clear();
       driver::BatchReport report = driver::run_batch(manifest, run_opt);
       std::string payload = report.to_json(false, /*include_timing=*/false);
       if (reference.empty()) {
@@ -217,6 +236,12 @@ int main(int argc, char** argv) {
       row.steals = report.queue.steals;
       row.totals = report.totals;
       row.cache_hit_rate = report.cache_hit_rate;
+      row.allocs_per_program = report.allocs_per_program;
+      auto lat = report.histograms.find("driver.program_latency_ns");
+      if (lat != report.histograms.end()) {
+        row.latency_p50_ns = lat->second.p50();
+        row.latency_p99_ns = lat->second.p99();
+      }
       rows.push_back(row);
       if (!quiet) {
         std::printf(
@@ -251,6 +276,9 @@ int main(int argc, char** argv) {
         w.key("speedup_vs_jobs1").value(row.speedup);
         w.key("steals").value(row.steals);
         w.key("cache_hit_rate").value(row.cache_hit_rate);
+        w.key("allocs_per_program").value(row.allocs_per_program);
+        w.key("program_latency_p50_ns").value(row.latency_p50_ns);
+        w.key("program_latency_p99_ns").value(row.latency_p99_ns);
         w.key("deterministic").value(deterministic ? 1 : 0);
         w.end_object();
         w.end_object();
@@ -258,6 +286,10 @@ int main(int argc, char** argv) {
       w.end_array();
       w.end_object();
       if (!write_text(bench_json_path, w.take())) return 2;
+    }
+    if (!trace_json_path.empty() &&
+        !write_text(trace_json_path, obs::trace().chrome_json())) {
+      return 2;
     }
     return deterministic ? 0 : 1;
   }
@@ -276,6 +308,10 @@ int main(int argc, char** argv) {
   }
   if (!json_path.empty() &&
       !write_text(json_path, report.to_json(pretty))) {
+    return 2;
+  }
+  if (!trace_json_path.empty() &&
+      !write_text(trace_json_path, obs::trace().chrome_json())) {
     return 2;
   }
   return report.ok() ? 0 : 1;

@@ -28,6 +28,7 @@
 #include "motion/dce.hpp"
 #include "motion/pcm.hpp"
 #include "motion/report.hpp"
+#include "obs/alloc.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "verify/verify.hpp"
@@ -137,6 +138,10 @@ int main(int argc, char** argv) {
   }
   if (stats) {
     std::cout << "\n== observability ==\n" << obs::registry().to_string();
+    if (obs::alloc_hook_active()) {
+      std::cout << "allocations: " << obs::thread_alloc_count() << " ("
+                << obs::thread_alloc_bytes() << " bytes requested)\n";
+    }
     std::cout << "trace:\n" << obs::trace().tree();
   }
   if (!trace_json.empty()) {

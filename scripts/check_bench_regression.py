@@ -1,0 +1,303 @@
+#!/usr/bin/env python3
+"""Scaling-model regression gate over parcm-bench-v1 artifacts.
+
+Compares a freshly produced bench run against the committed BENCH_*.json
+baseline(s) and fails when a benchmark got slower than the threshold allows
+or when a deterministic counter (relaxations by default) grew at all.
+
+Instead of diffing raw per-size timings — noisy on shared CI runners — the
+gate fits a power-law scaling model t(n) = a * n^b (log-log least squares,
+Extra-P style) to every benchmark family, e.g. BM_SequentialChain/{64, 512,
+4096, 8192}, in both baseline and fresh data, and compares the *model
+predictions* at the largest common size. A single noisy point barely moves
+the fit, so the timing verdict is stable; families with a single size fall
+back to the direct ratio.
+
+Deterministic counters are schedule-independent by construction (the repo's
+determinism suite holds that), so any growth is a real algorithmic
+regression and is always a hard failure, even with --advisory-timing.
+
+Usage:
+  check_bench_regression.py --baseline BENCH_x.json --fresh new/BENCH_x.json
+      [--threshold 1.5] [--counter relaxations] [--advisory-timing]
+  check_bench_regression.py --self-test
+
+Multiple --baseline/--fresh files pair up by their "bench" field. Exit
+codes: 0 clean (or advisory-only findings), 1 regression, 2 usage error.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+# Counters that are deterministic outputs of the algorithms (not timings);
+# growth in any of these is a hard failure.
+DEFAULT_HARD_COUNTERS = ["relaxations"]
+
+
+def load_results(path):
+    """Returns (bench_name, {result_name: (real_ns, counters)})."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "parcm-bench-v1":
+        raise ValueError(f"{path}: not a parcm-bench-v1 artifact")
+    results = {}
+    for row in doc.get("results", []):
+        results[row["name"]] = (
+            float(row.get("real_ns_per_iter", 0.0)),
+            dict(row.get("counters", {})),
+        )
+    return doc.get("bench", "?"), results
+
+
+def split_family(name):
+    """BM_Chain/4096 -> ("BM_Chain", 4096); batch/jobs:4 -> ("batch/jobs", 4).
+
+    Returns (name, None) when no trailing integer exists.
+    """
+    for sep in ("/", ":"):
+        head, _, tail = name.rpartition(sep)
+        if head and tail.isdigit():
+            return head, int(tail)
+    return name, None
+
+
+def fit_power_law(points):
+    """Least-squares fit of t = a * n^b in log-log space.
+
+    points: [(n, t)] with n, t > 0. Returns (a, b); a single point yields
+    the exact (t/n^0, 0) constant model.
+    """
+    pts = [(n, t) for n, t in points if n > 0 and t > 0]
+    if not pts:
+        return 0.0, 0.0
+    if len(pts) == 1:
+        return pts[0][1], 0.0
+    xs = [math.log(n) for n, _ in pts]
+    ys = [math.log(t) for _, t in pts]
+    mx = sum(xs) / len(xs)
+    my = sum(ys) / len(ys)
+    sxx = sum((x - mx) ** 2 for x in xs)
+    if sxx == 0:  # repeated sizes: average them
+        return math.exp(my), 0.0
+    b = sum((x - mx) * (y - my) for x, y in zip(xs, ys)) / sxx
+    a = math.exp(my - b * mx)
+    return a, b
+
+
+def group_families(results):
+    """{family: [(size, real_ns)]}; sizeless entries get size None."""
+    fams = {}
+    for name, (real_ns, _) in results.items():
+        family, size = split_family(name)
+        fams.setdefault(family, []).append((size, real_ns))
+    return fams
+
+
+def compare_timing(base, fresh, threshold, out):
+    """Yields (family, ratio, detail) for families slower than threshold."""
+    base_fams = group_families(base)
+    fresh_fams = group_families(fresh)
+    regressions = []
+    for family in sorted(base_fams.keys() & fresh_fams.keys()):
+        bpts = [(n, t) for n, t in base_fams[family] if n is not None]
+        fpts = [(n, t) for n, t in fresh_fams[family] if n is not None]
+        if bpts and fpts:
+            common = {n for n, _ in bpts} & {n for n, _ in fpts}
+            if not common:
+                continue
+            at = max(common)
+            ba, bb = fit_power_law(bpts)
+            fa, fb = fit_power_law(fpts)
+            base_pred = ba * at**bb
+            fresh_pred = fa * at**fb
+            detail = (
+                f"model n^{bb:.2f} -> n^{fb:.2f}, predicted at n={at}: "
+                f"{base_pred:,.0f} ns -> {fresh_pred:,.0f} ns"
+            )
+        else:
+            # No size axis: direct ratio of the single measurements.
+            base_pred = base_fams[family][0][1]
+            fresh_pred = fresh_fams[family][0][1]
+            at = None
+            detail = f"{base_pred:,.0f} ns -> {fresh_pred:,.0f} ns"
+        if base_pred <= 0:
+            continue
+        ratio = fresh_pred / base_pred
+        status = "ok" if ratio <= threshold else "REGRESSED"
+        out(f"  [{status:9s}] {family}: {ratio:.2f}x ({detail})")
+        if ratio > threshold:
+            regressions.append((family, ratio, detail))
+    return regressions
+
+
+def compare_counters(base, fresh, hard_counters, out):
+    """Yields (name, counter, base, fresh) where a hard counter grew."""
+    regressions = []
+    for name in sorted(base.keys() & fresh.keys()):
+        _, bc = base[name]
+        _, fc = fresh[name]
+        for counter in hard_counters:
+            if counter not in bc or counter not in fc:
+                continue
+            bval, fval = float(bc[counter]), float(fc[counter])
+            if fval > bval:
+                out(
+                    f"  [REGRESSED] {name} {counter}: "
+                    f"{bval:,.0f} -> {fval:,.0f}"
+                )
+                regressions.append((name, counter, bval, fval))
+    return regressions
+
+
+def run_gate(baseline_paths, fresh_paths, threshold, hard_counters,
+             advisory_timing, out=print):
+    baselines = {}
+    for path in baseline_paths:
+        bench, results = load_results(path)
+        baselines.setdefault(bench, {}).update(results)
+    fresh_runs = {}
+    for path in fresh_paths:
+        bench, results = load_results(path)
+        fresh_runs.setdefault(bench, {}).update(results)
+
+    timing_regs, counter_regs = [], []
+    matched = sorted(baselines.keys() & fresh_runs.keys())
+    if not matched:
+        out("no bench name overlaps between baseline and fresh artifacts")
+        return 2
+    for bench in matched:
+        out(f"bench {bench}:")
+        timing_regs += compare_timing(
+            baselines[bench], fresh_runs[bench], threshold, out
+        )
+        counter_regs += compare_counters(
+            baselines[bench], fresh_runs[bench], hard_counters, out
+        )
+    for bench in sorted(fresh_runs.keys() - baselines.keys()):
+        out(f"bench {bench}: no committed baseline, skipping")
+
+    if counter_regs:
+        out(f"FAIL: {len(counter_regs)} deterministic counter regression(s)")
+        return 1
+    if timing_regs:
+        if advisory_timing:
+            out(
+                f"ADVISORY: {len(timing_regs)} timing regression(s) beyond "
+                f"{threshold:.2f}x (not failing: --advisory-timing)"
+            )
+            return 0
+        out(
+            f"FAIL: {len(timing_regs)} timing regression(s) beyond "
+            f"{threshold:.2f}x"
+        )
+        return 1
+    out("bench regression gate: clean")
+    return 0
+
+
+def make_fixture(scale_time=1.0, relaxations=25):
+    """A parcm-bench-v1 document with one 3-size family and one singleton."""
+    results = []
+    for n in (64, 512, 4096):
+        results.append(
+            {
+                "name": f"BM_Fixture/{n}",
+                "iterations": 10,
+                "real_ns_per_iter": scale_time * 100.0 * n,
+                "cpu_ns_per_iter": scale_time * 100.0 * n,
+                "counters": {"relaxations": relaxations, "nodes": n},
+            }
+        )
+    results.append(
+        {
+            "name": "BM_FixtureSingle",
+            "iterations": 10,
+            "real_ns_per_iter": scale_time * 5000.0,
+            "cpu_ns_per_iter": scale_time * 5000.0,
+            "counters": {},
+        }
+    )
+    return {"schema": "parcm-bench-v1", "bench": "fixture", "results": results}
+
+
+def self_test(threshold):
+    """Hermetic check that the gate accepts clean runs and rejects a 2x
+    slowdown and a counter growth. Exercised by ctest so the gate itself
+    cannot silently rot."""
+    import tempfile, os
+
+    def write(doc):
+        fd, path = tempfile.mkstemp(suffix=".json")
+        with os.fdopen(fd, "w") as f:
+            json.dump(doc, f)
+        return path
+
+    quiet = lambda *_: None
+    base = write(make_fixture())
+    same = write(make_fixture(scale_time=1.04))  # within noise
+    slow = write(make_fixture(scale_time=2.0))  # 2x slower: must fail
+    more = write(make_fixture(relaxations=26))  # counter grew: must fail
+
+    failures = []
+    if run_gate([base], [same], threshold, DEFAULT_HARD_COUNTERS, False,
+                quiet) != 0:
+        failures.append("clean run rejected")
+    if run_gate([base], [slow], threshold, DEFAULT_HARD_COUNTERS, False,
+                quiet) != 1:
+        failures.append("2x slowdown accepted")
+    if run_gate([base], [slow], threshold, DEFAULT_HARD_COUNTERS, True,
+                quiet) != 0:
+        failures.append("advisory timing mode still failed")
+    if run_gate([base], [more], threshold, DEFAULT_HARD_COUNTERS, True,
+                quiet) != 1:
+        failures.append("counter growth accepted")
+    a, b = fit_power_law([(64, 6400.0), (512, 51200.0), (4096, 409600.0)])
+    if not (abs(a - 100.0) < 1e-6 and abs(b - 1.0) < 1e-9):
+        failures.append(f"power-law fit off: a={a} b={b}")
+
+    for path in (base, same, slow, more):
+        os.unlink(path)
+    if failures:
+        print("self-test FAILED:", "; ".join(failures))
+        return 1
+    print("self-test passed")
+    return 0
+
+
+def main(argv):
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--baseline", action="append", default=[],
+                   help="committed parcm-bench-v1 artifact (repeatable)")
+    p.add_argument("--fresh", action="append", default=[],
+                   help="freshly produced artifact (repeatable)")
+    p.add_argument("--threshold", type=float, default=1.5,
+                   help="timing ratio above which a family regressed "
+                        "(default 1.5)")
+    p.add_argument("--counter", action="append", default=[],
+                   dest="counters",
+                   help="deterministic counter treated as a hard gate "
+                        "(default: relaxations)")
+    p.add_argument("--advisory-timing", action="store_true",
+                   help="report timing regressions without failing; "
+                        "deterministic counters still fail hard")
+    p.add_argument("--self-test", action="store_true",
+                   help="run the hermetic fixture checks and exit")
+    args = p.parse_args(argv)
+
+    if args.self_test:
+        return self_test(args.threshold)
+    if not args.baseline or not args.fresh:
+        p.error("--baseline and --fresh are required (or use --self-test)")
+    hard = args.counters or DEFAULT_HARD_COUNTERS
+    try:
+        return run_gate(args.baseline, args.fresh, args.threshold, hard,
+                        args.advisory_timing)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -5,7 +5,10 @@
 #
 # Runs bench_fixpoint_scaling (sparse-RPO vs dense-FIFO worklists across the
 # program families) and bench_pipeline (end-to-end pass pipeline) and writes
-# the unified parcm-bench-v1 artifacts at the repository root:
+# the unified parcm-bench-v1 artifacts at the repository root (or at
+# PARCM_BENCH_OUT_DIR — CI quick runs write to a scratch directory and gate
+# them against the committed baselines with check_bench_regression.py
+# instead of overwriting them):
 #
 #   BENCH_fixpoint.json
 #   BENCH_pipeline.json
@@ -19,6 +22,8 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 min_time="${PARCM_BENCH_MIN_TIME:-0.05}"
+out_dir="${PARCM_BENCH_OUT_DIR:-$repo_root}"
+mkdir -p "$out_dir"
 
 for bench in bench_fixpoint_scaling bench_pipeline; do
   if [[ ! -x "$build_dir/bench/$bench" ]]; then
@@ -28,17 +33,17 @@ for bench in bench_fixpoint_scaling bench_pipeline; do
   fi
 done
 
-echo "== bench_fixpoint_scaling -> BENCH_fixpoint.json =="
+echo "== bench_fixpoint_scaling -> $out_dir/BENCH_fixpoint.json =="
 "$build_dir/bench/bench_fixpoint_scaling" \
   --benchmark_min_time="$min_time" \
-  --obs_json="$repo_root/BENCH_fixpoint.json"
+  --obs_json="$out_dir/BENCH_fixpoint.json"
 
-echo "== bench_pipeline -> BENCH_pipeline.json =="
+echo "== bench_pipeline -> $out_dir/BENCH_pipeline.json =="
 "$build_dir/bench/bench_pipeline" \
   --benchmark_min_time="$min_time" \
-  --obs_json="$repo_root/BENCH_pipeline.json"
+  --obs_json="$out_dir/BENCH_pipeline.json"
 
-echo "== parcm_batch --scaling -> BENCH_batch.json =="
+echo "== parcm_batch --scaling -> $out_dir/BENCH_batch.json =="
 if [[ ! -x "$build_dir/examples/parcm_batch" ]]; then
   echo "error: $build_dir/examples/parcm_batch not found — build first" >&2
   exit 2
@@ -46,6 +51,6 @@ fi
 "$build_dir/examples/parcm_batch" \
   --gen "${PARCM_BENCH_BATCH_PROGRAMS:-1000}" \
   --scaling "${PARCM_BENCH_BATCH_JOBS:-1,2,4,8,16}" \
-  --bench-json "$repo_root/BENCH_batch.json"
+  --bench-json "$out_dir/BENCH_batch.json"
 
-echo "wrote $repo_root/BENCH_fixpoint.json, $repo_root/BENCH_pipeline.json and $repo_root/BENCH_batch.json"
+echo "wrote $out_dir/BENCH_fixpoint.json, $out_dir/BENCH_pipeline.json and $out_dir/BENCH_batch.json"

@@ -27,15 +27,14 @@ SafetyInfo compute_safety(const Graph& g, const LocalPredicates& preds,
   info.num_terms = preds.num_terms();
   // Problem construction emits remarks, so it stays on this thread; the two
   // solves are independent and run concurrently when the problem is big
-  // enough. The span-tracing sink keeps a thread-unsafe LIFO stack, so a
-  // trace run falls back to sequential solves.
+  // enough. The helper records spans onto its own "<track>/async" buffer,
+  // so tracing no longer forces sequential solves.
   PackedProblem up_problem = make_upsafety_problem(g, preds, variant);
   PackedProblem down_problem = make_downsafety_problem(g, preds, variant);
   PARCM_OBS_COUNT("analysis.upsafety.runs", 1);
   PARCM_OBS_COUNT("analysis.downsafety.runs", 1);
-  bool concurrent = g.num_nodes() * preds.num_terms() >=
-                        kConcurrentSolveThreshold &&
-                    !obs::trace().enabled();
+  bool concurrent =
+      g.num_nodes() * preds.num_terms() >= kConcurrentSolveThreshold;
   if (concurrent) {
     PARCM_OBS_COUNT("analysis.safety.concurrent_solves", 1);
     // The helper thread inherits this thread's effective obs destinations,

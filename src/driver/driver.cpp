@@ -17,8 +17,10 @@
 #include "motion/pcm.hpp"
 #include "motion/pipeline.hpp"
 #include "motion/sinking.hpp"
+#include "obs/alloc.hpp"
 #include "obs/json.hpp"
 #include "obs/remarks.hpp"
+#include "obs/trace.hpp"
 #include "support/diagnostics.hpp"
 #include "support/rng.hpp"
 
@@ -136,6 +138,7 @@ void run_one_job(std::size_t index, std::size_t worker, BatchShared& shared,
   WorkerContext ctx(worker, deadline, has_deadline);
   obs::RemarkSink& sink = obs::remarks();
   sink.clear();
+  obs::AllocCounterScope alloc_scope;
   try {
     if (options.test_before_job) options.test_before_job(index);
     ctx.check_deadline();
@@ -163,13 +166,75 @@ void run_one_job(std::size_t index, std::size_t worker, BatchShared& shared,
       }
     }
   }
-  result.wall_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - start)
-          .count();
+  result.allocs = alloc_scope.allocs();
+  auto latency_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  result.wall_ms = static_cast<double>(latency_ns) / 1e6;
+  PARCM_OBS_HIST("driver.program_latency_ns",
+                 static_cast<std::uint64_t>(latency_ns));
   buffer.push_back(std::move(result));
   if (buffer.size() >= std::max<std::size_t>(1, options.drain_batch)) {
     drain_results(shared, buffer);
+  }
+}
+
+// Nanoseconds since `since`, for histogram samples.
+std::uint64_t ns_since(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+// The pop/steal/run loop, split out so its "driver.worker" span and timer
+// close while the worker's thread overrides are still installed.
+void worker_loop(std::size_t worker, BatchShared& shared,
+                 const std::vector<std::size_t>& victims,
+                 std::vector<ProgramResult>& buffer, WorkerTally& tally) {
+  const BatchOptions& options = *shared.options;
+  WorkStealingDeque& own = *shared.deques[worker];
+  // One span covering the worker's whole lifetime, so every worker track
+  // is populated even when all of its jobs were stolen out from under it.
+  PARCM_OBS_TIMER("driver.worker");
+  // Time from starting to look for work until a job is in hand; survives
+  // failed steal sweeps (the yield-and-retry path keeps accumulating).
+  auto seek_start = std::chrono::steady_clock::now();
+  for (;;) {
+    if (options.wall_limit_seconds > 0) {
+      std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - shared.batch_start;
+      if (elapsed.count() >= options.wall_limit_seconds) break;
+    }
+    std::size_t job = 0;
+    if (own.pop(&job)) {
+      ++tally.own_pops;
+    } else if (shared.injector.pop(&job)) {
+      ++tally.injector_pops;
+    } else {
+      auto sweep_start = std::chrono::steady_clock::now();
+      bool stole = false, contended = false;
+      for (std::size_t v : victims) {
+        ++tally.steal_attempts;
+        if (shared.deques[v]->steal(&job)) {
+          ++tally.steals;
+          stole = true;
+          break;
+        }
+        // A lost CAS (as opposed to an empty deque) means work may remain;
+        // sweep again instead of exiting.
+        if (!shared.deques[v]->empty()) contended = true;
+      }
+      if (!stole) {
+        if (!contended && shared.injector.exhausted()) break;
+        std::this_thread::yield();
+        continue;
+      }
+      PARCM_OBS_HIST("driver.steal_latency_ns", ns_since(sweep_start));
+    }
+    PARCM_OBS_HIST("driver.queue_wait_ns", ns_since(seek_start));
+    run_one_job(job, worker, shared, buffer);
+    seek_start = std::chrono::steady_clock::now();
   }
 }
 
@@ -197,40 +262,14 @@ void worker_main(std::size_t worker, BatchShared& shared) {
     std::swap(victims[i - 1], victims[rng.below(i)]);
   }
 
-  WorkStealingDeque& own = *shared.deques[worker];
   std::vector<ProgramResult> buffer;
   WorkerTally tally;
-  for (;;) {
-    if (options.wall_limit_seconds > 0) {
-      std::chrono::duration<double> elapsed =
-          std::chrono::steady_clock::now() - shared.batch_start;
-      if (elapsed.count() >= options.wall_limit_seconds) break;
-    }
-    std::size_t job = 0;
-    if (own.pop(&job)) {
-      ++tally.own_pops;
-    } else if (shared.injector.pop(&job)) {
-      ++tally.injector_pops;
-    } else {
-      bool stole = false, contended = false;
-      for (std::size_t v : victims) {
-        ++tally.steal_attempts;
-        if (shared.deques[v]->steal(&job)) {
-          ++tally.steals;
-          stole = true;
-          break;
-        }
-        // A lost CAS (as opposed to an empty deque) means work may remain;
-        // sweep again instead of exiting.
-        if (!shared.deques[v]->empty()) contended = true;
-      }
-      if (!stole) {
-        if (!contended && shared.injector.exhausted()) break;
-        std::this_thread::yield();
-        continue;
-      }
-    }
-    run_one_job(job, worker, shared, buffer);
+  {
+    // Named trace track for this worker (no-op while tracing is disabled);
+    // the async safety-solve helpers land on "worker-N/async". The sink
+    // must have been enabled before run_batch spawned us.
+    obs::TraceThreadScope trace_scope("worker-" + std::to_string(worker));
+    worker_loop(worker, shared, victims, buffer, tally);
   }
 
   drain_results(shared, buffer);
@@ -330,6 +369,7 @@ BatchReport run_batch(const Manifest& manifest, const BatchOptions& options) {
                   static_cast<double>(CLOCKS_PER_SEC);
 
   for (const ProgramResult& r : report.programs) {
+    report.allocs_total += r.allocs;
     switch (r.status) {
       case JobStatus::kDone:
         ++report.totals.done;
@@ -340,8 +380,13 @@ BatchReport run_batch(const Manifest& manifest, const BatchOptions& options) {
       case JobStatus::kSkipped: ++report.totals.skipped; break;
     }
   }
+  if (report.totals.done > 0) {
+    report.allocs_per_program = static_cast<double>(report.allocs_total) /
+                                static_cast<double>(report.totals.done);
+  }
   report.counters = shared.aggregate.counters();
   report.timers = shared.aggregate.timers();
+  report.histograms = shared.aggregate.histograms();
   auto counter = [&report](const char* name) -> std::uint64_t {
     auto it = report.counters.find(name);
     return it == report.counters.end() ? 0 : it->second;
@@ -370,12 +415,17 @@ std::string BatchReport::summary() const {
     s += "; validation: " + std::to_string(validation_failures) +
          " divergence" + (validation_failures == 1 ? "" : "s");
   }
-  char buf[128];
+  char buf[160];
   std::snprintf(buf, sizeof(buf),
                 "; wall %.1f ms, cpu %.1f ms, cache hit rate %.2f, steals %llu",
                 wall_ms, cpu_ms, cache_hit_rate,
                 static_cast<unsigned long long>(queue.steals));
   s += buf;
+  if (allocs_total > 0) {
+    std::snprintf(buf, sizeof(buf), ", %.0f allocs/program",
+                  allocs_per_program);
+    s += buf;
+  }
   return s;
 }
 
@@ -397,6 +447,8 @@ std::string BatchReport::to_json(bool pretty, bool include_timing) const {
     w.key("workers").value(workers);
     w.key("wall_ms").value(wall_ms);
     w.key("cpu_ms").value(cpu_ms);
+    w.key("allocs_total").value(allocs_total);
+    w.key("allocs_per_program").value(allocs_per_program);
     w.key("queue").begin_object();
     w.key("own_pops").value(queue.own_pops);
     w.key("injector_pops").value(queue.injector_pops);
@@ -416,7 +468,12 @@ std::string BatchReport::to_json(bool pretty, bool include_timing) const {
     w.key("id").value(r.id);
     w.key("status").value(job_status_name(r.status));
     if (!r.error.empty()) w.key("error").value(r.error);
-    if (include_timing) w.key("wall_ms").value(r.wall_ms);
+    // Wall time and allocation counts are schedule- and cache-state-
+    // dependent, so they stay out of the deterministic payload.
+    if (include_timing) {
+      w.key("wall_ms").value(r.wall_ms);
+      w.key("allocs").value(r.allocs);
+    }
     w.key("nodes_before").value(r.nodes_before);
     w.key("nodes_after").value(r.nodes_after);
     w.key("actions").value(r.actions);
@@ -444,6 +501,19 @@ std::string BatchReport::to_json(bool pretty, bool include_timing) const {
       w.key(k).begin_object();
       w.key("count").value(v.count);
       w.key("total_ms").value(v.total_ms());
+      w.end_object();
+    }
+    w.end_object();
+    w.key("histograms").begin_object();
+    for (const auto& [k, v] : histograms) {
+      w.key(k).begin_object();
+      w.key("count").value(v.count());
+      w.key("min").value(v.min());
+      w.key("max").value(v.max());
+      w.key("mean").value(v.mean());
+      w.key("p50").value(v.p50());
+      w.key("p90").value(v.p90());
+      w.key("p99").value(v.p99());
       w.end_object();
     }
     w.end_object();

@@ -90,6 +90,9 @@ struct ProgramResult {
   JobStatus status = JobStatus::kSkipped;
   std::string error;
   double wall_ms = 0.0;
+  // operator-new calls made while compiling this program (0 when the
+  // counting hook is compiled out; see obs::alloc_hook_active()).
+  std::uint64_t allocs = 0;
   std::size_t nodes_before = 0;
   std::size_t nodes_after = 0;
   std::size_t actions = 0;       // summed pass actions
@@ -163,9 +166,14 @@ struct BatchReport {
   bool validated = false;
   double wall_ms = 0.0;
   double cpu_ms = 0.0;
-  // Merged per-worker registries (merge-on-drain aggregation).
+  // Merged per-worker registries (merge-on-drain aggregation). Histogram
+  // merges are exact, so driver.program_latency_ns / steal_latency_ns /
+  // queue_wait_ns summarize the whole batch as if recorded centrally.
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, obs::TimerStat> timers;
+  std::map<std::string, obs::Histogram> histograms;
+  std::uint64_t allocs_total = 0;
+  double allocs_per_program = 0.0;  // allocs_total / done, 0 when none ran
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   double cache_hit_rate = 0.0;  // hits / (hits + misses), 0 when unused

@@ -162,6 +162,7 @@ PipelineResult Pipeline::run(const Graph& g) const {
                   std::chrono::steady_clock::now() - start)
                   .count();
     stats.wall_ms = static_cast<double>(ns) / 1e6;
+    PARCM_OBS_HIST("pipeline.pass_wall_ns", static_cast<std::uint64_t>(ns));
     // Attribute the registry counters the pass moved to this PassStats.
     for (const auto& [name, value] : obs::registry().counters()) {
       auto it = before.find(name);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <sstream>
 
 #include "obs/json.hpp"
@@ -32,6 +33,35 @@ Registry* set_thread_registry(Registry* r) {
   return prev;
 }
 
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return static_cast<double>(min());
+  if (p >= 100.0) return static_cast<double>(max_);
+  // Rank of the requested quantile in [0, count]; the first bucket whose
+  // cumulative count reaches it holds the answer.
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const double before = static_cast<double>(cum);
+    cum += buckets_[b];
+    if (static_cast<double>(cum) >= target) {
+      const double lo =
+          b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
+      const double hi =
+          b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b)) - 1.0;
+      const double frac =
+          (target - before) / static_cast<double>(buckets_[b]);
+      double v = lo + frac * (hi - lo);
+      // Bucket edges can overshoot what was actually observed.
+      v = std::max(v, static_cast<double>(min()));
+      v = std::min(v, static_cast<double>(max_));
+      return v;
+    }
+  }
+  return static_cast<double>(max_);
+}
+
 void Registry::add_counter(std::string_view name, std::uint64_t delta) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
@@ -60,6 +90,15 @@ void Registry::add_timer_ns(std::string_view name, std::uint64_t ns) {
   it->second.total_ns += ns;
 }
 
+void Registry::record_hist(std::string_view name, std::uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  it->second.record(value);
+}
+
 std::map<std::string, std::uint64_t> Registry::counters() const {
   std::lock_guard<std::mutex> lock(mu_);
   return {counters_.begin(), counters_.end()};
@@ -75,10 +114,21 @@ std::map<std::string, TimerStat> Registry::timers() const {
   return {timers_.begin(), timers_.end()};
 }
 
+std::map<std::string, Histogram> Registry::histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {histograms_.begin(), histograms_.end()};
+}
+
 std::uint64_t Registry::counter(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
+}
+
+Histogram Registry::histogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? Histogram{} : it->second;
 }
 
 void Registry::merge_from(const Registry& other) {
@@ -87,6 +137,7 @@ void Registry::merge_from(const Registry& other) {
   auto counters = other.counters();
   auto gauges = other.gauges();
   auto timers = other.timers();
+  auto histograms = other.histograms();
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [k, v] : counters) counters_[k] += v;
   for (const auto& [k, v] : gauges) gauges_[k] = v;
@@ -95,6 +146,7 @@ void Registry::merge_from(const Registry& other) {
     t.count += v.count;
     t.total_ns += v.total_ns;
   }
+  for (const auto& [k, v] : histograms) histograms_[k].merge_from(v);
 }
 
 void Registry::clear() {
@@ -102,22 +154,26 @@ void Registry::clear() {
   counters_.clear();
   gauges_.clear();
   timers_.clear();
+  histograms_.clear();
 }
 
 bool Registry::empty() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return counters_.empty() && gauges_.empty() && timers_.empty();
+  return counters_.empty() && gauges_.empty() && timers_.empty() &&
+         histograms_.empty();
 }
 
 std::string Registry::to_string() const {
   auto counters = this->counters();
   auto gauges = this->gauges();
   auto timers = this->timers();
+  auto histograms = this->histograms();
 
   std::size_t width = 0;
   for (const auto& [k, v] : counters) width = std::max(width, k.size());
   for (const auto& [k, v] : gauges) width = std::max(width, k.size());
   for (const auto& [k, v] : timers) width = std::max(width, k.size());
+  for (const auto& [k, v] : histograms) width = std::max(width, k.size());
 
   std::ostringstream os;
   auto pad = [&](const std::string& k) {
@@ -148,7 +204,20 @@ std::string Registry::to_string() const {
       os << buf << "\n";
     }
   }
-  if (counters.empty() && gauges.empty() && timers.empty()) {
+  if (!histograms.empty()) {
+    os << "histograms:" << std::string(width > 9 ? width - 9 : 1, ' ')
+       << "  count          p50          p90          p99\n";
+    for (const auto& [k, v] : histograms) {
+      pad(k);
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "%7llu %12.0f %12.0f %12.0f",
+                    static_cast<unsigned long long>(v.count()), v.p50(),
+                    v.p90(), v.p99());
+      os << buf << "\n";
+    }
+  }
+  if (counters.empty() && gauges.empty() && timers.empty() &&
+      histograms.empty()) {
     os << "(no metrics recorded)\n";
   }
   return os.str();
@@ -156,6 +225,7 @@ std::string Registry::to_string() const {
 
 void Registry::write_json(JsonWriter& w) const {
   w.begin_object();
+  w.key("schema").value("parcm-metrics-v1");
   w.key("counters").begin_object();
   for (const auto& [k, v] : counters()) w.key(k).value(v);
   w.end_object();
@@ -167,6 +237,20 @@ void Registry::write_json(JsonWriter& w) const {
     w.key(k).begin_object();
     w.key("count").value(v.count);
     w.key("total_ms").value(v.total_ms());
+    w.end_object();
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [k, v] : histograms()) {
+    w.key(k).begin_object();
+    w.key("count").value(v.count());
+    w.key("sum").value(v.sum());
+    w.key("min").value(v.min());
+    w.key("max").value(v.max());
+    w.key("mean").value(v.mean());
+    w.key("p50").value(v.p50());
+    w.key("p90").value(v.p90());
+    w.key("p99").value(v.p99());
     w.end_object();
   }
   w.end_object();

@@ -1,10 +1,11 @@
 // Structured metrics for the solver/motion pipeline.
 //
 // A Registry holds named counters (monotone uint64), gauges (last-written
-// double) and wall-clock timers (call count + accumulated nanoseconds). The
-// library reports into the installed global registry through the
-// PARCM_OBS_* macros below; hot loops accumulate locally and report once
-// per call, so a mutex-protected map is plenty.
+// double), wall-clock timers (call count + accumulated nanoseconds) and
+// latency histograms (fixed log-2 bucketing, mergeable, p50/p90/p99
+// summaries). The library reports into the installed global registry
+// through the PARCM_OBS_* macros below; hot loops accumulate locally and
+// report once per call, so a mutex-protected map is plenty.
 //
 // Instrumentation call sites compile to nothing when PARCM_OBS_ENABLED is 0
 // (set library-wide by the PARCM_OBS=OFF CMake configuration); the classes
@@ -12,8 +13,11 @@
 // still links — it just observes an empty one.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <string>
@@ -35,23 +39,90 @@ struct TimerStat {
   bool operator==(const TimerStat&) const = default;
 };
 
+// Fixed log-2-bucketed distribution of uint64 samples (latencies in ns,
+// allocation counts, ...). Bucket 0 holds exact zeros; bucket b >= 1 holds
+// [2^(b-1), 2^b). Recording is O(1) and allocation-free, merging sums the
+// bucket arrays exactly — a histogram merged from per-worker shards equals
+// the histogram of the concatenated samples, so batch-driver aggregation
+// loses nothing. Percentiles interpolate linearly inside the bucket that
+// holds the target rank, clamped to the observed [min, max].
+class Histogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 65;
+
+  void record(std::uint64_t value) {
+    ++buckets_[bucket_of(value)];
+    ++count_;
+    sum_ += value;
+    min_ = value < min_ ? value : min_;
+    max_ = value > max_ ? value : max_;
+  }
+
+  void merge_from(const Histogram& other) {
+    for (std::size_t b = 0; b < kNumBuckets; ++b) {
+      buckets_[b] += other.buckets_[b];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = other.min_ < min_ ? other.min_ : min_;
+    max_ = other.max_ > max_ ? other.max_ : max_;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+  }
+  const std::array<std::uint64_t, kNumBuckets>& buckets() const {
+    return buckets_;
+  }
+
+  // p in [0, 100]. Deterministic: depends only on the recorded multiset.
+  double percentile(double p) const;
+  double p50() const { return percentile(50.0); }
+  double p90() const { return percentile(90.0); }
+  double p99() const { return percentile(99.0); }
+
+  bool operator==(const Histogram&) const = default;
+
+  static std::size_t bucket_of(std::uint64_t value) {
+    return value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value));
+  }
+
+ private:
+  std::array<std::uint64_t, kNumBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ = 0;
+};
+
 class Registry {
  public:
   void add_counter(std::string_view name, std::uint64_t delta = 1);
   void set_gauge(std::string_view name, double value);
   void add_timer_ns(std::string_view name, std::uint64_t ns);
+  void record_hist(std::string_view name, std::uint64_t value);
 
   // Snapshots, lexicographically ordered by name (stable across runs).
   std::map<std::string, std::uint64_t> counters() const;
   std::map<std::string, double> gauges() const;
   std::map<std::string, TimerStat> timers() const;
+  std::map<std::string, Histogram> histograms() const;
 
   // Single counter value; 0 when absent.
   std::uint64_t counter(std::string_view name) const;
+  // Single histogram snapshot; empty (count 0) when absent.
+  Histogram histogram(std::string_view name) const;
 
-  // Adds every metric of `other` into this registry: counters and timers
-  // sum, gauges take `other`'s value. The batch driver uses this to drain
-  // per-worker registries into one aggregate.
+  // Adds every metric of `other` into this registry: counters, timers and
+  // histograms sum, gauges take `other`'s value. The batch driver uses this
+  // to drain per-worker registries into one aggregate; histogram merges are
+  // exact, not approximated.
   void merge_from(const Registry& other);
 
   void clear();
@@ -60,8 +131,10 @@ class Registry {
   // Aligned human-readable table of every metric.
   std::string to_string() const;
 
-  // {"counters":{...},"gauges":{...},"timers":{"name":{"count":..,
-  // "total_ms":..}}} — keys sorted, suitable for machine diffing.
+  // {"schema":"parcm-metrics-v1","counters":{...},"gauges":{...},
+  // "timers":{"name":{"count":..,"total_ms":..}},"histograms":{"name":
+  // {"count":..,"sum":..,"min":..,"max":..,"mean":..,"p50":..,"p90":..,
+  // "p99":..}}} — keys sorted, suitable for machine diffing.
   void write_json(JsonWriter& w) const;
   std::string to_json(bool pretty = false) const;
 
@@ -70,6 +143,7 @@ class Registry {
   std::map<std::string, std::uint64_t, std::less<>> counters_;
   std::map<std::string, double, std::less<>> gauges_;
   std::map<std::string, TimerStat, std::less<>> timers_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
 };
 
 // The registry the macros report into: the calling thread's override when
@@ -131,8 +205,11 @@ class ScopedTimer {
   ::parcm::obs::registry().set_gauge((name), (value))
 #define PARCM_OBS_TIMER(name) \
   ::parcm::obs::ScopedTimer PARCM_OBS_CONCAT(parcm_obs_timer_, __LINE__)(name)
+#define PARCM_OBS_HIST(name, value) \
+  ::parcm::obs::registry().record_hist((name), (value))
 #else
 #define PARCM_OBS_COUNT(name, delta) ((void)0)
 #define PARCM_OBS_GAUGE(name, value) ((void)0)
 #define PARCM_OBS_TIMER(name) ((void)0)
+#define PARCM_OBS_HIST(name, value) ((void)0)
 #endif

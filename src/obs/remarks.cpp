@@ -32,7 +32,7 @@ RemarkSink* set_thread_remark_sink(RemarkSink* s) {
 }
 
 ThreadBindings current_thread_bindings() {
-  return ThreadBindings{&registry(), &remarks()};
+  return ThreadBindings{&registry(), &remarks(), current_trace_track()};
 }
 
 const char* remark_kind_name(RemarkKind kind) {

@@ -22,11 +22,13 @@
 #include <cstdint>
 #include <initializer_list>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/metrics.hpp"  // PARCM_OBS_ENABLED, PARCM_OBS_CONCAT
+#include "obs/trace.hpp"    // TraceThreadScope
 
 namespace parcm::obs {
 
@@ -178,15 +180,18 @@ RemarkSink* set_remark_sink(RemarkSink* s);
 // process-global sink. Mirrors obs::set_thread_registry.
 RemarkSink* set_thread_remark_sink(RemarkSink* s);
 
-// The effective (registry, remark sink) pair of the calling thread, for
-// hand-off to helper threads that should report into the same destination.
-// A helper thread installs the bindings for its lifetime via
-// ThreadBindingsScope — the std::async safety solves use this so their
-// counters stay attributed to the spawning worker, not to whichever global
-// sinks the helper thread would otherwise see.
+// The effective obs destinations of the calling thread — registry, remark
+// sink, and trace track — for hand-off to helper threads that should
+// report into the same place. A helper thread installs the bindings for
+// its lifetime via ThreadBindingsScope — the std::async safety solves use
+// this so their counters stay attributed to the spawning worker, not to
+// whichever global sinks the helper thread would otherwise see.
 struct ThreadBindings {
   Registry* registry = nullptr;
   RemarkSink* remarks = nullptr;
+  // Spawning thread's trace track ("" when it is unbound or tracing is
+  // off); the helper records onto "<trace_track>/async".
+  std::string trace_track;
 };
 ThreadBindings current_thread_bindings();
 
@@ -194,8 +199,13 @@ class ThreadBindingsScope {
  public:
   explicit ThreadBindingsScope(const ThreadBindings& b)
       : prev_registry_(set_thread_registry(b.registry)),
-        prev_sink_(set_thread_remark_sink(b.remarks)) {}
+        prev_sink_(set_thread_remark_sink(b.remarks)) {
+    if (!b.trace_track.empty()) {
+      trace_scope_.emplace(b.trace_track + "/async");
+    }
+  }
   ~ThreadBindingsScope() {
+    trace_scope_.reset();
     set_thread_remark_sink(prev_sink_);
     set_thread_registry(prev_registry_);
   }
@@ -205,6 +215,7 @@ class ThreadBindingsScope {
  private:
   Registry* prev_registry_;
   RemarkSink* prev_sink_;
+  std::optional<TraceThreadScope> trace_scope_;
 };
 
 // RAII pass-name scope: remarks emitted while alive and not already naming

@@ -21,6 +21,7 @@
 #include "driver/manifest.hpp"
 #include "driver/work_queue.hpp"
 #include "lang/unparse.hpp"
+#include "obs/trace.hpp"
 #include "verify/fuzz.hpp"
 
 namespace parcm {
@@ -132,6 +133,36 @@ TEST(BatchDeterminism, MergedCountersMatchSequentialRun) {
   // but every program is a miss for its own graph (graphs are distinct),
   // so totals still agree.
   EXPECT_EQ(a, b);
+}
+
+TEST(BatchDeterminism, TraceEnabledRunsStayByteIdentical) {
+#if PARCM_OBS_ENABLED
+  // Tracing records wall times, but none of them may leak into the
+  // timing-free payload: runs with the sink hot must stay byte-identical
+  // to each other at any jobs value.
+  driver::Manifest m = corpus64();
+  driver::BatchOptions opt;
+  obs::trace().set_enabled(true);
+  std::string reference;
+  for (std::size_t jobs : {1u, 4u, 16u}) {
+    obs::trace().clear();
+    opt.jobs = jobs;
+    driver::BatchReport report = driver::run_batch(m, opt);
+    EXPECT_EQ(report.totals.done, 64u);
+    // Every run actually recorded spans (main plus the worker tracks).
+    EXPECT_GE(obs::trace().tracks().size(), jobs);
+    EXPECT_FALSE(obs::trace().spans().empty());
+    if (reference.empty()) {
+      reference = payload(report);
+    } else {
+      EXPECT_EQ(payload(report), reference) << "jobs=" << jobs;
+    }
+  }
+  obs::trace().clear();
+  obs::trace().set_enabled(false);
+#else
+  GTEST_SKIP() << "instrumentation compiled out (PARCM_OBS=OFF)";
+#endif
 }
 
 // --- Chase–Lev deque unit + hammer coverage ------------------------------

@@ -106,8 +106,10 @@ TEST(Registry, JsonIsStableOrdered) {
   r.set_gauge("g", 0.5);
   r.add_timer_ns("t", 2'000'000);
   EXPECT_EQ(r.to_json(),
-            "{\"counters\":{\"a\":1,\"b\":2},\"gauges\":{\"g\":0.5},"
-            "\"timers\":{\"t\":{\"count\":1,\"total_ms\":2}}}");
+            "{\"schema\":\"parcm-metrics-v1\","
+            "\"counters\":{\"a\":1,\"b\":2},\"gauges\":{\"g\":0.5},"
+            "\"timers\":{\"t\":{\"count\":1,\"total_ms\":2}},"
+            "\"histograms\":{}}");
   // Identical content must serialize identically (machine diffing).
   obs::Registry r2;
   r2.set_gauge("g", 0.5);
@@ -115,6 +117,82 @@ TEST(Registry, JsonIsStableOrdered) {
   r2.add_counter("a", 1);
   r2.add_counter("b", 2);
   EXPECT_EQ(r.to_json(), r2.to_json());
+}
+
+TEST(Histogram, BucketOfIsLog2) {
+  EXPECT_EQ(obs::Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_of(1023), 10u);
+  EXPECT_EQ(obs::Histogram::bucket_of(1024), 11u);
+  EXPECT_EQ(obs::Histogram::bucket_of(~std::uint64_t{0}), 64u);
+}
+
+TEST(Histogram, SummaryStatistics) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.percentile(50.0), 0.0);
+  for (std::uint64_t v : {100u, 200u, 300u, 400u}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 1000u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 400u);
+  EXPECT_DOUBLE_EQ(h.mean(), 250.0);
+  // Percentiles are clamped to the observed range and monotone in p.
+  EXPECT_EQ(h.percentile(0.0), 100.0);
+  EXPECT_EQ(h.percentile(100.0), 400.0);
+  double p50 = h.p50(), p90 = h.p90(), p99 = h.p99();
+  EXPECT_GE(p50, 100.0);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, 400.0);
+}
+
+TEST(Histogram, MergeIsExact) {
+  // A histogram merged from shards must equal the histogram of the
+  // concatenated samples — this is what makes per-worker aggregation
+  // lossless in the batch driver.
+  obs::Histogram a, b, whole;
+  for (std::uint64_t v = 0; v < 500; ++v) {
+    (v % 2 ? a : b).record(v * 37);
+    whole.record(v * 37);
+  }
+  a.merge_from(b);
+  EXPECT_EQ(a, whole);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_DOUBLE_EQ(a.p99(), whole.p99());
+}
+
+TEST(Registry, HistogramRecordAndSnapshot) {
+  obs::Registry r;
+  r.record_hist("lat", 10);
+  r.record_hist("lat", 1000);
+  EXPECT_EQ(r.histogram("lat").count(), 2u);
+  EXPECT_EQ(r.histogram("missing").count(), 0u);
+  EXPECT_EQ(r.histograms().size(), 1u);
+  EXPECT_FALSE(r.empty());
+  std::string json = r.to_json();
+  EXPECT_NE(json.find("\"histograms\":{\"lat\":{\"count\":2"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(r.to_string().find("lat"), std::string::npos);
+  r.clear();
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Registry, MergeSumsHistograms) {
+  obs::Registry a, b;
+  a.record_hist("h", 8);
+  b.record_hist("h", 16);
+  b.record_hist("other", 1);
+  a.merge_from(b);
+  EXPECT_EQ(a.histogram("h").count(), 2u);
+  EXPECT_EQ(a.histogram("h").sum(), 24u);
+  EXPECT_EQ(a.histogram("other").count(), 1u);
 }
 
 TEST(Registry, ToStringListsEveryMetric) {

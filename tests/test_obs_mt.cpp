@@ -1,0 +1,177 @@
+// Multi-threaded observability (ctest -L batch): per-worker span buffers,
+// histogram aggregation across worker registries, and the trace lifecycle
+// contract. Compiled in the default PARCM_OBS=ON configuration; everything
+// here exercises the paths the batch driver uses when --trace-json and the
+// metrics registry are live at --jobs N.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/driver.hpp"
+#include "driver/manifest.hpp"
+#include "lang/unparse.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "verify/fuzz.hpp"
+
+#if !PARCM_OBS_ENABLED
+#error "test_obs_mt requires the PARCM_OBS=ON configuration"
+#endif
+
+namespace parcm {
+namespace {
+
+driver::Manifest corpus(std::size_t n) {
+  RandomProgramOptions gen = verify::default_fuzz_gen();
+  return driver::Manifest::lazy(n, "mt", [gen](std::size_t i) {
+    return lang::to_source(verify::fuzz_program(2026, i, gen));
+  });
+}
+
+TEST(ObsMt, EveryWorkerContributesSpans) {
+  driver::Manifest m = corpus(32);
+  driver::BatchOptions opt;
+  opt.jobs = 4;
+  obs::trace().clear();
+  obs::trace().set_enabled(true);
+  driver::BatchReport report = driver::run_batch(m, opt);
+  EXPECT_EQ(report.totals.done, 32u);
+
+  // All four workers registered a track, and each recorded at least one
+  // span (the driver.worker lifetime span guarantees this even for a
+  // worker whose every job was stolen away).
+  std::map<std::string, std::size_t> spans_per_track;
+  for (const obs::TraceSpan& s : obs::trace().spans()) {
+    spans_per_track[s.track]++;
+  }
+  for (std::size_t w = 0; w < 4; ++w) {
+    std::string track = "worker-" + std::to_string(w);
+    EXPECT_GT(spans_per_track[track], 0u) << "no spans on " << track;
+  }
+  EXPECT_EQ(obs::trace().dropped(), 0u);
+
+  obs::trace().clear();
+  obs::trace().set_enabled(false);
+}
+
+TEST(ObsMt, SpanSnapshotIsOrderedPerTrack) {
+  driver::Manifest m = corpus(16);
+  driver::BatchOptions opt;
+  opt.jobs = 3;
+  obs::trace().clear();
+  obs::trace().set_enabled(true);
+  driver::run_batch(m, opt);
+
+  // The merged snapshot orders spans by start time within each track, so
+  // exports are deterministic and Perfetto renders without reordering.
+  std::map<std::string, std::uint64_t> last_start;
+  std::vector<obs::TraceSpan> spans = obs::trace().spans();
+  ASSERT_FALSE(spans.empty());
+  for (const obs::TraceSpan& s : spans) {
+    auto it = last_start.find(s.track);
+    if (it != last_start.end()) {
+      EXPECT_LE(it->second, s.start_ns) << "track " << s.track;
+    }
+    last_start[s.track] = s.start_ns;
+  }
+
+  obs::trace().clear();
+  obs::trace().set_enabled(false);
+}
+
+TEST(ObsMt, BatchReportCarriesMergedHistograms) {
+  driver::Manifest m = corpus(24);
+  driver::BatchOptions opt;
+  opt.jobs = 4;
+  driver::BatchReport report = driver::run_batch(m, opt);
+  EXPECT_EQ(report.totals.done, 24u);
+
+  // One program-latency sample per completed program, merged across the
+  // four worker registries without loss.
+  auto it = report.histograms.find("driver.program_latency_ns");
+  ASSERT_NE(it, report.histograms.end());
+  EXPECT_EQ(it->second.count(), 24u);
+  EXPECT_GT(it->second.sum(), 0u);
+  EXPECT_LE(it->second.min(), it->second.max());
+
+  // The timing report serializes percentiles for it.
+  std::string json = report.to_json(/*pretty=*/false, /*include_timing=*/true);
+  EXPECT_NE(json.find("\"driver.program_latency_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(ObsMt, HistogramShardsMergeExactly) {
+  // Concurrent recording into per-thread registries, then a sequential
+  // merge, must equal one histogram fed every sample: the lossless-merge
+  // property the batch drain depends on.
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<obs::Registry> shards(kThreads);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([t, &shards] {
+      obs::Registry* prev = obs::set_thread_registry(&shards[t]);
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        PARCM_OBS_HIST("mt.value", i * 7 + static_cast<std::uint64_t>(t));
+      }
+      obs::set_thread_registry(prev);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  obs::Registry merged;
+  for (obs::Registry& shard : shards) merged.merge_from(shard);
+
+  obs::Histogram expected;
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::uint64_t i = 0; i < kPerThread; ++i) {
+      expected.record(i * 7 + static_cast<std::uint64_t>(t));
+    }
+  }
+  EXPECT_EQ(merged.histogram("mt.value"), expected);
+  EXPECT_EQ(merged.histogram("mt.value").count(), kThreads * kPerThread);
+}
+
+TEST(ObsMt, ThreadScopeLifecycle) {
+  // Binding while the sink is disabled is a no-op; after enabling, worker
+  // scopes bind real buffers and unwind cleanly so clear() is legal again.
+  obs::trace().clear();
+  {
+    obs::TraceThreadScope inactive("worker-ghost");
+    EXPECT_FALSE(inactive.active());
+  }
+  obs::trace().set_enabled(true);
+  {
+    std::thread worker([] {
+      obs::TraceThreadScope scope("worker-0");
+      EXPECT_TRUE(scope.active());
+      EXPECT_EQ(obs::current_trace_track(), "worker-0");
+      int span = obs::trace().begin("work");
+      EXPECT_GE(span, 0);
+      obs::trace().end(span);
+      // Nested scopes shadow and restore the outer track.
+      {
+        obs::TraceThreadScope nested("worker-0/nested");
+        EXPECT_EQ(obs::current_trace_track(), "worker-0/nested");
+      }
+      EXPECT_EQ(obs::current_trace_track(), "worker-0");
+    });
+    worker.join();
+  }
+  std::vector<std::string> tracks = obs::trace().tracks();
+  EXPECT_NE(std::find(tracks.begin(), tracks.end(), "worker-0"), tracks.end());
+  // Ghost track from the disabled bind must not exist.
+  EXPECT_EQ(std::find(tracks.begin(), tracks.end(), "worker-ghost"),
+            tracks.end());
+  obs::trace().clear();
+  obs::trace().set_enabled(false);
+  EXPECT_EQ(obs::current_trace_track(), "");
+}
+
+}  // namespace
+}  // namespace parcm

@@ -4,6 +4,7 @@
 // library built either way.
 #include <gtest/gtest.h>
 
+#include "obs/alloc.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/remarks.hpp"
@@ -20,12 +21,14 @@ TEST(ObsOff, MacrosCompileToNothing) {
   // None of these may touch the installed registry.
   PARCM_OBS_COUNT("off.count", 7);
   PARCM_OBS_GAUGE("off.gauge", 1.0);
+  PARCM_OBS_HIST("off.hist", 42);
   {
     PARCM_OBS_TIMER("off.timer");
   }
   obs::set_registry(prev);
   EXPECT_TRUE(mine.empty());
   EXPECT_EQ(mine.counter("off.count"), 0u);
+  EXPECT_EQ(mine.histogram("off.hist").count(), 0u);
 }
 
 TEST(ObsOff, MacrosAreValidSingleStatements) {
@@ -33,8 +36,21 @@ TEST(ObsOff, MacrosAreValidSingleStatements) {
   if (false)
     PARCM_OBS_COUNT("never", 1);
   else
-    PARCM_OBS_GAUGE("never", 0.0);
+    PARCM_OBS_HIST("never", 0);
   SUCCEED();
+}
+
+TEST(ObsOff, AllocScopeIsEmptyShell) {
+  // The OFF-mode AllocCounterScope must carry no state (no saved counters)
+  // and always report zero. Note the process-wide hook may still be live —
+  // it belongs to the library build, not this TU's configuration.
+  static_assert(sizeof(obs::AllocCounterScope) == 1,
+                "OFF-mode AllocCounterScope must be stateless");
+  obs::AllocCounterScope scope;
+  std::string churn(1024, 'x');  // real allocation inside the scope
+  churn += churn;
+  EXPECT_EQ(scope.allocs(), 0u);
+  EXPECT_EQ(scope.bytes(), 0u);
 }
 
 TEST(ObsOff, RemarkMacrosCompileToNothing) {
@@ -75,7 +91,12 @@ TEST(ObsOff, ConsumersStillWork) {
   r.add_counter("manual", 3);
   EXPECT_EQ(r.counter("manual"), 3u);
   EXPECT_EQ(r.to_json(),
-            "{\"counters\":{\"manual\":3},\"gauges\":{},\"timers\":{}}");
+            "{\"schema\":\"parcm-metrics-v1\","
+            "\"counters\":{\"manual\":3},\"gauges\":{},\"timers\":{},"
+            "\"histograms\":{}}");
+  // Direct histogram recording keeps working too (consumer path).
+  r.record_hist("h", 5);
+  EXPECT_EQ(r.histogram("h").count(), 1u);
 }
 
 }  // namespace

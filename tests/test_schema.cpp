@@ -8,12 +8,18 @@
 #include <fstream>
 #include <sstream>
 
+#include <map>
+#include <thread>
+#include <vector>
+
 #include "bench_support.hpp"
 #include "figures/figures.hpp"
 #include "lang/lower.hpp"
 #include "motion/pcm.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "obs/remarks.hpp"
+#include "obs/trace.hpp"
 
 namespace parcm {
 namespace {
@@ -46,6 +52,95 @@ TEST(SchemaRemarks, EndToEndStreamIsValid) {
     EXPECT_TRUE(obs::json_valid(json));
     EXPECT_NE(json.find("parcm-remarks-v1"), std::string::npos);
   }
+#endif
+}
+
+TEST(SchemaMetrics, RegistryJsonIsValidAndTagged) {
+  obs::Registry r;
+  r.add_counter("c", 2);
+  r.set_gauge("g", 0.25);
+  r.add_timer_ns("t", 1'500'000);
+  r.record_hist("h \"quoted\"", 12);
+  for (bool pretty : {false, true}) {
+    std::string json = r.to_json(pretty);
+    EXPECT_TRUE(obs::json_valid(json)) << json;
+    EXPECT_NE(json.find("parcm-metrics-v1"), std::string::npos);
+  }
+  std::string json = r.to_json(false);
+  EXPECT_NE(json.find("\"h \\\"quoted\\\"\""), std::string::npos);
+  for (const char* key : {"\"count\"", "\"p50\"", "\"p90\"", "\"p99\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(SchemaTrace, MultiTrackChromeJsonIsValid) {
+#if !PARCM_OBS_ENABLED
+  GTEST_SKIP() << "library built with PARCM_OBS=OFF: no spans";
+#else
+  obs::TraceSink& sink = obs::trace();
+  sink.clear();
+  sink.set_enabled(true);
+  // Owner span whose name needs every escape class.
+  int s = sink.begin("quote \" backslash \\ newline \n end");
+  sink.end(s);
+  // A second track so the export is genuinely multi-track.
+  std::thread worker([&sink] {
+    obs::TraceThreadScope scope("worker-0");
+    for (int i = 0; i < 3; ++i) {
+      int w = sink.begin("job");
+      sink.end(w);
+    }
+  });
+  worker.join();
+
+  for (bool pretty : {false, true}) {
+    std::string json = sink.chrome_json(pretty);
+    EXPECT_TRUE(obs::json_valid(json)) << json;
+    EXPECT_NE(json.find("parcm-trace-v1"), std::string::npos);
+  }
+
+  std::string json = sink.chrome_json(/*pretty=*/false);
+  // Span names are escaped, not emitted raw.
+  EXPECT_NE(json.find("quote \\\" backslash \\\\ newline \\n end"),
+            std::string::npos);
+  // Metadata rows name the process and both tracks.
+  EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"main\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"worker-0\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+
+  // Every duration event carries ph/ts/dur/pid/tid; timestamps are
+  // non-decreasing within each track (tid), so Perfetto never reorders.
+  std::size_t events = 0;
+  std::map<int, double> last_ts;
+  for (std::size_t pos = json.find("\"ph\":\"X\""); pos != std::string::npos;
+       pos = json.find("\"ph\":\"X\"", pos + 1)) {
+    ++events;
+    std::size_t ts_pos = json.find("\"ts\":", pos);
+    std::size_t dur_pos = json.find("\"dur\":", pos);
+    std::size_t pid_pos = json.find("\"pid\":", pos);
+    std::size_t tid_pos = json.find("\"tid\":", pos);
+    std::size_t close = json.find('}', pos);
+    ASSERT_NE(ts_pos, std::string::npos);
+    ASSERT_LT(ts_pos, close);
+    ASSERT_LT(dur_pos, close);
+    ASSERT_LT(pid_pos, close);
+    ASSERT_LT(tid_pos, close);
+    double ts = std::stod(json.substr(ts_pos + 5));
+    int tid = std::stoi(json.substr(tid_pos + 6));
+    auto it = last_ts.find(tid);
+    if (it != last_ts.end()) {
+      EXPECT_LE(it->second, ts) << "tid " << tid;
+    }
+    last_ts[tid] = ts;
+  }
+  EXPECT_EQ(events, sink.spans().size());
+  EXPECT_EQ(events, 4u);  // 1 owner span + 3 worker spans
+  EXPECT_EQ(last_ts.size(), 2u);  // exactly two tracks carried events
+
+  sink.clear();
+  sink.set_enabled(false);
 #endif
 }
 

@@ -112,6 +112,9 @@ TEST(Oracle, NaiveOnFig7DivergesWithWitness) {
 }
 
 TEST(Oracle, DivergenceClassifiedAgainstRemarkProvenance) {
+#if !PARCM_OBS_ENABLED
+  GTEST_SKIP() << "library built with PARCM_OBS=OFF: no remark stream";
+#endif
   Graph g = figures::fig7();
   verify::InjectOptions inject;
   inject.enabled = true;
@@ -188,6 +191,9 @@ TEST(Oracle, SampledModeSeesInjectedDivergence) {
 }
 
 TEST(Oracle, CountersMove) {
+#if !PARCM_OBS_ENABLED
+  GTEST_SKIP() << "library built with PARCM_OBS=OFF: no counters";
+#endif
   std::uint64_t checks = obs::registry().counter("verify.checks");
   Graph g = figures::fig2();
   verify::differential_check(g, g);
