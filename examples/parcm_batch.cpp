@@ -22,6 +22,14 @@
 //     --remarks        retain per-program remark lines in the report
 //     --max-states N   exact-enumeration state cap for --validate
 //     --quiet          suppress the human summary
+//     --forensics-dir D  on per-program timeout/exception/oracle divergence,
+//                      write a self-contained parcm-forensic-v1 bundle into
+//                      D (replayable with parcm_opt --replay); also arms the
+//                      flight recorder for the run
+//     --inject MODE    deliberately miscompile through the named injector
+//                      (naive | no-privatize | no-parend-export | no-sink) —
+//                      forensics/oracle self-test, recorded in bundles so
+//                      replays reproduce the divergence
 //
 //   Synthetic corpus (no files needed):
 //     --gen N          batch N deterministically generated random programs
@@ -125,6 +133,10 @@ int main(int argc, char** argv) {
       opt.keep_remark_lines = true;
     } else if (a == "--max-states") {
       opt.budget.max_states = std::stoull(next(&i));
+    } else if (a == "--forensics-dir") {
+      opt.forensics_dir = next(&i);
+    } else if (a == "--inject") {
+      opt.inject_mode = next(&i);
     } else if (a == "--quiet") {
       quiet = true;
     } else if (a == "--gen") {
@@ -145,6 +157,7 @@ int main(int argc, char** argv) {
              "[--timeout S] [--wall-limit S] [--steal-seed N] [--json FILE] "
              "[--trace-json FILE] "
              "[--pretty] [--no-output] [--remarks] [--max-states N] [--quiet] "
+             "[--forensics-dir DIR] [--inject MODE] "
              "[--gen N [--gen-seed S] [--gen-stmts N]] "
              "[--scaling 1,2,4,8 [--bench-json FILE]] "
              "<dir | manifest | file.parcm ...>\n";

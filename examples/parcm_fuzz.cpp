@@ -32,14 +32,22 @@
 //     --index N         program index for --dump-program
 //     --json            print the machine-readable campaign summary
 //     --stats           print the verify.* observability counters
+//     --metrics-json F  write the campaign's parcm-metrics-v1 registry dump
+//                       (verify.* counters, check-latency histograms) to F;
+//                       feed to parcm_profile for attribution
+//     --forensics-dir D write a parcm-forensic-v1 bundle per confirmed
+//                       divergence into D (replayable with
+//                       parcm_opt --replay); also arms the flight recorder
 //
 // Exit codes: 0 clean (or caught, with --expect-catch), 1 unexpected
 // divergence, 2 usage error, 4 injected miscompile not caught.
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "lang/unparse.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "verify/fuzz.hpp"
 
@@ -48,6 +56,7 @@ int main(int argc, char** argv) {
   verify::FuzzOptions opt;
   bool expect_catch = false, dump_program = false, json = false, stats = false;
   std::size_t dump_index = 0;
+  std::string metrics_json_path;
 
   std::vector<std::string> args(argv + 1, argv + argc);
   auto next_u64 = [&args](std::size_t* i) -> std::uint64_t {
@@ -100,12 +109,19 @@ int main(int argc, char** argv) {
       json = true;
     } else if (a == "--stats") {
       stats = true;
+    } else if (a == "--metrics-json") {
+      if (i + 1 >= args.size()) return 2;
+      metrics_json_path = args[++i];
+    } else if (a == "--forensics-dir") {
+      if (i + 1 >= args.size()) return 2;
+      opt.forensics_dir = args[++i];
     } else if (a == "--help" || a == "-h") {
       std::cout << "usage: parcm_fuzz [--seed N] [--count N] [--jobs N] "
                    "[--pipeline bcm|lcm|pcm|naive|sinking|dce|full] "
                    "[--smoke] [--seconds S] [--inject MODE] [--expect-catch] "
                    "[--out DIR] [--no-reduce] [--atomic] [--dump-program "
-                   "[--index N]] [--json] [--stats]\n";
+                   "[--index N]] [--json] [--stats] [--metrics-json FILE] "
+                   "[--forensics-dir DIR]\n";
       return 0;
     } else {
       std::cerr << "unknown option " << a << "\n";
@@ -119,6 +135,9 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Bundles embed a flight-recorder snapshot; arm it before the campaign.
+  if (!opt.forensics_dir.empty()) obs::flight().set_enabled(true);
+
   verify::FuzzOutcome outcome = verify::run_fuzz(opt);
   std::cout << outcome.summary() << "\n";
   for (const verify::FuzzFailure& f : outcome.failures) {
@@ -127,6 +146,15 @@ int main(int argc, char** argv) {
   }
   if (json) std::cout << outcome.to_json(true) << "\n";
   if (stats) std::cout << obs::registry().to_string();
+  if (!metrics_json_path.empty()) {
+    std::ofstream out(metrics_json_path);
+    if (!out) {
+      std::cerr << "cannot write " << metrics_json_path << "\n";
+      return 2;
+    }
+    out << obs::registry().to_json(true) << "\n";
+    std::cerr << "wrote " << metrics_json_path << "\n";
+  }
 
   if (expect_catch) {
     if (outcome.divergences > 0) {

@@ -15,12 +15,18 @@
 //     --validate    re-check the transformation with the differential
 //                   translation-validation oracle; non-zero exit and a
 //                   witnessing interleaving on divergence
+//     --replay BUNDLE  re-run a parcm-forensic-v1 bundle (written by
+//                   parcm_batch/parcm_fuzz --forensics-dir) under its
+//                   recorded config and compare the outcome byte-for-byte
+//                   against the one captured at failure time; exit 0 iff
+//                   they match
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "driver/forensic.hpp"
 #include "figures/figures.hpp"
 #include "ir/printer.hpp"
 #include "ir/terms.hpp"
@@ -38,7 +44,7 @@ int main(int argc, char** argv) {
   bool naive = false, dot = false, report = false, dce = false;
   bool stats = false, validate = false;
   std::vector<std::string> observed;
-  std::string table_term, figure_id, file, trace_json;
+  std::string table_term, figure_id, file, trace_json, replay_path;
 
   std::vector<std::string> args(argv + 1, argv + argc);
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -65,10 +71,14 @@ int main(int argc, char** argv) {
       table_term = args[++i];
     } else if (a == "--figure" && i + 1 < args.size()) {
       figure_id = args[++i];
+    } else if (a == "--replay" && i + 1 < args.size()) {
+      replay_path = args[++i];
+    } else if (a.rfind("--replay=", 0) == 0) {
+      replay_path = a.substr(std::string("--replay=").size());
     } else if (a == "--help" || a == "-h") {
       std::cout << "usage: parcm_opt [--naive] [--dot] [--report] [--stats] "
                    "[--validate] [--trace-json FILE] [--table TERM] "
-                   "[--figure ID] [file]\n";
+                   "[--figure ID] [--replay BUNDLE] [file]\n";
       return 0;
     } else if (!a.empty() && a[0] == '-') {
       std::cerr << "unknown option " << a << "\n";
@@ -76,6 +86,33 @@ int main(int argc, char** argv) {
     } else {
       file = a;
     }
+  }
+
+  if (!replay_path.empty()) {
+    driver::ReplayResult rr = driver::replay_bundle(replay_path);
+    if (!rr.loaded) {
+      std::cerr << "replay: " << rr.error << "\n";
+      return 2;
+    }
+    std::cout << "bundle:  " << replay_path << "\n"
+              << "program: " << rr.id << "\n"
+              << "reason:  " << rr.reason << "\n"
+              << "status:  " << driver::job_status_name(rr.result.status)
+              << "\n";
+    if (!rr.result.error.empty()) {
+      std::cout << "error:   " << rr.result.error << "\n";
+    }
+    if (!rr.result.validation.empty()) {
+      std::cout << "oracle:  " << rr.result.validation << "\n";
+    }
+    if (rr.match) {
+      std::cout << "replay MATCHES the recorded outcome byte-for-byte\n";
+      return 0;
+    }
+    std::cout << "replay DIVERGES from the recorded outcome\n"
+              << "-- recorded --\n" << rr.expected << "\n"
+              << "-- replayed --\n" << rr.actual << "\n";
+    return 3;
   }
 
   // Spans are recorded whenever stats or a trace file were requested; the

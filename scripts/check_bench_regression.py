@@ -17,9 +17,18 @@ Deterministic counters are schedule-independent by construction (the repo's
 determinism suite holds that), so any growth is a real algorithmic
 regression and is always a hard failure, even with --advisory-timing.
 
+With --history the gate fits *trends* instead of a single baseline pair:
+scripts/run_bench.sh snapshots every run into bench/history/<utc>-<commit>/
+and the timestamp prefix keeps directory order chronological. The trend
+report prints each family's model prediction per snapshot plus the overall
+drift; when --fresh files are also given, the fresh run is gated against
+the *median* of the history predictions (robust to one noisy snapshot)
+rather than against a single committed file.
+
 Usage:
   check_bench_regression.py --baseline BENCH_x.json --fresh new/BENCH_x.json
       [--threshold 1.5] [--counter relaxations] [--advisory-timing]
+  check_bench_regression.py --history bench/history [--fresh new/BENCH_x.json]
   check_bench_regression.py --self-test
 
 Multiple --baseline/--fresh files pair up by their "bench" field. Exit
@@ -29,6 +38,7 @@ codes: 0 clean (or advisory-only findings), 1 regression, 2 usage error.
 import argparse
 import json
 import math
+import os
 import sys
 
 # Counters that are deterministic outputs of the algorithms (not timings);
@@ -197,6 +207,135 @@ def run_gate(baseline_paths, fresh_paths, threshold, hard_counters,
     return 0
 
 
+def scan_history(history_dir):
+    """[(snapshot_name, {bench: results})], chronological.
+
+    Snapshot directories are named <utc-timestamp>-<commit> by
+    run_bench.sh, so lexicographic order is chronological order. Non-bench
+    files (meta.json) and unreadable artifacts are skipped.
+    """
+    snapshots = []
+    for name in sorted(os.listdir(history_dir)):
+        snap_dir = os.path.join(history_dir, name)
+        if not os.path.isdir(snap_dir):
+            continue
+        benches = {}
+        for fname in sorted(os.listdir(snap_dir)):
+            if not (fname.startswith("BENCH_") and fname.endswith(".json")):
+                continue
+            try:
+                bench, results = load_results(os.path.join(snap_dir, fname))
+            except (OSError, ValueError, KeyError):
+                continue
+            benches.setdefault(bench, {}).update(results)
+        if benches:
+            snapshots.append((name, benches))
+    return snapshots
+
+
+def family_prediction(points):
+    """Model prediction at the family's largest size (or the single value)."""
+    pts = [(n, t) for n, t in points if n is not None]
+    if pts:
+        at = max(n for n, _ in pts)
+        a, b = fit_power_law(pts)
+        return a * at**b
+    return points[0][1] if points else 0.0
+
+
+def median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def run_trend(history_dir, fresh_paths, threshold, hard_counters,
+              advisory_timing, out=print):
+    """Trend report over bench/history snapshots; gates --fresh against the
+    per-family median of the history predictions when fresh files are given.
+    Deterministic counters are gated against the newest snapshot (they are
+    exact, so no median smoothing is needed)."""
+    snapshots = scan_history(history_dir)
+    if not snapshots:
+        out(f"no snapshots under {history_dir} — run scripts/run_bench.sh")
+        return 2
+
+    # (bench, family) -> [(snapshot_name, predicted_ns)]
+    series = {}
+    for snap_name, benches in snapshots:
+        for bench, results in benches.items():
+            for family, points in group_families(results).items():
+                pred = family_prediction(points)
+                if pred > 0:
+                    series.setdefault((bench, family), []).append(
+                        (snap_name, pred)
+                    )
+
+    out(f"history: {len(snapshots)} snapshot(s) under {history_dir}")
+    for (bench, family), preds in sorted(series.items()):
+        drift = preds[-1][1] / preds[0][1] if preds[0][1] > 0 else 1.0
+        trail = ", ".join(f"{p:,.0f}" for _, p in preds[-5:])
+        out(
+            f"  {bench}/{family}: drift {drift:.2f}x over "
+            f"{len(preds)} run(s) [{trail} ns]"
+        )
+
+    if not fresh_paths:
+        out("trend report only (no --fresh run to gate)")
+        return 0
+
+    fresh_runs = {}
+    for path in fresh_paths:
+        bench, results = load_results(path)
+        fresh_runs.setdefault(bench, {}).update(results)
+
+    timing_regs, counter_regs = [], []
+    newest_bench = snapshots[-1][1]
+    for bench, results in sorted(fresh_runs.items()):
+        out(f"bench {bench} vs history median:")
+        for family, points in sorted(group_families(results).items()):
+            hist = series.get((bench, family))
+            if not hist:
+                continue
+            base_pred = median([p for _, p in hist])
+            fresh_pred = family_prediction(points)
+            if base_pred <= 0 or fresh_pred <= 0:
+                continue
+            ratio = fresh_pred / base_pred
+            status = "ok" if ratio <= threshold else "REGRESSED"
+            out(
+                f"  [{status:9s}] {family}: {ratio:.2f}x "
+                f"(median of {len(hist)} run(s): {base_pred:,.0f} ns -> "
+                f"{fresh_pred:,.0f} ns)"
+            )
+            if ratio > threshold:
+                timing_regs.append((family, ratio))
+        if bench in newest_bench:
+            counter_regs += compare_counters(
+                newest_bench[bench], results, hard_counters, out
+            )
+
+    if counter_regs:
+        out(f"FAIL: {len(counter_regs)} deterministic counter regression(s)")
+        return 1
+    if timing_regs:
+        if advisory_timing:
+            out(
+                f"ADVISORY: {len(timing_regs)} timing regression(s) beyond "
+                f"{threshold:.2f}x vs history median (not failing)"
+            )
+            return 0
+        out(
+            f"FAIL: {len(timing_regs)} timing regression(s) beyond "
+            f"{threshold:.2f}x vs history median"
+        )
+        return 1
+    out("bench trend gate: clean")
+    return 0
+
+
 def make_fixture(scale_time=1.0, relaxations=25):
     """A parcm-bench-v1 document with one 3-size family and one singleton."""
     results = []
@@ -257,6 +396,33 @@ def self_test(threshold):
     if not (abs(a - 100.0) < 1e-6 and abs(b - 1.0) < 1e-9):
         failures.append(f"power-law fit off: a={a} b={b}")
 
+    # History trend mode: three snapshots with ordinary noise, then a clean
+    # fresh run must pass the median gate, a 2x run must fail it, and a
+    # counter growth against the newest snapshot must fail hard.
+    with tempfile.TemporaryDirectory() as history:
+        for i, scale in enumerate((1.0, 1.05, 0.97)):
+            snap = os.path.join(history, f"20260101T00000{i}Z-abc{i}")
+            os.makedirs(snap)
+            with open(os.path.join(snap, "BENCH_fixture.json"), "w") as f:
+                json.dump(make_fixture(scale_time=scale), f)
+        if run_trend(history, [], threshold, DEFAULT_HARD_COUNTERS, False,
+                     quiet) != 0:
+            failures.append("history trend report failed on clean history")
+        if run_trend(history, [same], threshold, DEFAULT_HARD_COUNTERS,
+                     False, quiet) != 0:
+            failures.append("history gate rejected a clean fresh run")
+        if run_trend(history, [slow], threshold, DEFAULT_HARD_COUNTERS,
+                     False, quiet) != 1:
+            failures.append("history gate accepted a 2x slowdown")
+        if run_trend(history, [more], threshold, DEFAULT_HARD_COUNTERS,
+                     True, quiet) != 1:
+            failures.append("history gate accepted counter growth")
+    empty = tempfile.mkdtemp()
+    if run_trend(empty, [], threshold, DEFAULT_HARD_COUNTERS, False,
+                 quiet) != 2:
+        failures.append("empty history dir not reported as usage error")
+    os.rmdir(empty)
+
     for path in (base, same, slow, more):
         os.unlink(path)
     if failures:
@@ -282,15 +448,27 @@ def main(argv):
     p.add_argument("--advisory-timing", action="store_true",
                    help="report timing regressions without failing; "
                         "deterministic counters still fail hard")
+    p.add_argument("--history",
+                   help="bench/history directory of run_bench.sh snapshots: "
+                        "print per-family trends, and gate --fresh against "
+                        "the history median instead of --baseline")
     p.add_argument("--self-test", action="store_true",
                    help="run the hermetic fixture checks and exit")
     args = p.parse_args(argv)
 
     if args.self_test:
         return self_test(args.threshold)
-    if not args.baseline or not args.fresh:
-        p.error("--baseline and --fresh are required (or use --self-test)")
     hard = args.counters or DEFAULT_HARD_COUNTERS
+    if args.history:
+        try:
+            return run_trend(args.history, args.fresh, args.threshold, hard,
+                             args.advisory_timing)
+        except (OSError, ValueError, KeyError) as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+    if not args.baseline or not args.fresh:
+        p.error("--baseline and --fresh are required "
+                "(or use --history / --self-test)")
     try:
         return run_gate(args.baseline, args.fresh, args.threshold, hard,
                         args.advisory_timing)

@@ -17,6 +17,11 @@
 # test_schema validates both files whenever they exist, so a stale or
 # hand-edited artifact fails the suite. Tune the measurement length with
 # PARCM_BENCH_MIN_TIME (google-benchmark --benchmark_min_time, default 0.05).
+#
+# Every run is additionally snapshotted into bench/history/<utc>-<commit>/
+# (override with PARCM_BENCH_HISTORY_DIR, disable with
+# PARCM_BENCH_HISTORY=0) so check_bench_regression.py --history can fit
+# performance trends across runs instead of a single baseline pair.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -54,3 +59,26 @@ fi
   --bench-json "$out_dir/BENCH_batch.json"
 
 echo "wrote $out_dir/BENCH_fixpoint.json, $out_dir/BENCH_pipeline.json and $out_dir/BENCH_batch.json"
+
+# Per-run history snapshot: commit + timestamp name the run, meta.json makes
+# the snapshot self-describing, and the timestamp prefix keeps directory
+# order chronological for the trend fitter.
+if [[ "${PARCM_BENCH_HISTORY:-1}" != "0" ]]; then
+  commit="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo nogit)"
+  dirty=""
+  if ! git -C "$repo_root" diff --quiet HEAD 2>/dev/null; then dirty="-dirty"; fi
+  stamp="$(date -u +%Y%m%dT%H%M%SZ)"
+  history_dir="${PARCM_BENCH_HISTORY_DIR:-$repo_root/bench/history}/$stamp-$commit$dirty"
+  mkdir -p "$history_dir"
+  cp "$out_dir/BENCH_fixpoint.json" "$out_dir/BENCH_pipeline.json" \
+     "$out_dir/BENCH_batch.json" "$history_dir/"
+  cat > "$history_dir/meta.json" <<EOF
+{
+  "schema": "parcm-bench-history-v1",
+  "commit": "$commit$dirty",
+  "timestamp_utc": "$stamp",
+  "min_time": "$min_time"
+}
+EOF
+  echo "snapshot: $history_dir"
+fi

@@ -1,5 +1,6 @@
 #include "analyses/cache.hpp"
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace parcm {
@@ -82,10 +83,12 @@ std::shared_ptr<const AnalysisBundle> AnalysisCache::acquire(const Graph& g) {
     // the next benchmark iteration); refresh the fast path.
     bundle_version_ = g.version();
     PARCM_OBS_COUNT("analysis.cache.hits", 1);
+    PARCM_OBS_FLIGHT(obs::FlightKind::kCacheProbe, "bundle", hash, 1);
     return bundle_;
   }
   if (bundle_valid_) PARCM_OBS_COUNT("analysis.cache.invalidations", 1);
   PARCM_OBS_COUNT("analysis.cache.misses", 1);
+  PARCM_OBS_FLIGHT(obs::FlightKind::kCacheProbe, "bundle", hash, 0);
   // Build outside the lock so concurrent acquires of other graphs are not
   // serialized behind a large rebuild.
   lock.unlock();

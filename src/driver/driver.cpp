@@ -1,6 +1,7 @@
 #include "driver/driver.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <ctime>
 #include <mutex>
 #include <numeric>
@@ -8,6 +9,7 @@
 
 #include "analyses/cache.hpp"
 #include "analyses/constprop.hpp"
+#include "driver/forensic.hpp"
 #include "driver/work_queue.hpp"
 #include "ir/printer.hpp"
 #include "lang/lower.hpp"
@@ -18,11 +20,13 @@
 #include "motion/pipeline.hpp"
 #include "motion/sinking.hpp"
 #include "obs/alloc.hpp"
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/remarks.hpp"
 #include "obs/trace.hpp"
 #include "support/diagnostics.hpp"
 #include "support/rng.hpp"
+#include "verify/fuzz.hpp"
 
 namespace parcm::driver {
 
@@ -31,6 +35,12 @@ namespace {
 constexpr std::size_t kDefaultShardCap = 32;
 
 Pipeline build_named_pipeline(const std::string& name) {
+  return make_batch_pipeline(name);
+}
+
+}  // namespace
+
+Pipeline make_batch_pipeline(const std::string& name) {
   if (name == "full") return default_pipeline();
   Pipeline p;
   if (name == "pcm") {
@@ -68,6 +78,8 @@ Pipeline build_named_pipeline(const std::string& name) {
   return p;
 }
 
+namespace {
+
 void default_runner(const BatchJob& job, WorkerContext& ctx,
                     ProgramResult& result, const BatchOptions& options) {
   std::string source = job.text();
@@ -75,7 +87,32 @@ void default_runner(const BatchJob& job, WorkerContext& ctx,
   DiagnosticSink diag;
   Graph g = lang::compile(source, diag);
   PARCM_CHECK(diag.ok(), "parse failed: " + diag.to_string());
+  result.shape_hash = structural_hash(g);
   ctx.check_deadline();
+  if (!options.inject_mode.empty()) {
+    // Injected-miscompile path (forensics drills, oracle stress): the named
+    // pipeline runs through the fuzzer's transformation entry point so one
+    // of its safety ablations can be switched on, then faces the oracle
+    // directly. Deterministic for fixed (source, pipeline, mode, budget) —
+    // a forensic bundle recording this config replays byte-identically.
+    verify::InjectOptions inject;
+    inject.enabled = true;
+    inject.mode = options.inject_mode;
+    Graph out = verify::apply_named_pipeline(options.pipeline, g, inject);
+    ctx.check_deadline();
+    result.nodes_before = g.num_nodes();
+    result.nodes_after = out.num_nodes();
+    if (options.keep_output) result.output = to_text(out);
+    if (options.validate) {
+      std::vector<obs::Remark> remarks = obs::remarks().snapshot();
+      verify::Verdict verdict =
+          verify::differential_check(g, out, options.budget, &remarks);
+      ctx.check_deadline();
+      result.validation = verdict.summary();
+      result.validation_ok = verdict.status != verify::Status::kDiverged;
+    }
+    return;
+  }
   Pipeline pipeline = build_named_pipeline(options.pipeline);
   if (options.validate) pipeline.validate_semantics(options.budget);
   pipeline.on_pass_start(
@@ -84,7 +121,10 @@ void default_runner(const BatchJob& job, WorkerContext& ctx,
   ctx.check_deadline();
   result.nodes_before = g.num_nodes();
   result.nodes_after = res.graph.num_nodes();
-  for (const PassStats& ps : res.passes) result.actions += ps.actions;
+  for (const PassStats& ps : res.passes) {
+    result.actions += ps.actions;
+    result.pass_wall_ms.emplace_back(ps.name, ps.wall_ms);
+  }
   if (options.keep_output) result.output = to_text(res.graph);
   if (res.validation.has_value()) {
     result.validation = res.validation->summary();
@@ -138,6 +178,7 @@ void run_one_job(std::size_t index, std::size_t worker, BatchShared& shared,
   WorkerContext ctx(worker, deadline, has_deadline);
   obs::RemarkSink& sink = obs::remarks();
   sink.clear();
+  PARCM_OBS_FLIGHT(obs::FlightKind::kProgramBegin, job.id, index, 0);
   obs::AllocCounterScope alloc_scope;
   try {
     if (options.test_before_job) options.test_before_job(index);
@@ -173,6 +214,42 @@ void run_one_job(std::size_t index, std::size_t worker, BatchShared& shared,
   result.wall_ms = static_cast<double>(latency_ns) / 1e6;
   PARCM_OBS_HIST("driver.program_latency_ns",
                  static_cast<std::uint64_t>(latency_ns));
+  PARCM_OBS_FLIGHT(obs::FlightKind::kProgramEnd, job.id, index,
+                   static_cast<std::uint64_t>(result.status));
+  // Forensics: a side channel strictly after the result is final — bundles
+  // never feed back into the payload, and a failed dump never fails the
+  // job.
+  const bool forensic_worthy =
+      result.status == JobStatus::kTimedOut ||
+      result.status == JobStatus::kFailed ||
+      (result.status == JobStatus::kDone && !result.validation_ok);
+  if (!options.forensics_dir.empty() && forensic_worthy) {
+    try {
+      ForensicBundle bundle;
+      bundle.reason = result.status == JobStatus::kTimedOut ? "timeout"
+                      : result.status == JobStatus::kFailed
+                          ? "exception"
+                          : "oracle-divergence";
+      bundle.mode = "batch";
+      bundle.id = job.id;
+      bundle.index = index;
+      bundle.source = job.text();
+      bundle.config = ForensicConfig::from_batch_options(options);
+      bundle.outcome = result;
+      bundle.flight = obs::flight().snapshot_current_thread();
+      bundle.metrics_json = obs::registry().to_json(false);
+      constexpr std::size_t kRemarkTail = 50;
+      std::vector<obs::Remark> tail = sink.snapshot();
+      const std::size_t first =
+          tail.size() > kRemarkTail ? tail.size() - kRemarkTail : 0;
+      for (std::size_t i = first; i < tail.size(); ++i) {
+        bundle.remark_tail.push_back(obs::remark_to_string(tail[i]));
+      }
+      write_bundle(bundle, options.forensics_dir);
+    } catch (...) {
+      // An unreadable source or full disk must not take the batch down.
+    }
+  }
   buffer.push_back(std::move(result));
   if (buffer.size() >= std::max<std::size_t>(1, options.drain_batch)) {
     drain_results(shared, buffer);
@@ -315,6 +392,12 @@ BatchReport run_batch(const Manifest& manifest, const BatchOptions& options) {
     report.programs[i].id = manifest.jobs[i].id;
   }
   if (manifest.empty()) return report;
+
+  // Forensic bundles embed a flight-recorder snapshot; arm the recorder
+  // whenever a bundle directory was requested. The recorder writes only to
+  // its own rings and the payload never includes recorder state, so this
+  // cannot perturb report byte-identity.
+  if (!options.forensics_dir.empty()) obs::flight().set_enabled(true);
 
   // Size-ordered sharding: big programs first, dealt round-robin across
   // the per-worker deques; the rest feeds the global injector in the same
@@ -473,6 +556,26 @@ std::string BatchReport::to_json(bool pretty, bool include_timing) const {
     if (include_timing) {
       w.key("wall_ms").value(r.wall_ms);
       w.key("allocs").value(r.allocs);
+      if (!r.pass_wall_ms.empty()) {
+        // Array, not object: pass names repeat ("validate" guards several
+        // stages of the full pipeline).
+        w.key("pass_wall_ms").begin_array();
+        for (const auto& [pass, ms] : r.pass_wall_ms) {
+          w.begin_object();
+          w.key("pass").value(pass);
+          w.key("ms").value(ms);
+          w.end_object();
+        }
+        w.end_array();
+      }
+    }
+    // Content-derived (schedule-independent), so part of the payload: the
+    // profile tool's shape-family cohort key.
+    if (r.shape_hash != 0) {
+      char hex[19];
+      std::snprintf(hex, sizeof(hex), "0x%016llx",
+                    static_cast<unsigned long long>(r.shape_hash));
+      w.key("shape_hash").value(hex);
     }
     w.key("nodes_before").value(r.nodes_before);
     w.key("nodes_after").value(r.nodes_after);

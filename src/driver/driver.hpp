@@ -38,11 +38,16 @@
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "driver/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "verify/verify.hpp"
+
+namespace parcm {
+class Pipeline;
+}
 
 namespace parcm::driver {
 
@@ -93,10 +98,18 @@ struct ProgramResult {
   // operator-new calls made while compiling this program (0 when the
   // counting hook is compiled out; see obs::alloc_hook_active()).
   std::uint64_t allocs = 0;
+  // Structural hash of the *input* graph (analyses/cache.hpp): the shape-
+  // family cohort key for profile attribution. Content-derived and
+  // schedule-independent, so it lives in the deterministic payload; 0 when
+  // the program never compiled.
+  std::uint64_t shape_hash = 0;
   std::size_t nodes_before = 0;
   std::size_t nodes_after = 0;
   std::size_t actions = 0;       // summed pass actions
   std::size_t remark_count = 0;
+  // Per-pass wall clock in pipeline order; timing-only (excluded from the
+  // deterministic payload), feeds parcm_profile's per-pass attribution.
+  std::vector<std::pair<std::string, double>> pass_wall_ms;
   std::vector<std::string> remarks;  // rendered lines (collect_remarks)
   std::string output;                // optimized program text (keep_output)
   // Differential-validation verdict summary; empty when not validated.
@@ -128,6 +141,17 @@ struct BatchOptions {
   bool keep_output = true;
   // Enable the per-worker remark sink and record per-program remark counts.
   bool collect_remarks = true;
+  // When non-empty, every timed-out, failed or oracle-diverged program
+  // dumps a self-contained `parcm-forensic-v1` bundle into this directory
+  // (created on demand). A side channel only: bundles never alter the
+  // report payload, and a bundle-write failure never fails the job.
+  std::string forensics_dir;
+  // Miscompile injection for the default runner (verify::InjectOptions
+  // modes: naive | no-privatize | no-parend-export | no-sink). Empty = run
+  // the real pipeline. Recorded in forensic bundles so replay reproduces
+  // the injected divergence; used by the forensics drills and oracle
+  // stress tests.
+  std::string inject_mode;
   // Additionally retain every rendered remark line in ProgramResult (the
   // determinism suite diffs these; off by default to bound report size).
   bool keep_remark_lines = false;
@@ -194,5 +218,11 @@ struct BatchReport {
 };
 
 BatchReport run_batch(const Manifest& manifest, const BatchOptions& options);
+
+// The named pipeline the default runner builds (full | pcm | naive | bcm |
+// lcm | sinking | dce | constprop). Shared with forensic replay so a
+// bundle's `config.pipeline` string resolves to exactly the batch
+// semantics. Throws on unknown names.
+Pipeline make_batch_pipeline(const std::string& name);
 
 }  // namespace parcm::driver

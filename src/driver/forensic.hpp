@@ -1,0 +1,100 @@
+// Forensic failure bundles: self-contained `parcm-forensic-v1` artifacts.
+//
+// When a program times out, throws, or diverges under the translation-
+// validation oracle, the evidence used to evaporate with the worker's
+// stack. A forensic bundle freezes it: the unparsed program source, the
+// exact pipeline configuration (name, validation budget, timeout box,
+// injected-miscompile mode), the RNG seeds that produced the program (fuzz
+// campaigns), the flight-recorder snapshot of the failing thread, the
+// worker's metrics registry, and the tail of its remark stream — one JSON
+// file a human can read and `parcm_opt --replay` can re-execute.
+//
+// Replay contract: `replay_bundle` rebuilds a single-job batch from the
+// bundle's source + config and runs it through the same code path as the
+// original (driver::run_batch with the default runner), then compares the
+// canonical outcome serialization byte-for-byte. Everything in the outcome
+// is deterministic for a fixed (source, config): status and error strings,
+// shape hash, node/action counts, remark count, validation verdict, and
+// the optimized output text. Wall times, allocation counts and recorder
+// contents are diagnostics, never part of the compared outcome.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "driver/driver.hpp"
+#include "obs/flight.hpp"
+
+namespace parcm::driver {
+
+// The reproducible slice of a batch/fuzz configuration — everything the
+// outcome of one program depends on.
+struct ForensicConfig {
+  std::string pipeline = "full";
+  bool validate = false;
+  bool collect_remarks = true;
+  bool keep_output = true;
+  double timeout_seconds = 0;
+  // verify::InjectOptions mode; empty = no injected miscompile.
+  std::string inject_mode;
+  verify::Budget budget;
+
+  // The BatchOptions that reproduce this config on a one-job batch.
+  BatchOptions to_batch_options() const;
+  static ForensicConfig from_batch_options(const BatchOptions& options);
+};
+
+struct ForensicBundle {
+  // "timeout" | "exception" | "oracle-divergence"
+  std::string reason;
+  // "batch" | "fuzz" — provenance only; replay treats both identically.
+  std::string mode = "batch";
+  std::string id;
+  std::size_t index = 0;
+  std::string source;  // unparsed program text
+  // Fuzz provenance (0/0 for batch bundles).
+  std::uint64_t campaign_seed = 0;
+  std::uint64_t program_seed = 0;
+  // Free-form context (e.g. the fuzz oracle's escalated verdict summary).
+  std::string note;
+  ForensicConfig config;
+  // The canonical outcome (deterministic ProgramResult fields only).
+  ProgramResult outcome;
+  std::vector<obs::FlightEvent> flight;
+  // Embedded `parcm-metrics-v1` object of the failing worker's registry;
+  // empty = omitted.
+  std::string metrics_json;
+  std::vector<std::string> remark_tail;
+};
+
+// Canonical serialization of the deterministic outcome fields — the byte
+// string replay compares. Field order is fixed; schedule-dependent fields
+// (wall_ms, allocs, pass_wall_ms) are excluded.
+std::string outcome_json(const ProgramResult& result);
+
+std::string bundle_to_json(const ForensicBundle& bundle, bool pretty = true);
+
+// "forensic_<index>_<sanitized id>.json" — unique per manifest slot.
+std::string bundle_filename(const ForensicBundle& bundle);
+
+// Creates `dir` if needed and writes the bundle there; returns the full
+// path, or "" with `*error` set. Never throws.
+std::string write_bundle(const ForensicBundle& bundle, const std::string& dir,
+                         std::string* error = nullptr);
+
+struct ReplayResult {
+  bool loaded = false;  // bundle parsed and replay executed
+  bool match = false;   // replayed outcome byte-identical to the recorded one
+  std::string error;    // load/parse failure detail
+  std::string reason;   // the bundle's failure reason
+  std::string id;
+  std::string expected;  // canonical outcome recorded in the bundle
+  std::string actual;    // canonical outcome of the replay
+  ProgramResult result;  // full replayed result (incl. timing diagnostics)
+};
+
+// Loads a bundle and re-runs its program from source under the recorded
+// config. Deterministic: a matching replay produces `expected == actual`.
+ReplayResult replay_bundle(const std::string& path);
+
+}  // namespace parcm::driver

@@ -1,0 +1,428 @@
+#include "driver/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace parcm::driver {
+
+namespace {
+
+std::uint64_t ms_to_ns(double ms) {
+  if (!(ms > 0.0)) return 0;
+  return static_cast<std::uint64_t>(std::llround(ms * 1e6));
+}
+
+// Shared histogram serialization for profile documents: summary stats plus
+// the exact sparse buckets, so profiles re-ingest losslessly. Writes fields
+// into the caller's already-open object.
+void write_hist_fields(const obs::Histogram& h, obs::JsonWriter& w) {
+  w.key("count").value(h.count());
+  w.key("sum_ns").value(h.sum());
+  w.key("min_ns").value(h.min());
+  w.key("max_ns").value(h.max());
+  w.key("mean_ns").value(h.mean());
+  w.key("p50_ns").value(h.p50());
+  w.key("p99_ns").value(h.p99());
+  w.key("buckets").begin_array();
+  const auto& buckets = h.buckets();
+  for (std::size_t b = 0; b < obs::Histogram::kNumBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    w.begin_array();
+    w.value(b);
+    w.value(buckets[b]);
+    w.end_array();
+  }
+  w.end_array();
+}
+
+obs::Histogram parse_hist(const obs::JsonValue& v) {
+  std::vector<std::pair<std::size_t, std::uint64_t>> buckets;
+  for (const obs::JsonValue& pair : v.get_or("buckets").array()) {
+    const auto& items = pair.array();
+    if (items.size() != 2) continue;
+    buckets.emplace_back(static_cast<std::size_t>(items[0].as_u64()),
+                         items[1].as_u64());
+  }
+  // Accept both the profile's *_ns names and the metrics writer's bare
+  // names.
+  const std::uint64_t sum =
+      v.get("sum_ns") ? v.get_or("sum_ns").as_u64() : v.get_or("sum").as_u64();
+  const std::uint64_t min =
+      v.get("min_ns") ? v.get_or("min_ns").as_u64() : v.get_or("min").as_u64();
+  const std::uint64_t max =
+      v.get("max_ns") ? v.get_or("max_ns").as_u64() : v.get_or("max").as_u64();
+  return obs::Histogram::from_serialized(buckets, sum, min, max);
+}
+
+constexpr std::string_view kPassHistPrefix = "pipeline.pass_wall_ns.";
+
+}  // namespace
+
+bool Profile::ingest_file(const std::string& path, std::string* error) {
+  std::string parse_error;
+  std::optional<obs::JsonValue> doc =
+      obs::json_parse_file(path, &parse_error);
+  if (!doc.has_value()) {
+    if (error) *error = parse_error;
+    return false;
+  }
+  return ingest_json(*doc, path, error);
+}
+
+bool Profile::ingest_json(const obs::JsonValue& doc, const std::string& path,
+                          std::string* error) {
+  if (!doc.is_object()) {
+    if (error) *error = path + ": not a JSON object";
+    return false;
+  }
+  ProfileSource src;
+  src.path = path;
+  src.schema = doc.get_or("schema").as_string();
+  bool ok;
+  if (src.schema == "parcm-batch-v1") {
+    ok = ingest_batch(doc, src);
+  } else if (src.schema == "parcm-metrics-v1") {
+    ok = ingest_metrics(doc, src);
+  } else if (src.schema == "parcm-trace-v1") {
+    ok = ingest_trace(doc, src);
+  } else if (src.schema == "parcm-profile-v1") {
+    ok = ingest_profile(doc, src);
+  } else {
+    if (error) {
+      *error = path + ": unrecognized schema '" + src.schema +
+               "' (want parcm-batch-v1 | parcm-metrics-v1 | parcm-trace-v1 "
+               "| parcm-profile-v1)";
+    }
+    return false;
+  }
+  if (ok) sources_.push_back(std::move(src));
+  return ok;
+}
+
+bool Profile::ingest_batch(const obs::JsonValue& doc, ProfileSource& src) {
+  for (const obs::JsonValue& prog : doc.get_or("programs").array()) {
+    const std::string cohort = prog.get_or("shape_hash").as_string();
+    const std::string id = prog.get_or("id").as_string();
+    std::uint64_t pass_sum_ns = 0;
+    for (const obs::JsonValue& entry : prog.get_or("pass_wall_ms").array()) {
+      const std::string pass = entry.get_or("pass").as_string();
+      if (pass.empty()) continue;
+      const std::uint64_t ns = ms_to_ns(entry.get_or("ms").as_double());
+      pass_sum_ns += ns;
+      passes_[pass].record(ns);
+      ++src.samples;
+      if (!cohort.empty()) pairs_[{pass, cohort}].record(ns);
+    }
+    if (!cohort.empty()) {
+      CohortStats& stats = cohorts_[cohort];
+      ++stats.programs;
+      if (stats.example_id.empty()) stats.example_id = id;
+      // Prefer the measured whole-program wall clock; a payload-only
+      // report (include_timing=false) at least carries the pass sum.
+      const std::uint64_t wall = ms_to_ns(prog.get_or("wall_ms").as_double());
+      stats.wall_ns.record(wall != 0 ? wall : pass_sum_ns);
+      ++src.samples;
+    }
+  }
+  return true;
+}
+
+bool Profile::ingest_metrics(const obs::JsonValue& doc, ProfileSource& src) {
+  for (const auto& [name, value] : doc.get_or("histograms").members()) {
+    if (name.size() <= kPassHistPrefix.size() ||
+        name.compare(0, kPassHistPrefix.size(), kPassHistPrefix) != 0) {
+      continue;
+    }
+    obs::Histogram h = parse_hist(value);
+    if (h.count() == 0) continue;
+    passes_[name.substr(kPassHistPrefix.size())].merge_from(h);
+    src.samples += h.count();
+  }
+  return true;
+}
+
+bool Profile::ingest_trace(const obs::JsonValue& doc, ProfileSource& src) {
+  for (const obs::JsonValue& ev : doc.get_or("traceEvents").array()) {
+    if (ev.get_or("ph").as_string() != "X") continue;
+    const std::string name = ev.get_or("name").as_string();
+    if (name.empty()) continue;
+    // Chrome trace durations are microseconds.
+    const std::uint64_t ns = ms_to_ns(ev.get_or("dur").as_double() / 1e3);
+    passes_[name].record(ns);
+    ++src.samples;
+  }
+  return true;
+}
+
+bool Profile::ingest_profile(const obs::JsonValue& doc, ProfileSource& src) {
+  for (const auto& [name, value] : doc.get_or("passes").members()) {
+    obs::Histogram h = parse_hist(value);
+    if (h.count() == 0) continue;
+    passes_[name].merge_from(h);
+    src.samples += h.count();
+  }
+  for (const auto& [cohort, value] : doc.get_or("cohorts").members()) {
+    CohortStats& stats = cohorts_[cohort];
+    stats.programs +=
+        static_cast<std::size_t>(value.get_or("programs").as_u64());
+    if (stats.example_id.empty()) {
+      stats.example_id = value.get_or("example_id").as_string();
+    }
+    stats.wall_ns.merge_from(parse_hist(value));
+  }
+  for (const obs::JsonValue& entry : doc.get_or("pairs").array()) {
+    const std::string pass = entry.get_or("pass").as_string();
+    const std::string cohort = entry.get_or("cohort").as_string();
+    if (pass.empty() || cohort.empty()) continue;
+    pairs_[{pass, cohort}].merge_from(parse_hist(entry));
+  }
+  return true;
+}
+
+std::string Profile::to_json(bool pretty) const {
+  obs::JsonWriter w(pretty);
+  w.begin_object();
+  w.key("schema").value("parcm-profile-v1");
+  w.key("kind").value("aggregate");
+  w.key("sources").begin_array();
+  for (const ProfileSource& s : sources_) {
+    w.begin_object();
+    w.key("path").value(s.path);
+    w.key("schema").value(s.schema);
+    w.key("samples").value(s.samples);
+    w.end_object();
+  }
+  w.end_array();
+  std::uint64_t total_ns = 0;
+  for (const auto& [name, h] : passes_) total_ns += h.sum();
+  w.key("total_pass_ns").value(total_ns);
+  w.key("passes").begin_object();
+  for (const auto& [name, h] : passes_) {
+    w.key(name);
+    w.begin_object();
+    write_hist_fields(h, w);
+    w.key("share").value(
+        total_ns == 0 ? 0.0
+                      : static_cast<double>(h.sum()) /
+                            static_cast<double>(total_ns));
+    w.end_object();
+  }
+  w.end_object();
+  w.key("cohorts").begin_object();
+  for (const auto& [cohort, stats] : cohorts_) {
+    w.key(cohort);
+    w.begin_object();
+    w.key("programs").value(stats.programs);
+    w.key("example_id").value(stats.example_id);
+    write_hist_fields(stats.wall_ns, w);
+    w.end_object();
+  }
+  w.end_object();
+  // Pairs ranked by total attributed time, so readers (and the schema
+  // test) see the dominant (pass, cohort) first.
+  std::vector<const std::pair<const std::pair<std::string, std::string>,
+                              obs::Histogram>*> ranked;
+  for (const auto& entry : pairs_) ranked.push_back(&entry);
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto* a, const auto* b) {
+                     return a->second.sum() > b->second.sum();
+                   });
+  w.key("pairs").begin_array();
+  for (const auto* entry : ranked) {
+    const auto& [key, h] = *entry;
+    w.begin_object();
+    w.key("pass").value(key.first);
+    w.key("cohort").value(key.second);
+    write_hist_fields(h, w);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+std::string Profile::table(std::size_t top) const {
+  std::ostringstream os;
+  std::uint64_t total_ns = 0;
+  for (const auto& [name, h] : passes_) total_ns += h.sum();
+  os << "profile: " << sources_.size() << " source file"
+     << (sources_.size() == 1 ? "" : "s") << ", " << passes_.size()
+     << " passes, " << cohorts_.size() << " shape cohorts\n";
+  char buf[200];
+  if (!passes_.empty()) {
+    std::size_t width = 4;
+    for (const auto& [name, h] : passes_) width = std::max(width, name.size());
+    std::vector<std::pair<std::string, const obs::Histogram*>> ranked;
+    for (const auto& [name, h] : passes_) ranked.emplace_back(name, &h);
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second->sum() > b.second->sum();
+                     });
+    std::snprintf(buf, sizeof(buf), "  %-*s %8s %12s %12s %12s %7s\n",
+                  static_cast<int>(width), "pass", "count", "total ms",
+                  "p50 us", "p99 us", "share");
+    os << buf;
+    for (const auto& [name, h] : ranked) {
+      std::snprintf(
+          buf, sizeof(buf), "  %-*s %8llu %12.3f %12.3f %12.3f %6.1f%%\n",
+          static_cast<int>(width), name.c_str(),
+          static_cast<unsigned long long>(h->count()),
+          static_cast<double>(h->sum()) / 1e6, h->p50() / 1e3,
+          h->p99() / 1e3,
+          total_ns == 0 ? 0.0 : 100.0 * static_cast<double>(h->sum()) /
+                                    static_cast<double>(total_ns));
+      os << buf;
+    }
+  }
+  if (!pairs_.empty()) {
+    std::vector<const std::pair<const std::pair<std::string, std::string>,
+                                obs::Histogram>*> ranked;
+    for (const auto& entry : pairs_) ranked.push_back(&entry);
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto* a, const auto* b) {
+                       return a->second.sum() > b->second.sum();
+                     });
+    os << "top (pass, cohort) pairs:\n";
+    const std::size_t n = std::min(top, ranked.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& [key, h] = *ranked[i];
+      std::snprintf(buf, sizeof(buf),
+                    "  %-14s %-20s %8llu %12.3f ms total %10.3f us p99\n",
+                    key.first.c_str(), key.second.c_str(),
+                    static_cast<unsigned long long>(h.count()),
+                    static_cast<double>(h.sum()) / 1e6, h.p99() / 1e3);
+      os << buf;
+    }
+    if (ranked.size() > n) {
+      os << "  (" << ranked.size() - n << " more)\n";
+    }
+  }
+  return os.str();
+}
+
+Profile::Diff Profile::diff(const Profile& before, const Profile& after) {
+  Diff d;
+  auto entry_for = [](const std::string& pass, const std::string& cohort,
+                      const obs::Histogram* base,
+                      const obs::Histogram* next) {
+    DiffEntry e;
+    e.pass = pass;
+    e.cohort = cohort;
+    if (base != nullptr) {
+      e.base_count = base->count();
+      e.base_mean_ns = base->mean();
+    }
+    if (next != nullptr) {
+      e.new_count = next->count();
+      e.new_mean_ns = next->mean();
+    }
+    e.delta_mean_ns = e.new_mean_ns - e.base_mean_ns;
+    const double weight =
+        static_cast<double>(e.new_count != 0 ? e.new_count : e.base_count);
+    e.score = e.delta_mean_ns * weight;
+    return e;
+  };
+
+  for (const auto& [name, h] : after.passes_) {
+    auto it = before.passes_.find(name);
+    d.passes.push_back(entry_for(
+        name, "", it == before.passes_.end() ? nullptr : &it->second, &h));
+  }
+  for (const auto& [name, h] : before.passes_) {
+    if (after.passes_.count(name) == 0) {
+      d.passes.push_back(entry_for(name, "", &h, nullptr));
+    }
+  }
+  for (const auto& [key, h] : after.pairs_) {
+    auto it = before.pairs_.find(key);
+    d.pairs.push_back(entry_for(
+        key.first, key.second,
+        it == before.pairs_.end() ? nullptr : &it->second, &h));
+  }
+  for (const auto& [key, h] : before.pairs_) {
+    if (after.pairs_.count(key) == 0) {
+      d.pairs.push_back(entry_for(key.first, key.second, &h, nullptr));
+    }
+  }
+  auto by_score = [](const DiffEntry& a, const DiffEntry& b) {
+    return a.score > b.score;
+  };
+  std::stable_sort(d.passes.begin(), d.passes.end(), by_score);
+  std::stable_sort(d.pairs.begin(), d.pairs.end(), by_score);
+  return d;
+}
+
+namespace {
+
+void write_diff_entries(const std::vector<Profile::DiffEntry>& entries,
+                        obs::JsonWriter& w) {
+  w.begin_array();
+  for (const Profile::DiffEntry& e : entries) {
+    w.begin_object();
+    w.key("pass").value(e.pass);
+    if (!e.cohort.empty()) w.key("cohort").value(e.cohort);
+    w.key("base_count").value(e.base_count);
+    w.key("new_count").value(e.new_count);
+    w.key("base_mean_ns").value(e.base_mean_ns);
+    w.key("new_mean_ns").value(e.new_mean_ns);
+    w.key("delta_mean_ns").value(e.delta_mean_ns);
+    w.key("score").value(e.score);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace
+
+std::string Profile::Diff::to_json(bool pretty) const {
+  obs::JsonWriter w(pretty);
+  w.begin_object();
+  w.key("schema").value("parcm-profile-v1");
+  w.key("kind").value("diff");
+  w.key("passes");
+  write_diff_entries(passes, w);
+  w.key("pairs");
+  write_diff_entries(pairs, w);
+  w.end_object();
+  return w.take();
+}
+
+std::string Profile::Diff::table(std::size_t top) const {
+  std::ostringstream os;
+  char buf[200];
+  auto render = [&](const char* title,
+                    const std::vector<DiffEntry>& entries) {
+    if (entries.empty()) return;
+    os << title << "\n";
+    std::size_t width = 4;
+    for (const DiffEntry& e : entries) {
+      width = std::max(width,
+                       e.pass.size() + (e.cohort.empty()
+                                            ? 0
+                                            : e.cohort.size() + 3));
+    }
+    const std::size_t n = std::min(top, entries.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const DiffEntry& e = entries[i];
+      std::string label = e.pass;
+      if (!e.cohort.empty()) label += " @ " + e.cohort;
+      std::snprintf(buf, sizeof(buf),
+                    "  %-*s %12.3f -> %12.3f us mean  %+12.3f us  score %+.3f ms\n",
+                    static_cast<int>(width), label.c_str(),
+                    e.base_mean_ns / 1e3, e.new_mean_ns / 1e3,
+                    e.delta_mean_ns / 1e3, e.score / 1e6);
+      os << buf;
+    }
+    if (entries.size() > n) os << "  (" << entries.size() - n << " more)\n";
+  };
+  render("pass regressions (score = mean delta x samples):", passes);
+  render("(pass, cohort) regressions:", pairs);
+  if (passes.empty() && pairs.empty()) os << "(no overlapping samples)\n";
+  return os.str();
+}
+
+}  // namespace parcm::driver

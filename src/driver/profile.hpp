@@ -1,0 +1,116 @@
+// Corpus cost attribution: the library behind the `parcm_profile` CLI.
+//
+// A Profile ingests the machine-readable artifacts the rest of the tree
+// already emits — `parcm-batch-v1` reports (per-program pass wall times +
+// shape hashes), `parcm-metrics-v1` registries (per-pass latency
+// histograms, reconstructed exactly from their sparse buckets), and
+// `parcm-trace-v1` chrome traces (span durations) — and aggregates cost
+// three ways:
+//
+//   passes    per-pass wall-time distribution (obs::Histogram: p50/p99,
+//             share of total attributed time)
+//   cohorts   per-shape-family distribution, keyed by the structural hash
+//             of the input graph ("all programs shaped like this one"):
+//             whole-program wall time per cohort
+//   pairs     the (pass, cohort) cross product — the granularity at which
+//             a regression is actionable ("sinking got slower, but only on
+//             the deep-par-nest family")
+//
+// `diff` ranks (pass, cohort) pairs of two profiles by regression score
+// (mean delta × sample count, i.e. total wall-time lost), so the top entry
+// names the pass/cohort responsible for a slowdown. Both the aggregate and
+// the diff render as `parcm-profile-v1` JSON, schema-checked like every
+// other artifact.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace parcm::obs {
+class JsonValue;
+}
+
+namespace parcm::driver {
+
+struct ProfileSource {
+  std::string path;
+  std::string schema;       // detected input schema
+  std::uint64_t samples = 0;  // samples this file contributed
+};
+
+struct CohortStats {
+  std::size_t programs = 0;     // distinct program results seen
+  std::string example_id;       // first program id observed in the cohort
+  obs::Histogram wall_ns;       // whole-program wall time
+};
+
+class Profile {
+ public:
+  // Detects the schema by content and dispatches; false + *error on an
+  // unreadable path, malformed JSON, or an unrecognized schema.
+  bool ingest_file(const std::string& path, std::string* error = nullptr);
+  bool ingest_json(const obs::JsonValue& doc, const std::string& path,
+                   std::string* error = nullptr);
+
+  const std::vector<ProfileSource>& sources() const { return sources_; }
+  const std::map<std::string, obs::Histogram>& passes() const {
+    return passes_;
+  }
+  const std::map<std::string, CohortStats>& cohorts() const {
+    return cohorts_;
+  }
+  const std::map<std::pair<std::string, std::string>, obs::Histogram>&
+  pairs() const {
+    return pairs_;
+  }
+  bool empty() const {
+    return passes_.empty() && cohorts_.empty() && pairs_.empty();
+  }
+
+  // `parcm-profile-v1` aggregate document.
+  std::string to_json(bool pretty = false) const;
+  // Aligned human tables (passes by total time, cohorts, top pairs).
+  std::string table(std::size_t top = 20) const;
+
+  struct DiffEntry {
+    std::string pass;
+    std::string cohort;  // "" for pass-level rows
+    std::uint64_t base_count = 0;
+    std::uint64_t new_count = 0;
+    double base_mean_ns = 0;
+    double new_mean_ns = 0;
+    double delta_mean_ns = 0;
+    // delta_mean × new_count: total nanoseconds gained/lost — the ranking
+    // key (descending), so entry 0 is the dominant regression.
+    double score = 0;
+  };
+
+  struct Diff {
+    std::vector<DiffEntry> passes;  // pass-level, ranked by score desc
+    std::vector<DiffEntry> pairs;   // (pass, cohort) level, ranked likewise
+    // `parcm-profile-v1` document with "kind": "diff".
+    std::string to_json(bool pretty = false) const;
+    std::string table(std::size_t top = 10) const;
+  };
+
+  // Attribution of `after - before`: positive scores are regressions.
+  static Diff diff(const Profile& before, const Profile& after);
+
+ private:
+  bool ingest_batch(const obs::JsonValue& doc, ProfileSource& src);
+  bool ingest_metrics(const obs::JsonValue& doc, ProfileSource& src);
+  bool ingest_trace(const obs::JsonValue& doc, ProfileSource& src);
+  bool ingest_profile(const obs::JsonValue& doc, ProfileSource& src);
+
+  std::vector<ProfileSource> sources_;
+  std::map<std::string, obs::Histogram> passes_;
+  std::map<std::string, CohortStats> cohorts_;
+  std::map<std::pair<std::string, std::string>, obs::Histogram> pairs_;
+};
+
+}  // namespace parcm::driver

@@ -8,6 +8,7 @@
 #include "motion/dce.hpp"
 #include "motion/pcm.hpp"
 #include "motion/sinking.hpp"
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/remarks.hpp"
@@ -148,6 +149,8 @@ PipelineResult Pipeline::run(const Graph& g) const {
     PassStats stats;
     stats.name = pass.name;
     stats.nodes_before = res.graph.num_nodes();
+    PARCM_OBS_FLIGHT(obs::FlightKind::kPassStart, pass.name,
+                     stats.nodes_before, 0);
     std::map<std::string, std::uint64_t> before = obs::registry().counters();
     std::size_t remarks_before = obs::remarks().size();
     auto start = std::chrono::steady_clock::now();
@@ -163,6 +166,10 @@ PipelineResult Pipeline::run(const Graph& g) const {
                   .count();
     stats.wall_ms = static_cast<double>(ns) / 1e6;
     PARCM_OBS_HIST("pipeline.pass_wall_ns", static_cast<std::uint64_t>(ns));
+    PARCM_OBS_HIST(std::string("pipeline.pass_wall_ns.") + pass.name,
+                   static_cast<std::uint64_t>(ns));
+    PARCM_OBS_FLIGHT(obs::FlightKind::kPassEnd, pass.name,
+                     static_cast<std::uint64_t>(ns), actions);
     // Attribute the registry counters the pass moved to this PassStats.
     for (const auto& [name, value] : obs::registry().counters()) {
       auto it = before.find(name);
@@ -180,6 +187,8 @@ PipelineResult Pipeline::run(const Graph& g) const {
     stats.name = "differential-validate";
     stats.nodes_before = g.num_nodes();
     stats.nodes_after = res.graph.num_nodes();
+    PARCM_OBS_FLIGHT(obs::FlightKind::kPassStart, stats.name,
+                     stats.nodes_before, 0);
     auto start = std::chrono::steady_clock::now();
     res.validation = verify::differential_check(g, res.graph,
                                                 *semantic_budget_);
@@ -189,6 +198,11 @@ PipelineResult Pipeline::run(const Graph& g) const {
     stats.wall_ms = static_cast<double>(ns) / 1e6;
     stats.actions = res.validation->status == verify::Status::kDiverged;
     PARCM_OBS_COUNT("verify.pipeline.validations", 1);
+    PARCM_OBS_HIST(std::string("pipeline.pass_wall_ns.") + stats.name,
+                   static_cast<std::uint64_t>(ns));
+    PARCM_OBS_FLIGHT(obs::FlightKind::kOracleVerdict, stats.name,
+                     res.validation->original_behaviours,
+                     res.validation->transformed_behaviours);
     res.passes.push_back(std::move(stats));
   }
   return res;

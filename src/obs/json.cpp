@@ -3,6 +3,8 @@
 #include <cctype>
 #include <charconv>
 #include <cmath>
+#include <fstream>
+#include <sstream>
 
 #include "support/diagnostics.hpp"
 
@@ -201,6 +203,317 @@ bool json_valid(std::string_view s) {
   return c.pos == s.size();
 }
 
+std::uint64_t JsonValue::as_u64(std::uint64_t fallback) const {
+  if (!is_number() || number_ < 0 || !std::isfinite(number_)) return fallback;
+  return static_cast<std::uint64_t>(number_);
+}
+
+std::int64_t JsonValue::as_i64(std::int64_t fallback) const {
+  if (!is_number() || !std::isfinite(number_)) return fallback;
+  return static_cast<std::int64_t>(number_);
+}
+
+const JsonValue* JsonValue::get(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const Member& m : members_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::get_or(std::string_view key) const {
+  static const JsonValue kNullValue;
+  const JsonValue* v = get(key);
+  return v != nullptr ? *v : kNullValue;
+}
+
+JsonValue JsonValue::null() { return JsonValue(); }
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+JsonValue JsonValue::number(double n) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = n;
+  return v;
+}
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+JsonValue JsonValue::array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+JsonValue JsonValue::object(std::vector<Member> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+// Recursive-descent parser sharing the grammar of JsonChecker but
+// materializing values. Kept separate: json_valid stays allocation-free for
+// the schema tests that call it on megabyte documents.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view s) : s_(s) {}
+
+  bool parse(JsonValue* out) {
+    if (!value(out, 0)) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  static void append_utf8(std::uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      *out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      *out += static_cast<char>(0xC0 | (cp >> 6));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      *out += static_cast<char>(0xE0 | (cp >> 12));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (cp >> 18));
+      *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool hex4(std::uint32_t* out) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= s_.size()) return false;
+      char c = s_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    *out = v;
+    return true;
+  }
+
+  bool string(std::string* out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return false;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            std::uint32_t cp = 0;
+            if (!hex4(&cp)) return false;
+            // Surrogate pair: combine; a lone surrogate becomes U+FFFD.
+            if (cp >= 0xD800 && cp <= 0xDBFF && pos_ + 1 < s_.size() &&
+                s_[pos_] == '\\' && s_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              std::uint32_t lo = 0;
+              if (!hex4(&lo)) return false;
+              if (lo >= 0xDC00 && lo <= 0xDFFF) {
+                cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+              } else {
+                cp = 0xFFFD;
+              }
+            } else if (cp >= 0xD800 && cp <= 0xDFFF) {
+              cp = 0xFFFD;
+            }
+            append_utf8(cp, out);
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        *out += static_cast<char>(c);
+        ++pos_;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool number(double* out) {
+    std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    auto digits = [this] {
+      std::size_t d = pos_;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+      return pos_ > d;
+    };
+    if (pos_ < s_.size() && s_[pos_] == '0') {
+      ++pos_;
+    } else if (!digits()) {
+      return false;
+    }
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (!digits()) return false;
+    }
+    auto [p, ec] =
+        std::from_chars(s_.data() + start, s_.data() + pos_, *out);
+    return ec == std::errc() && p == s_.data() + pos_;
+  }
+
+  bool value(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return false;
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    char c = s_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind_ = JsonValue::Kind::kObject;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        JsonValue::Member m;
+        if (!string(&m.first)) return false;
+        skip_ws();
+        if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+        ++pos_;
+        if (!value(&m.second, depth + 1)) return false;
+        out->members_.push_back(std::move(m));
+        skip_ws();
+        if (pos_ < s_.size() && s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      if (pos_ >= s_.size() || s_[pos_] != '}') return false;
+      ++pos_;
+      return true;
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind_ = JsonValue::Kind::kArray;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        JsonValue item;
+        if (!value(&item, depth + 1)) return false;
+        out->array_.push_back(std::move(item));
+        skip_ws();
+        if (pos_ < s_.size() && s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      if (pos_ >= s_.size() || s_[pos_] != ']') return false;
+      ++pos_;
+      return true;
+    }
+    if (c == '"') {
+      out->kind_ = JsonValue::Kind::kString;
+      return string(&out->string_);
+    }
+    if (c == 't') {
+      out->kind_ = JsonValue::Kind::kBool;
+      out->bool_ = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out->kind_ = JsonValue::Kind::kBool;
+      out->bool_ = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      out->kind_ = JsonValue::Kind::kNull;
+      return literal("null");
+    }
+    out->kind_ = JsonValue::Kind::kNumber;
+    return number(&out->number_);
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<JsonValue> json_parse(std::string_view s) {
+  JsonValue v;
+  JsonParser p(s);
+  if (!p.parse(&v)) return std::nullopt;
+  return v;
+}
+
+std::optional<JsonValue> json_parse_file(const std::string& path,
+                                         std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::optional<JsonValue> doc = json_parse(buf.str());
+  if (!doc.has_value() && error != nullptr) {
+    *error = path + ": malformed JSON";
+  }
+  return doc;
+}
+
 void JsonWriter::newline_indent() {
   if (!pretty_) return;
   out_ += '\n';
@@ -304,6 +617,12 @@ JsonWriter& JsonWriter::uint_value(std::uint64_t v) {
 JsonWriter& JsonWriter::null() {
   before_value();
   out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw_value(std::string_view json) {
+  before_value();
+  out_ += json;
   return *this;
 }
 

@@ -10,8 +10,11 @@
 
 #include <concepts>
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace parcm::obs {
@@ -28,6 +31,75 @@ bool json_valid(std::string_view s);
 // Shortest round-trip decimal form of v ("null" for non-finite values,
 // which JSON cannot represent).
 std::string json_number(double v);
+
+// Parsed JSON document tree. The forensic-replay and profile tooling reads
+// back the parcm-*-v1 artifacts the writers above produce, so the library
+// needs a reader to match: a small recursive value with object keys kept in
+// document order (the writers emit stable-ordered keys; the reader
+// preserves them so round-trips are diffable).
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull, kBool, kNumber, kString, kArray, kObject
+  };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Typed reads with defaults: never throw, so consumers can probe
+  // optional fields of a bundle without a schema in hand.
+  bool as_bool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double as_double(double fallback = 0.0) const {
+    return is_number() ? number_ : fallback;
+  }
+  std::uint64_t as_u64(std::uint64_t fallback = 0) const;
+  std::int64_t as_i64(std::int64_t fallback = 0) const;
+  const std::string& as_string() const { return string_; }  // "" if not one
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::vector<Member>& members() const { return members_; }
+
+  // Object member lookup (first match); nullptr when absent or not an
+  // object. get_or returns a shared null value instead, so lookups chain:
+  // doc.get_or("config").get_or("pipeline").as_string().
+  const JsonValue* get(std::string_view key) const;
+  const JsonValue& get_or(std::string_view key) const;
+
+  // Builders (used by tests to synthesize fixtures).
+  static JsonValue null();
+  static JsonValue boolean(bool b);
+  static JsonValue number(double v);
+  static JsonValue string(std::string s);
+  static JsonValue array(std::vector<JsonValue> items);
+  static JsonValue object(std::vector<Member> members);
+
+ private:
+  friend class JsonParser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<Member> members_;
+};
+
+// Parses exactly one JSON document (same grammar json_valid accepts);
+// std::nullopt on malformed input. \uXXXX escapes decode to UTF-8.
+std::optional<JsonValue> json_parse(std::string_view s);
+
+// Reads and parses a file; the error string (when non-null) distinguishes
+// unreadable paths from malformed documents.
+std::optional<JsonValue> json_parse_file(const std::string& path,
+                                         std::string* error = nullptr);
 
 class JsonWriter {
  public:
@@ -57,6 +129,12 @@ class JsonWriter {
     }
   }
   JsonWriter& null();
+  // Appends `json` verbatim as the next value (comma/key placement still
+  // handled). For embedding an already-rendered sub-document — e.g. a
+  // `parcm-metrics-v1` object inside a forensic bundle. The caller vouches
+  // that `json` is one well-formed value; pretty-printing does not re-indent
+  // it.
+  JsonWriter& raw_value(std::string_view json);
 
   // The document built so far. Valid once every scope is closed.
   const std::string& str() const { return out_; }

@@ -62,6 +62,23 @@ double Histogram::percentile(double p) const {
   return static_cast<double>(max_);
 }
 
+Histogram Histogram::from_serialized(
+    const std::vector<std::pair<std::size_t, std::uint64_t>>& buckets,
+    std::uint64_t sum, std::uint64_t min, std::uint64_t max) {
+  Histogram h;
+  for (const auto& [bucket, count] : buckets) {
+    if (bucket >= kNumBuckets || count == 0) continue;
+    h.buckets_[bucket] += count;
+    h.count_ += count;
+  }
+  if (h.count_ > 0) {
+    h.sum_ = sum;
+    h.min_ = min;
+    h.max_ = max;
+  }
+  return h;
+}
+
 void Registry::add_counter(std::string_view name, std::uint64_t delta) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
@@ -97,6 +114,25 @@ void Registry::record_hist(std::string_view name, std::uint64_t value) {
     it = histograms_.emplace(std::string(name), Histogram{}).first;
   }
   it->second.record(value);
+}
+
+void Registry::merge_hist(std::string_view name, const Histogram& shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  it->second.merge_from(shard);
+}
+
+void Registry::add_timer_stat(std::string_view name, const TimerStat& stat) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    it = timers_.emplace(std::string(name), TimerStat{}).first;
+  }
+  it->second.count += stat.count;
+  it->second.total_ns += stat.total_ns;
 }
 
 std::map<std::string, std::uint64_t> Registry::counters() const {
@@ -251,6 +287,19 @@ void Registry::write_json(JsonWriter& w) const {
     w.key("p50").value(v.p50());
     w.key("p90").value(v.p90());
     w.key("p99").value(v.p99());
+    // Sparse bucket array [[bucket, count], ...]: the exact distribution,
+    // so consumers (parcm_profile) can merge histograms across files
+    // losslessly instead of averaging the summary statistics.
+    w.key("buckets").begin_array();
+    const auto& buckets = v.buckets();
+    for (std::size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+      if (buckets[b] == 0) continue;
+      w.begin_array();
+      w.value(b);
+      w.value(buckets[b]);
+      w.end_array();
+    }
+    w.end_array();
     w.end_object();
   }
   w.end_object();

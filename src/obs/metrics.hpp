@@ -22,6 +22,8 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #ifndef PARCM_OBS_ENABLED
 #define PARCM_OBS_ENABLED 1
@@ -93,6 +95,14 @@ class Histogram {
     return value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value));
   }
 
+  // Rebuilds a histogram from its serialized sparse buckets plus summary
+  // fields (the `parcm-metrics-v1` on-disk form). Inverse of the JSON
+  // writer up to bucket resolution: a from_serialized histogram merges and
+  // ranks exactly like the original.
+  static Histogram from_serialized(
+      const std::vector<std::pair<std::size_t, std::uint64_t>>& buckets,
+      std::uint64_t sum, std::uint64_t min, std::uint64_t max);
+
  private:
   std::array<std::uint64_t, kNumBuckets> buckets_{};
   std::uint64_t count_ = 0;
@@ -107,6 +117,12 @@ class Registry {
   void set_gauge(std::string_view name, double value);
   void add_timer_ns(std::string_view name, std::uint64_t ns);
   void record_hist(std::string_view name, std::uint64_t value);
+  // Shard re-emission: fold an already-aggregated histogram/timer into the
+  // named entry (exact bucket sums, same as merge_from but per-metric).
+  // Used when a phase measured into per-worker registries and wants the
+  // result visible in the ambient one.
+  void merge_hist(std::string_view name, const Histogram& shard);
+  void add_timer_stat(std::string_view name, const TimerStat& stat);
 
   // Snapshots, lexicographically ordered by name (stable across runs).
   std::map<std::string, std::uint64_t> counters() const;

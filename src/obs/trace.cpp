@@ -71,6 +71,15 @@ detail::TraceThreadBinding& tl_binding() {
   return binding;
 }
 
+// Generations are unique across every TraceSink instance ever constructed,
+// not just monotone per instance: a thread binding holds a raw sink
+// pointer, and a new sink constructed at a recycled address must never
+// validate a stale binding into a freed SpanBuffer.
+std::uint64_t next_generation() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 TraceSink& trace() {
@@ -99,7 +108,9 @@ std::string current_trace_track() {
 
 TraceSink::TraceSink()
     : epoch_(std::chrono::steady_clock::now()),
-      span_capacity_(kDefaultSpanCapacity) {}
+      span_capacity_(kDefaultSpanCapacity) {
+  generation_.store(next_generation(), std::memory_order_relaxed);
+}
 
 TraceSink::~TraceSink() = default;
 
@@ -170,6 +181,7 @@ int TraceSink::begin(std::string_view name) {
 }
 
 void TraceSink::end(int span) {
+  if (span < 0) return;  // begin() dropped the span (full buffer / unbound)
   SpanBuffer* buf = current_buffer();
   if (buf == nullptr) return;  // binding went stale between begin and end
   buf->end(span, now_ns());
@@ -207,7 +219,7 @@ void TraceSink::clear() {
   buffers_.clear();
   // Stale thread-local bindings (including the owner's own) now fail the
   // generation check instead of dangling into freed buffers.
-  generation_.fetch_add(1, std::memory_order_relaxed);
+  generation_.store(next_generation(), std::memory_order_relaxed);
   epoch_ = std::chrono::steady_clock::now();
 }
 

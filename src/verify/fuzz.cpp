@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "driver/driver.hpp"
+#include "driver/forensic.hpp"
 #include "lang/lower.hpp"
 #include "lang/unparse.hpp"
 #include "motion/bcm.hpp"
@@ -13,6 +14,7 @@
 #include "motion/lcm.hpp"
 #include "motion/pipeline.hpp"
 #include "motion/sinking.hpp"
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/remarks.hpp"
@@ -63,7 +65,9 @@ struct ProgramVerdict {
 ProgramVerdict check_one(const FuzzOptions& options,
                          const RandomProgramOptions& gen, std::size_t i) {
   ProgramVerdict slot;
+  const auto check_start = std::chrono::steady_clock::now();
   std::uint64_t pseed = fuzz_program_seed(options.seed, i);
+  PARCM_OBS_FLIGHT(obs::FlightKind::kRngStream, "fuzz-program", pseed, i);
   Rng rng(pseed);
   lang::Program ast = random_program_ast(rng, gen);
   Graph before = lang::lower(ast);
@@ -107,6 +111,15 @@ ProgramVerdict check_one(const FuzzOptions& options,
     }
   }
   slot.ran = true;
+  PARCM_OBS_HIST(
+      "verify.check_latency_ns",
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - check_start)
+              .count()));
+  PARCM_OBS_FLIGHT(obs::FlightKind::kOracleVerdict, status_name(slot.verdict.status),
+                   slot.verdict.original_behaviours,
+                   slot.verdict.transformed_behaviours);
   return slot;
 }
 
@@ -291,10 +304,18 @@ FuzzOutcome run_fuzz(const FuzzOptions& options) {
                   "fuzz program #" + std::to_string(r.index) +
                       " failed: " + r.error);
     }
-    // Re-emit the workers' pipeline/oracle counters into the caller's
-    // registry so a campaign reports the same metrics at any jobs value.
+    // Re-emit the workers' pipeline/oracle metrics into the caller's
+    // registry so a campaign reports the same counters at any jobs value
+    // (timers/histograms additionally carry the driver's own scheduling
+    // metrics, which only exist when the batch driver ran).
     for (const auto& [name, delta] : report.counters) {
       obs::registry().add_counter(name, delta);
+    }
+    for (const auto& [name, stat] : report.timers) {
+      obs::registry().add_timer_stat(name, stat);
+    }
+    for (const auto& [name, hist] : report.histograms) {
+      obs::registry().merge_hist(name, hist);
     }
   } else {
     const auto start = std::chrono::steady_clock::now();
@@ -369,6 +390,51 @@ FuzzOutcome run_fuzz(const FuzzOptions& options) {
       failure.reduced_source = failure.source;
       failure.reduced_stmts = count_statements(ast);
       failure.reduced_nodes = lang::lower(ast).num_nodes();
+    }
+    if (!options.forensics_dir.empty()) {
+      try {
+        driver::ForensicBundle bundle;
+        bundle.reason = "oracle-divergence";
+        bundle.mode = "fuzz";
+        bundle.id = "fuzz-" + std::to_string(options.seed) + "-" +
+                    std::to_string(i);
+        bundle.index = i;
+        bundle.source = failure.source;
+        bundle.campaign_seed = options.seed;
+        bundle.program_seed = pseed;
+        // The campaign's (possibly exact-escalated) verdict, for the human
+        // reader; the replayable outcome below is computed at base budget.
+        bundle.note = verdict.summary();
+        bundle.config.pipeline = options.pipeline;
+        bundle.config.validate = true;
+        bundle.config.inject_mode =
+            options.inject.enabled ? options.inject.mode : "";
+        bundle.config.budget = options.budget;
+        // Outcome through the replay core itself (one-job batch under the
+        // recorded config), so `parcm_opt --replay` matches byte-for-byte
+        // by construction.
+        driver::Manifest one = driver::Manifest::from_sources(
+            {{bundle.id, bundle.source}});
+        driver::BatchOptions replay_opts = bundle.config.to_batch_options();
+        replay_opts.keep_remark_lines = true;
+        driver::BatchReport replayed = driver::run_batch(one, replay_opts);
+        if (!replayed.programs.empty()) {
+          bundle.outcome = replayed.programs[0];
+          constexpr std::size_t kRemarkTail = 50;
+          const std::vector<std::string>& lines = bundle.outcome.remarks;
+          const std::size_t first =
+              lines.size() > kRemarkTail ? lines.size() - kRemarkTail : 0;
+          bundle.remark_tail.assign(lines.begin() +
+                                        static_cast<std::ptrdiff_t>(first),
+                                    lines.end());
+          bundle.outcome.remarks.clear();
+        }
+        bundle.flight = obs::flight().snapshot();
+        bundle.metrics_json = obs::registry().to_json(false);
+        driver::write_bundle(bundle, options.forensics_dir);
+      } catch (...) {
+        // Forensics are best-effort; the campaign result stands either way.
+      }
     }
     if (!options.out_dir.empty()) {
       std::ostringstream name;

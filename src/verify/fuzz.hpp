@@ -54,6 +54,10 @@ struct FuzzOptions {
   // When non-empty, write repro_<seed>_<index>.parcm and a sibling
   // .regression.cpp into this directory.
   std::string out_dir;
+  // When non-empty, every recorded divergence also dumps a self-contained
+  // `parcm-forensic-v1` bundle (source, config, seeds, recorder snapshot)
+  // into this directory; replay with `parcm_opt --replay <bundle>`.
+  std::string forensics_dir;
 
   FuzzOptions();
 };

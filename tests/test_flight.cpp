@@ -1,0 +1,163 @@
+// Flight recorder: bounded per-thread rings, wraparound, concurrent
+// snapshot safety, generation-guarded clear.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight.hpp"
+#include "obs/json.hpp"
+
+namespace parcm {
+namespace {
+
+using obs::FlightEvent;
+using obs::FlightKind;
+using obs::FlightRecorder;
+
+TEST(Flight, DisabledRecorderRecordsNothing) {
+  FlightRecorder fr;
+  fr.record(FlightKind::kNote, "ignored", 1, 2);
+  EXPECT_TRUE(fr.snapshot().empty());
+  EXPECT_EQ(fr.total_recorded(), 0u);
+}
+
+TEST(Flight, RecordsInOrderWithPayload) {
+  FlightRecorder fr;
+  fr.set_enabled(true);
+  fr.record(FlightKind::kPassStart, "pcm", 10, 0);
+  fr.record(FlightKind::kPassEnd, "pcm", 1234, 3);
+  fr.record(FlightKind::kCacheProbe, "bundle", 0xabcd, 1);
+  std::vector<FlightEvent> events = fr.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, FlightKind::kPassStart);
+  EXPECT_EQ(events[0].label, "pcm");
+  EXPECT_EQ(events[0].a, 10u);
+  EXPECT_EQ(events[1].kind, FlightKind::kPassEnd);
+  EXPECT_EQ(events[1].a, 1234u);
+  EXPECT_EQ(events[1].b, 3u);
+  EXPECT_EQ(events[2].kind, FlightKind::kCacheProbe);
+  EXPECT_EQ(events[2].a, 0xabcdu);
+  // Per-ring sequence numbers are monotone from 0.
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_EQ(events[2].seq, 2u);
+  EXPECT_EQ(fr.total_recorded(), 3u);
+}
+
+TEST(Flight, WraparoundKeepsMostRecent) {
+  FlightRecorder fr;
+  fr.set_capacity(8);
+  fr.set_enabled(true);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    fr.record(FlightKind::kNote, "n", i, 0);
+  }
+  std::vector<FlightEvent> events = fr.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // The survivors are exactly the last 8, oldest first.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, 92 + i) << i;
+    EXPECT_EQ(events[i].seq, 92 + i) << i;
+  }
+  EXPECT_EQ(fr.total_recorded(), 100u);
+}
+
+TEST(Flight, LabelTruncatesAtCapacity) {
+  FlightRecorder fr;
+  fr.set_enabled(true);
+  const std::string long_label(100, 'x');
+  fr.record(FlightKind::kNote, long_label);
+  std::vector<FlightEvent> events = fr.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].label,
+            long_label.substr(0, FlightRecorder::kLabelBytes));
+}
+
+TEST(Flight, PerThreadRingsAndCurrentThreadView) {
+  FlightRecorder fr;
+  fr.set_enabled(true);
+  fr.record(FlightKind::kNote, "main-event", 1, 0);
+  std::thread worker([&fr] {
+    fr.record(FlightKind::kNote, "worker-event", 2, 0);
+    std::vector<FlightEvent> mine = fr.snapshot_current_thread();
+    ASSERT_EQ(mine.size(), 1u);
+    EXPECT_EQ(mine[0].label, "worker-event");
+  });
+  worker.join();
+  std::vector<FlightEvent> mine = fr.snapshot_current_thread();
+  ASSERT_EQ(mine.size(), 1u);
+  EXPECT_EQ(mine[0].label, "main-event");
+  // The full snapshot sees both rings with distinct track names.
+  std::vector<FlightEvent> all = fr.snapshot();
+  ASSERT_EQ(all.size(), 2u);
+  std::set<std::string> tracks{all[0].track, all[1].track};
+  EXPECT_EQ(tracks.size(), 2u);
+}
+
+TEST(Flight, SnapshotWhileWritersAreHotNeverTears) {
+  FlightRecorder fr;
+  fr.set_capacity(16);
+  fr.set_enabled(true);
+  std::atomic<bool> stop{false};
+  // Writers stamp a == b; a torn slot would surface as a != b.
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&fr, &stop] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        fr.record(FlightKind::kNote, "hot", i, i);
+        ++i;
+      }
+    });
+  }
+  for (int round = 0; round < 200; ++round) {
+    for (const FlightEvent& e : fr.snapshot()) {
+      ASSERT_EQ(e.a, e.b) << "torn event surfaced from a snapshot";
+    }
+  }
+  stop.store(true);
+  for (std::thread& w : writers) w.join();
+}
+
+TEST(Flight, ClearDropsRingsAndRebinds) {
+  FlightRecorder fr;
+  fr.set_enabled(true);
+  fr.record(FlightKind::kNote, "before");
+  ASSERT_EQ(fr.snapshot().size(), 1u);
+  fr.clear();
+  EXPECT_TRUE(fr.snapshot().empty());
+  EXPECT_EQ(fr.total_recorded(), 0u);
+  // The stale thread binding must not resurrect the dropped ring.
+  fr.record(FlightKind::kNote, "after", 7, 0);
+  std::vector<FlightEvent> events = fr.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].label, "after");
+  EXPECT_EQ(events[0].seq, 0u);
+}
+
+TEST(Flight, EventsJsonIsValidAndComplete) {
+  FlightRecorder fr;
+  fr.set_enabled(true);
+  fr.record(FlightKind::kPassStart, "needs \"escaping\"", 1, 2);
+  fr.record(FlightKind::kOracleVerdict, "diverged", 4, 6);
+  obs::JsonWriter w;
+  FlightRecorder::write_events_json(fr.snapshot(), w);
+  std::string json = w.take();
+  EXPECT_TRUE(obs::json_valid(json)) << json;
+  EXPECT_NE(json.find("\"pass-start\""), std::string::npos);
+  EXPECT_NE(json.find("\"oracle-verdict\""), std::string::npos);
+  EXPECT_NE(json.find("needs \\\"escaping\\\""), std::string::npos);
+}
+
+TEST(Flight, KindNamesAreStable) {
+  EXPECT_STREQ(obs::flight_kind_name(FlightKind::kPassStart), "pass-start");
+  EXPECT_STREQ(obs::flight_kind_name(FlightKind::kCacheProbe), "cache-probe");
+  EXPECT_STREQ(obs::flight_kind_name(FlightKind::kRngStream), "rng-stream");
+  EXPECT_STREQ(obs::flight_kind_name(FlightKind::kNote), "note");
+}
+
+}  // namespace
+}  // namespace parcm

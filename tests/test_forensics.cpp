@@ -1,0 +1,271 @@
+// Forensic failure bundles: every failure class (timeout, exception,
+// oracle divergence) in a multi-worker batch must produce a
+// parcm-forensic-v1 bundle whose replay reproduces the recorded outcome
+// byte-for-byte — while the batch payload itself stays byte-identical
+// whether or not the forensic side channel and flight recorder are armed.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/driver.hpp"
+#include "driver/forensic.hpp"
+#include "lang/unparse.hpp"
+#include "obs/flight.hpp"
+#include "obs/json.hpp"
+#include "verify/fuzz.hpp"
+
+namespace parcm {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A fresh unique directory under the build tree's temp space.
+fs::path fresh_dir(const std::string& tag) {
+  fs::path dir = fs::temp_directory_path() /
+                 ("parcm_forensics_" + tag + "_" +
+                  std::to_string(static_cast<unsigned>(::getpid())));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::vector<fs::path> bundle_paths(const fs::path& dir) {
+  std::vector<fs::path> out;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    if (e.path().extension() == ".json") out.push_back(e.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t count_diverged(const driver::BatchReport& report) {
+  std::size_t n = 0;
+  for (const driver::ProgramResult& r : report.programs) {
+    if (r.status == driver::JobStatus::kDone && !r.validation_ok) ++n;
+  }
+  return n;
+}
+
+driver::Manifest gen_manifest(std::size_t count, std::uint64_t seed) {
+  RandomProgramOptions gen = verify::default_fuzz_gen();
+  return driver::Manifest::lazy(count, "gen" + std::to_string(seed),
+                                [seed, gen](std::size_t i) {
+                                  return lang::to_source(
+                                      verify::fuzz_program(seed, i, gen));
+                                });
+}
+
+TEST(Forensics, DivergenceBundlesReplayByteForByte) {
+  fs::path dir = fresh_dir("diverge");
+  driver::BatchOptions opt;
+  opt.jobs = 8;
+  opt.validate = true;
+  opt.inject_mode = "naive";
+  opt.budget.max_states = 32768;
+  opt.forensics_dir = dir.string();
+  driver::BatchReport report = driver::run_batch(gen_manifest(12, 42), opt);
+  const std::size_t diverged = count_diverged(report);
+  ASSERT_GT(diverged, 0u)
+      << "injected naive placement should diverge on the gen corpus";
+
+  std::vector<fs::path> bundles = bundle_paths(dir);
+  ASSERT_EQ(bundles.size(), diverged);
+  for (const fs::path& p : bundles) {
+    driver::ReplayResult rr = driver::replay_bundle(p.string());
+    ASSERT_TRUE(rr.loaded) << p << ": " << rr.error;
+    EXPECT_EQ(rr.reason, "oracle-divergence") << p;
+    EXPECT_TRUE(rr.match) << p << "\n-- recorded --\n"
+                          << rr.expected << "\n-- replayed --\n"
+                          << rr.actual;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Forensics, TimeoutBundlesReplayByteForByte) {
+  fs::path dir = fresh_dir("timeout");
+  driver::BatchOptions opt;
+  opt.jobs = 8;
+  // Every deadline check fires immediately — deterministically, in the
+  // original run and in the replay alike.
+  opt.timeout_seconds = 1e-9;
+  opt.forensics_dir = dir.string();
+  driver::BatchReport report = driver::run_batch(gen_manifest(8, 7), opt);
+  ASSERT_GT(report.totals.timed_out, 0u);
+
+  std::vector<fs::path> bundles = bundle_paths(dir);
+  ASSERT_EQ(bundles.size(), report.totals.timed_out);
+  for (const fs::path& p : bundles) {
+    driver::ReplayResult rr = driver::replay_bundle(p.string());
+    ASSERT_TRUE(rr.loaded) << p << ": " << rr.error;
+    EXPECT_EQ(rr.reason, "timeout") << p;
+    EXPECT_TRUE(rr.match) << p << "\n-- recorded --\n"
+                          << rr.expected << "\n-- replayed --\n"
+                          << rr.actual;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Forensics, ExceptionBundlesReplayByteForByte) {
+  fs::path dir = fresh_dir("exception");
+  driver::Manifest manifest = driver::Manifest::from_sources({
+      {"ok", "v0 := 1;\n"},
+      {"broken-1", "this is not a parcm program {{{"},
+      {"broken-2", "par { v0 := 1; } and { oops"},
+  });
+  driver::BatchOptions opt;
+  opt.jobs = 8;
+  opt.forensics_dir = dir.string();
+  driver::BatchReport report = driver::run_batch(manifest, opt);
+  ASSERT_EQ(report.totals.failed, 2u);
+
+  std::vector<fs::path> bundles = bundle_paths(dir);
+  ASSERT_EQ(bundles.size(), 2u);
+  for (const fs::path& p : bundles) {
+    driver::ReplayResult rr = driver::replay_bundle(p.string());
+    ASSERT_TRUE(rr.loaded) << p << ": " << rr.error;
+    EXPECT_EQ(rr.reason, "exception") << p;
+    EXPECT_TRUE(rr.match) << p << "\n-- recorded --\n"
+                          << rr.expected << "\n-- replayed --\n"
+                          << rr.actual;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Forensics, MixedFailureStressEveryBundleReplays) {
+  // The acceptance scenario: one --jobs 8 batch containing all three
+  // failure classes at once. Parse failures and divergences mix with clean
+  // programs; every emitted bundle must replay.
+  fs::path dir = fresh_dir("mixed");
+  driver::Manifest manifest = gen_manifest(10, 11);
+  manifest.jobs.push_back({});
+  manifest.jobs.back().id = "broken";
+  manifest.jobs.back().source = "definitely not parsable (((";
+  driver::BatchOptions opt;
+  opt.jobs = 8;
+  opt.validate = true;
+  opt.inject_mode = "naive";
+  opt.budget.max_states = 32768;
+  opt.forensics_dir = dir.string();
+  driver::BatchReport report = driver::run_batch(manifest, opt);
+  const std::size_t diverged = count_diverged(report);
+  ASSERT_GT(report.totals.failed, 0u);
+  ASSERT_GT(diverged, 0u);
+
+  std::vector<fs::path> bundles = bundle_paths(dir);
+  ASSERT_EQ(bundles.size(), report.totals.failed + diverged);
+  for (const fs::path& p : bundles) {
+    driver::ReplayResult rr = driver::replay_bundle(p.string());
+    ASSERT_TRUE(rr.loaded) << p << ": " << rr.error;
+    EXPECT_TRUE(rr.match) << p << "\n-- recorded --\n"
+                          << rr.expected << "\n-- replayed --\n"
+                          << rr.actual;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Forensics, PayloadIsByteIdenticalWithRecorderAndForensicsArmed) {
+  // Arming the flight recorder + bundle side channel must not perturb the
+  // batch payload: forensics are observers, never participants.
+  driver::Manifest manifest = gen_manifest(12, 42);
+  driver::BatchOptions plain;
+  plain.jobs = 4;
+  plain.validate = true;
+  plain.inject_mode = "naive";
+  plain.budget.max_states = 32768;
+  std::string base = driver::run_batch(manifest, plain)
+                         .to_json(false, /*include_timing=*/false);
+
+  fs::path dir = fresh_dir("identity");
+  driver::BatchOptions armed = plain;
+  armed.jobs = 8;
+  armed.forensics_dir = dir.string();
+  obs::flight().set_enabled(true);
+  std::string hot = driver::run_batch(manifest, armed)
+                        .to_json(false, /*include_timing=*/false);
+  obs::flight().set_enabled(false);
+  obs::flight().clear();
+  EXPECT_EQ(base, hot);
+  EXPECT_FALSE(bundle_paths(dir).empty());
+  fs::remove_all(dir);
+}
+
+TEST(Forensics, BundleJsonIsValidAndSelfContained) {
+  fs::path dir = fresh_dir("schema");
+  driver::BatchOptions opt;
+  opt.jobs = 2;
+  opt.validate = true;
+  opt.inject_mode = "naive";
+  opt.budget.max_states = 32768;
+  opt.forensics_dir = dir.string();
+  obs::flight().set_enabled(true);
+  driver::run_batch(gen_manifest(12, 42), opt);
+  obs::flight().set_enabled(false);
+  obs::flight().clear();
+
+  std::vector<fs::path> bundles = bundle_paths(dir);
+  ASSERT_FALSE(bundles.empty());
+  std::ifstream in(bundles[0]);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_TRUE(obs::json_valid(json));
+  std::optional<obs::JsonValue> doc = obs::json_parse(json);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->get_or("schema").as_string(), "parcm-forensic-v1");
+  EXPECT_EQ(doc->get_or("reason").as_string(), "oracle-divergence");
+  // Self-contained: source, config, outcome, recorder events all inline.
+  EXPECT_FALSE(doc->get_or("source").as_string().empty());
+  EXPECT_EQ(doc->get_or("config").get_or("inject_mode").as_string(),
+            "naive");
+  EXPECT_EQ(doc->get_or("outcome").get_or("status").as_string(), "done");
+  EXPECT_TRUE(doc->get_or("flight").is_array());
+#if PARCM_OBS_ENABLED
+  // The recorder macros compile out under PARCM_OBS=OFF, leaving a valid
+  // but empty event tail; with instrumentation on the tail must be live.
+  EXPECT_FALSE(doc->get_or("flight").array().empty());
+#endif
+  fs::remove_all(dir);
+}
+
+TEST(Forensics, ReplayRejectsGarbage) {
+  driver::ReplayResult rr = driver::replay_bundle("/nonexistent/bundle.json");
+  EXPECT_FALSE(rr.loaded);
+  EXPECT_FALSE(rr.error.empty());
+
+  fs::path dir = fresh_dir("garbage");
+  fs::path not_a_bundle = dir / "x.json";
+  std::ofstream(not_a_bundle) << "{\"schema\": \"parcm-batch-v1\"}";
+  rr = driver::replay_bundle(not_a_bundle.string());
+  EXPECT_FALSE(rr.loaded);
+  EXPECT_NE(rr.error.find("parcm-forensic-v1"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+#ifdef PARCM_OPT_BIN
+TEST(Forensics, ReplayCliMatchesInProcessReplay) {
+  fs::path dir = fresh_dir("cli");
+  driver::BatchOptions opt;
+  opt.jobs = 4;
+  opt.validate = true;
+  opt.inject_mode = "naive";
+  opt.budget.max_states = 32768;
+  opt.forensics_dir = dir.string();
+  driver::run_batch(gen_manifest(12, 42), opt);
+  std::vector<fs::path> bundles = bundle_paths(dir);
+  ASSERT_FALSE(bundles.empty());
+  std::string cmd = std::string(PARCM_OPT_BIN) + " --replay " +
+                    bundles[0].string() + " > /dev/null 2>&1";
+  EXPECT_EQ(std::system(cmd.c_str()), 0) << cmd;
+  fs::remove_all(dir);
+}
+#endif
+
+}  // namespace
+}  // namespace parcm

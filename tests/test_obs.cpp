@@ -166,6 +166,79 @@ TEST(Histogram, MergeIsExact) {
   EXPECT_DOUBLE_EQ(a.p99(), whole.p99());
 }
 
+TEST(Histogram, EmptyPercentilesAreZero) {
+  obs::Histogram h;
+  for (double p : {0.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_EQ(h.percentile(p), 0.0) << p;
+  }
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, BucketSaturationAtUint64Max) {
+  // The top bucket (index 64) absorbs the largest representable values;
+  // sums may wrap but percentiles stay clamped to the observed max.
+  obs::Histogram h;
+  const std::uint64_t top = ~std::uint64_t{0};
+  h.record(top);
+  h.record(top - 1);
+  h.record(1);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.buckets()[64], 2u);
+  EXPECT_EQ(h.max(), top);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.percentile(100.0), static_cast<double>(top));
+  EXPECT_LE(h.p99(), static_cast<double>(top));
+  EXPECT_GE(h.p99(), 1.0);
+}
+
+TEST(Histogram, DisjointShardsMergeExactly) {
+  // Shards whose value ranges do not overlap at all (distinct buckets):
+  // the merge must still equal the histogram of the concatenation.
+  obs::Histogram lo, hi, whole;
+  for (std::uint64_t v = 1; v <= 64; ++v) {
+    lo.record(v);
+    whole.record(v);
+  }
+  for (std::uint64_t v = 1 << 20; v < (1 << 20) + 64; ++v) {
+    hi.record(v);
+    whole.record(v);
+  }
+  lo.merge_from(hi);
+  EXPECT_EQ(lo, whole);
+  EXPECT_EQ(lo.min(), 1u);
+  EXPECT_EQ(lo.max(), (1u << 20) + 63);
+  EXPECT_DOUBLE_EQ(lo.p50(), whole.p50());
+  EXPECT_DOUBLE_EQ(lo.p99(), whole.p99());
+  // Merging an empty shard is the identity.
+  obs::Histogram empty;
+  obs::Histogram copy = lo;
+  copy.merge_from(empty);
+  EXPECT_EQ(copy, lo);
+}
+
+TEST(Histogram, FromSerializedRoundTripsBucketsAndStats) {
+  obs::Histogram h;
+  for (std::uint64_t v : {0u, 1u, 7u, 4096u, 70000u}) h.record(v);
+  std::vector<std::pair<std::size_t, std::uint64_t>> sparse;
+  for (std::size_t b = 0; b < obs::Histogram::kNumBuckets; ++b) {
+    if (h.buckets()[b] != 0) sparse.emplace_back(b, h.buckets()[b]);
+  }
+  obs::Histogram back =
+      obs::Histogram::from_serialized(sparse, h.sum(), h.min(), h.max());
+  EXPECT_EQ(back, h);
+
+  // Degenerate inputs: no buckets -> a pristine empty histogram (stats are
+  // ignored); out-of-range bucket indices are dropped, not UB.
+  obs::Histogram empty = obs::Histogram::from_serialized({}, 99, 1, 98);
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.min(), 0u);
+  obs::Histogram bogus =
+      obs::Histogram::from_serialized({{1000, 5}, {2, 1}}, 3, 3, 3);
+  EXPECT_EQ(bogus.count(), 1u);
+}
+
 TEST(Registry, HistogramRecordAndSnapshot) {
   obs::Registry r;
   r.record_hist("lat", 10);
@@ -306,6 +379,39 @@ TEST(Trace, ExplicitSinkSpans) {
   EXPECT_GE(sink.spans()[0].dur_ns, sink.spans()[1].dur_ns);
   sink.clear();
   EXPECT_TRUE(sink.spans().empty());
+}
+
+TEST(Trace, BufferOverflowDropsAndCounts) {
+  // A span buffer that fills up must reject further spans (handle -1),
+  // count every rejection, and keep the spans it already holds intact —
+  // the wraparound contract of the fixed-capacity ring.
+  obs::TraceSink sink;
+  sink.set_span_capacity(4);
+  sink.set_enabled(true);
+  for (int i = 0; i < 4; ++i) {
+    int s = sink.begin("kept-" + std::to_string(i));
+    ASSERT_GE(s, 0) << i;
+    sink.end(s);
+  }
+  for (int i = 0; i < 10; ++i) {
+    int s = sink.begin("dropped");
+    EXPECT_EQ(s, -1) << i;
+    sink.end(s);  // ending a rejected span must be harmless
+  }
+  EXPECT_EQ(sink.spans().size(), 4u);
+  EXPECT_EQ(sink.dropped(), 10u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(sink.spans()[i].name, "kept-" + std::to_string(i));
+  }
+  // clear() resets the ring and the drop counter: capacity is available
+  // again.
+  sink.clear();
+  EXPECT_EQ(sink.dropped(), 0u);
+  int s = sink.begin("after-clear");
+  EXPECT_GE(s, 0);
+  sink.end(s);
+  ASSERT_EQ(sink.spans().size(), 1u);
+  EXPECT_EQ(sink.spans()[0].name, "after-clear");
 }
 
 }  // namespace

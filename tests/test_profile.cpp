@@ -1,0 +1,207 @@
+// parcm_profile's library: artifact ingestion, lossless histogram
+// round-trips, aggregate schema, and regression attribution via diff.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "driver/driver.hpp"
+#include "driver/profile.hpp"
+#include "lang/unparse.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "verify/fuzz.hpp"
+
+namespace parcm {
+namespace {
+
+using driver::Profile;
+
+// A synthetic parcm-batch-v1 report with controlled pass times (ms).
+std::string batch_json(
+    const std::vector<std::pair<std::string, std::vector<std::pair<std::string, double>>>>& programs,
+    const std::string& cohort) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("parcm-batch-v1");
+  w.key("programs").begin_array();
+  for (const auto& [id, passes] : programs) {
+    w.begin_object();
+    w.key("id").value(id);
+    w.key("shape_hash").value(cohort);
+    double wall = 0;
+    for (const auto& [pass, ms] : passes) wall += ms;
+    w.key("wall_ms").value(wall);
+    w.key("pass_wall_ms").begin_array();
+    for (const auto& [pass, ms] : passes) {
+      w.begin_object();
+      w.key("pass").value(pass);
+      w.key("ms").value(ms);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+TEST(Profile, IngestsBatchReport) {
+  Profile p;
+  std::string error;
+  std::optional<obs::JsonValue> doc = obs::json_parse(batch_json(
+      {{"p0", {{"pcm", 2.0}, {"dce", 1.0}}},
+       {"p1", {{"pcm", 4.0}, {"dce", 1.0}}}},
+      "0xdeadbeef"));
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(p.ingest_json(*doc, "synthetic", &error)) << error;
+  ASSERT_EQ(p.passes().size(), 2u);
+  EXPECT_EQ(p.passes().at("pcm").count(), 2u);
+  EXPECT_EQ(p.passes().at("pcm").sum(), 6'000'000u);  // 6 ms in ns
+  ASSERT_EQ(p.cohorts().size(), 1u);
+  EXPECT_EQ(p.cohorts().at("0xdeadbeef").programs, 2u);
+  EXPECT_EQ(p.cohorts().at("0xdeadbeef").example_id, "p0");
+  EXPECT_EQ(p.pairs().size(), 2u);
+  EXPECT_EQ(p.pairs().at({"pcm", "0xdeadbeef"}).count(), 2u);
+}
+
+TEST(Profile, RejectsUnknownSchema) {
+  Profile p;
+  std::string error;
+  std::optional<obs::JsonValue> doc =
+      obs::json_parse("{\"schema\": \"parcm-mystery-v1\"}");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_FALSE(p.ingest_json(*doc, "x.json", &error));
+  EXPECT_NE(error.find("parcm-mystery-v1"), std::string::npos);
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(Profile, MetricsHistogramsRoundTripLosslessly) {
+  // A registry histogram serialized to parcm-metrics-v1 and re-ingested
+  // must rank identically to the original: the sparse buckets carry the
+  // full distribution, not just the summary stats.
+  obs::Registry r;
+  for (std::uint64_t v : {100u, 200u, 3000u, 40000u, 40001u, 500000u}) {
+    r.record_hist("pipeline.pass_wall_ns.pcm", v);
+  }
+  r.record_hist("unrelated.metric", 7);  // must NOT become a pass
+  std::optional<obs::JsonValue> doc = obs::json_parse(r.to_json(false));
+  ASSERT_TRUE(doc.has_value());
+
+  Profile p;
+  std::string error;
+  ASSERT_TRUE(p.ingest_json(*doc, "metrics", &error)) << error;
+  ASSERT_EQ(p.passes().size(), 1u);
+  const obs::Histogram& got = p.passes().at("pcm");
+  const obs::Histogram want = r.histogram("pipeline.pass_wall_ns.pcm");
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(got.p99(), want.p99());
+}
+
+TEST(Profile, AggregateJsonIsValidTaggedAndReingestible) {
+  Profile p;
+  std::string error;
+  std::optional<obs::JsonValue> doc = obs::json_parse(batch_json(
+      {{"p0", {{"pcm", 2.0}, {"sinking", 0.5}}}}, "0x1"));
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(p.ingest_json(*doc, "synthetic", &error)) << error;
+
+  for (bool pretty : {false, true}) {
+    std::string json = p.to_json(pretty);
+    EXPECT_TRUE(obs::json_valid(json)) << json;
+    EXPECT_NE(json.find("parcm-profile-v1"), std::string::npos);
+  }
+
+  // Round trip: an aggregate document re-ingests into an equal profile.
+  std::optional<obs::JsonValue> agg = obs::json_parse(p.to_json(false));
+  ASSERT_TRUE(agg.has_value());
+  Profile p2;
+  ASSERT_TRUE(p2.ingest_json(*agg, "agg", &error)) << error;
+  EXPECT_EQ(p2.passes(), p.passes());
+  EXPECT_EQ(p2.pairs(), p.pairs());
+  ASSERT_EQ(p2.cohorts().size(), 1u);
+  EXPECT_EQ(p2.cohorts().at("0x1").wall_ns, p.cohorts().at("0x1").wall_ns);
+}
+
+TEST(Profile, DiffNamesThePerturbedPassAndCohort) {
+  // Baseline: two cohorts, all passes cheap. Perturbed: pcm on cohort 0xb
+  // became 100x slower. The top attribution must name exactly that pair.
+  auto make = [](double pcm_b_ms) {
+    Profile p;
+    std::string error;
+    auto ingest = [&p, &error](const std::string& json) {
+      std::optional<obs::JsonValue> doc = obs::json_parse(json);
+      ASSERT_TRUE(doc.has_value());
+      ASSERT_TRUE(p.ingest_json(*doc, "synthetic", &error)) << error;
+    };
+    ingest(batch_json({{"a0", {{"pcm", 1.0}, {"dce", 1.0}}},
+                       {"a1", {{"pcm", 1.0}, {"dce", 1.0}}}},
+                      "0xa"));
+    ingest(batch_json({{"b0", {{"pcm", pcm_b_ms}, {"dce", 1.0}}},
+                       {"b1", {{"pcm", pcm_b_ms}, {"dce", 1.0}}}},
+                      "0xb"));
+    return p;
+  };
+  Profile before = make(1.0);
+  Profile after = make(100.0);
+
+  Profile::Diff d = Profile::diff(before, after);
+  ASSERT_FALSE(d.pairs.empty());
+  EXPECT_EQ(d.pairs[0].pass, "pcm");
+  EXPECT_EQ(d.pairs[0].cohort, "0xb");
+  EXPECT_GT(d.pairs[0].score, 0.0);
+  ASSERT_FALSE(d.passes.empty());
+  EXPECT_EQ(d.passes[0].pass, "pcm");
+  // ~99 ms mean delta × 2 samples on the pair.
+  EXPECT_NEAR(d.pairs[0].delta_mean_ns, 99e6, 1e3);
+  EXPECT_EQ(d.pairs[0].base_count, 2u);
+  EXPECT_EQ(d.pairs[0].new_count, 2u);
+
+  for (bool pretty : {false, true}) {
+    std::string json = d.to_json(pretty);
+    EXPECT_TRUE(obs::json_valid(json)) << json;
+    EXPECT_NE(json.find("parcm-profile-v1"), std::string::npos);
+    EXPECT_NE(json.find("diff"), std::string::npos);
+  }
+  std::string table = d.table(5);
+  EXPECT_NE(table.find("pcm"), std::string::npos);
+  EXPECT_NE(table.find("0xb"), std::string::npos);
+}
+
+TEST(Profile, EndToEndBatchReportAttribution) {
+  // A real batch report (timing included) must yield per-pass and
+  // per-cohort attribution without synthetic help.
+  RandomProgramOptions gen = verify::default_fuzz_gen();
+  driver::Manifest manifest =
+      driver::Manifest::lazy(6, "gen", [gen](std::size_t i) {
+        return lang::to_source(verify::fuzz_program(42, i, gen));
+      });
+  driver::BatchOptions opt;
+  opt.jobs = 2;
+  driver::BatchReport report = driver::run_batch(manifest, opt);
+  std::optional<obs::JsonValue> doc =
+      obs::json_parse(report.to_json(false, /*include_timing=*/true));
+  ASSERT_TRUE(doc.has_value());
+
+  Profile p;
+  std::string error;
+  ASSERT_TRUE(p.ingest_json(*doc, "batch", &error)) << error;
+  // Pass wall times come from the pipeline's own stats (not the obs
+  // registry), so attribution works in every build configuration.
+  EXPECT_FALSE(p.passes().empty());
+  EXPECT_FALSE(p.cohorts().empty());
+  EXPECT_FALSE(p.pairs().empty());
+  std::string table = p.table();
+  EXPECT_NE(table.find("pcm"), std::string::npos);
+}
+
+TEST(Profile, IngestFileReportsMissingPath) {
+  Profile p;
+  std::string error;
+  EXPECT_FALSE(p.ingest_file("/nonexistent/profile-input.json", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace parcm

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "bench_support.hpp"
+#include "driver/forensic.hpp"
+#include "driver/profile.hpp"
 #include "figures/figures.hpp"
 #include "lang/lower.hpp"
 #include "motion/pcm.hpp"
@@ -142,6 +144,61 @@ TEST(SchemaTrace, MultiTrackChromeJsonIsValid) {
   sink.clear();
   sink.set_enabled(false);
 #endif
+}
+
+TEST(SchemaForensic, BundleJsonIsValidAndTagged) {
+  driver::ForensicBundle bundle;
+  bundle.reason = "oracle-divergence";
+  bundle.id = "needs \"escaping\"";
+  bundle.index = 3;
+  bundle.source = "v0 := 1;\n";
+  bundle.note = "diverged (exact)";
+  bundle.config.pipeline = "full";
+  bundle.config.validate = true;
+  bundle.config.inject_mode = "naive";
+  bundle.outcome.id = bundle.id;
+  bundle.outcome.status = driver::JobStatus::kDone;
+  bundle.outcome.validation_ok = false;
+  bundle.outcome.validation = "diverged";
+  bundle.outcome.shape_hash = 0xdeadbeef;
+  obs::FlightEvent ev;
+  ev.kind = obs::FlightKind::kOracleVerdict;
+  ev.track = "worker-0";
+  ev.label = "diverged";
+  bundle.flight.push_back(ev);
+  bundle.remark_tail.push_back("remark line");
+  for (bool pretty : {false, true}) {
+    std::string json = driver::bundle_to_json(bundle, pretty);
+    EXPECT_TRUE(obs::json_valid(json)) << json;
+    EXPECT_NE(json.find("parcm-forensic-v1"), std::string::npos);
+    EXPECT_NE(json.find("oracle-divergence"), std::string::npos);
+  }
+  // The canonical outcome block replay compares is itself valid JSON.
+  std::string outcome = driver::outcome_json(bundle.outcome);
+  EXPECT_TRUE(obs::json_valid(outcome)) << outcome;
+  EXPECT_NE(outcome.find("\"0x00000000deadbeef\""), std::string::npos);
+}
+
+TEST(SchemaProfile, AggregateAndDiffJsonAreValidAndTagged) {
+  driver::Profile p;
+  obs::Registry r;
+  r.record_hist("pipeline.pass_wall_ns.pcm \"quoted\"", 1500);
+  r.record_hist("pipeline.pass_wall_ns.pcm \"quoted\"", 9000);
+  std::optional<obs::JsonValue> doc = obs::json_parse(r.to_json(false));
+  ASSERT_TRUE(doc.has_value());
+  std::string error;
+  ASSERT_TRUE(p.ingest_json(*doc, "metrics", &error)) << error;
+  for (bool pretty : {false, true}) {
+    std::string json = p.to_json(pretty);
+    EXPECT_TRUE(obs::json_valid(json)) << json;
+    EXPECT_NE(json.find("parcm-profile-v1"), std::string::npos);
+  }
+  driver::Profile::Diff d = driver::Profile::diff(p, p);
+  for (bool pretty : {false, true}) {
+    std::string json = d.to_json(pretty);
+    EXPECT_TRUE(obs::json_valid(json)) << json;
+    EXPECT_NE(json.find("parcm-profile-v1"), std::string::npos);
+  }
 }
 
 TEST(SchemaBench, HarnessJsonIsValid) {

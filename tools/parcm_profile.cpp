@@ -1,0 +1,144 @@
+// parcm_profile — corpus cost attribution across the parcm-*-v1 artifacts.
+//
+//   parcm_profile [options] FILE...
+//
+// Each FILE is any of the machine-readable artifacts the toolchain emits:
+// a `parcm-batch-v1` report (parcm_batch --json, with timing), a
+// `parcm-metrics-v1` registry dump (parcm_fuzz --metrics-json, forensic
+// bundles), a `parcm-trace-v1` chrome trace (parcm_opt --trace-json), or a
+// previously aggregated `parcm-profile-v1` document. The schema is detected
+// from the file content; everything merges into one aggregate that
+// attributes wall time per pass, per shape cohort (structural-hash family),
+// and per (pass, cohort) pair with exact p50/p99.
+//
+//   --diff A B    attribute the regression of B relative to A: ranks
+//                 passes and (pass, cohort) pairs by mean-delta × samples,
+//                 so the top row names what got slower and on which shape
+//                 family. A and B are any supported artifact (aggregate
+//                 profiles included).
+//   --json        print the parcm-profile-v1 document instead of the table
+//   --out FILE    write the JSON document to FILE (table still on stdout)
+//   --pretty      indent the JSON
+//   --top N       rows per human table (default 20)
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "driver/profile.hpp"
+
+namespace {
+
+int usage(int code) {
+  (code == 0 ? std::cout : std::cerr)
+      << "usage: parcm_profile [--json] [--pretty] [--out FILE] [--top N] "
+         "FILE...\n"
+         "       parcm_profile --diff A B [--json] [--pretty] [--out FILE] "
+         "[--top N]\n";
+  return code;
+}
+
+bool ingest_or_die(parcm::driver::Profile& profile, const std::string& path) {
+  std::string error;
+  if (!profile.ingest_file(path, &error)) {
+    std::cerr << "parcm_profile: " << error << "\n";
+    return false;
+  }
+  return true;
+}
+
+bool write_out(const std::string& path, const std::string& doc) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "parcm_profile: cannot write " << path << "\n";
+    return false;
+  }
+  out << doc << "\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::string diff_a, diff_b, out_path;
+  bool diff_mode = false, json_stdout = false, pretty = false;
+  std::size_t top = 20;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--diff" && i + 2 < args.size()) {
+      diff_mode = true;
+      diff_a = args[++i];
+      diff_b = args[++i];
+    } else if (a == "--out" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else if (a.rfind("--out=", 0) == 0) {
+      out_path = a.substr(6);
+    } else if (a == "--top" && i + 1 < args.size()) {
+      top = static_cast<std::size_t>(std::strtoull(args[++i].c_str(),
+                                                   nullptr, 10));
+    } else if (a.rfind("--top=", 0) == 0) {
+      top = static_cast<std::size_t>(std::strtoull(a.c_str() + 6, nullptr,
+                                                   10));
+    } else if (a == "--json") {
+      json_stdout = true;
+    } else if (a == "--pretty") {
+      pretty = true;
+    } else if (a == "--help" || a == "-h") {
+      return usage(0);
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "unknown option " << a << "\n";
+      return usage(2);
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (top == 0) top = 1;
+
+  if (diff_mode) {
+    if (!files.empty()) {
+      std::cerr << "parcm_profile: --diff takes exactly two files\n";
+      return usage(2);
+    }
+    parcm::driver::Profile before, after;
+    if (!ingest_or_die(before, diff_a) || !ingest_or_die(after, diff_b)) {
+      return 1;
+    }
+    parcm::driver::Profile::Diff d =
+        parcm::driver::Profile::diff(before, after);
+    const std::string doc = d.to_json(pretty);
+    if (!out_path.empty() && !write_out(out_path, doc)) return 1;
+    if (json_stdout) {
+      std::cout << doc << "\n";
+    } else {
+      std::cout << d.table(top);
+    }
+    return 0;
+  }
+
+  if (files.empty()) return usage(2);
+  parcm::driver::Profile profile;
+  for (const std::string& path : files) {
+    if (!ingest_or_die(profile, path)) return 1;
+  }
+  if (profile.empty()) {
+    std::cerr << "parcm_profile: no samples found in "
+              << (files.size() == 1 ? files[0]
+                                    : std::to_string(files.size()) +
+                                          " files")
+              << " (batch reports need --json with timing; metrics need "
+                 "pipeline.pass_wall_ns.* histograms)\n";
+    return 1;
+  }
+  const std::string doc = profile.to_json(pretty);
+  if (!out_path.empty() && !write_out(out_path, doc)) return 1;
+  if (json_stdout) {
+    std::cout << doc << "\n";
+  } else {
+    std::cout << profile.table(top);
+  }
+  return 0;
+}
