@@ -31,10 +31,17 @@
 //                      forensics/oracle self-test, recorded in bundles so
 //                      replays reproduce the divergence
 //
+//     --shared-cache on|off  share analysis artifacts across workers via
+//                      the process-wide structural-key cache (default on;
+//                      payloads are byte-identical either way)
+//
 //   Synthetic corpus (no files needed):
 //     --gen N          batch N deterministically generated random programs
 //     --gen-seed S     corpus seed (default 42)
 //     --gen-stmts N    generator statement budget (default 10)
+//     --gen-shapes K   draw the corpus from a pool of K distinct shapes
+//                      (variables renamed per repetition; 0 = all distinct).
+//                      The shared-cache workload: N programs, K rebuilds.
 //
 //   Scaling bench:
 //     --scaling LIST   e.g. 1,2,4,8,16 — run the same corpus once per jobs
@@ -95,7 +102,7 @@ int main(int argc, char** argv) {
   opt.jobs = 0;
   std::vector<std::string> inputs;
   std::string json_path, trace_json_path, scaling_list, bench_json_path;
-  std::size_t gen_count = 0, gen_stmts = 10;
+  std::size_t gen_count = 0, gen_stmts = 10, gen_shapes = 0;
   std::uint64_t gen_seed = 42;
   bool pretty = false, quiet = false;
 
@@ -145,6 +152,15 @@ int main(int argc, char** argv) {
       gen_seed = std::stoull(next(&i));
     } else if (a == "--gen-stmts") {
       gen_stmts = std::stoull(next(&i));
+    } else if (a == "--gen-shapes") {
+      gen_shapes = std::stoull(next(&i));
+    } else if (a == "--shared-cache") {
+      std::string v = next(&i);
+      if (v != "on" && v != "off") {
+        std::cerr << "--shared-cache needs on or off\n";
+        return 2;
+      }
+      opt.shared_cache = v == "on";
     } else if (a == "--scaling") {
       scaling_list = next(&i);
     } else if (a == "--bench-json") {
@@ -157,8 +173,8 @@ int main(int argc, char** argv) {
              "[--timeout S] [--wall-limit S] [--steal-seed N] [--json FILE] "
              "[--trace-json FILE] "
              "[--pretty] [--no-output] [--remarks] [--max-states N] [--quiet] "
-             "[--forensics-dir DIR] [--inject MODE] "
-             "[--gen N [--gen-seed S] [--gen-stmts N]] "
+             "[--forensics-dir DIR] [--inject MODE] [--shared-cache on|off] "
+             "[--gen N [--gen-seed S] [--gen-stmts N] [--gen-shapes K]] "
              "[--scaling 1,2,4,8 [--bench-json FILE]] "
              "<dir | manifest | file.parcm ...>\n";
       return 0;
@@ -177,8 +193,12 @@ int main(int argc, char** argv) {
       gen.target_stmts = gen_stmts;
       manifest = driver::Manifest::lazy(
           gen_count, "gen" + std::to_string(gen_seed),
-          [gen_seed, gen](std::size_t i) {
-            return lang::to_source(verify::fuzz_program(gen_seed, i, gen));
+          [gen_seed, gen, gen_shapes](std::size_t i) {
+            lang::Program p =
+                gen_shapes > 0
+                    ? verify::fuzz_program_pooled(gen_seed, i, gen_shapes, gen)
+                    : verify::fuzz_program(gen_seed, i, gen);
+            return lang::to_source(p);
           });
     } else if (inputs.size() == 1) {
       manifest = driver::Manifest::from_path(inputs[0]);

@@ -45,6 +45,19 @@ import sys
 # growth in any of these is a hard failure.
 DEFAULT_HARD_COUNTERS = ["relaxations"]
 
+# Absolute bounds on fresh counters, gated independently of any baseline:
+# the shared analysis cache must actually hit on the pooled bench corpus,
+# and arena-backed IR allocation must keep residual global-allocator
+# traffic bounded. Violations are hard failures even with
+# --advisory-timing. A result that does not report the counter is exempt
+# (e.g. benches without a batch corpus).
+ABSOLUTE_BOUNDS = [
+    # (counter, kind, limit): kind "floor" fails when value < limit,
+    # "ceiling" fails when value > limit.
+    ("cache_hit_rate", "floor", 0.5),
+    ("allocs_per_program", "ceiling", 7000.0),
+]
+
 
 def load_results(path):
     """Returns (bench_name, {result_name: (real_ns, counters)})."""
@@ -161,6 +174,28 @@ def compare_counters(base, fresh, hard_counters, out):
     return regressions
 
 
+def check_absolute_bounds(fresh_runs, out):
+    """Yields (bench, name, counter, value, bound) for every fresh result
+    whose counter violates an ABSOLUTE_BOUNDS floor/ceiling."""
+    violations = []
+    for bench, results in sorted(fresh_runs.items()):
+        for name in sorted(results):
+            _, counters = results[name]
+            for counter, kind, limit in ABSOLUTE_BOUNDS:
+                if counter not in counters:
+                    continue
+                value = float(counters[counter])
+                bad = value < limit if kind == "floor" else value > limit
+                if bad:
+                    rel = "<" if kind == "floor" else ">"
+                    out(
+                        f"  [BOUND    ] {bench}/{name} {counter}: "
+                        f"{value:,.3f} {rel} {kind} {limit:,.3f}"
+                    )
+                    violations.append((bench, name, counter, value, limit))
+    return violations
+
+
 def run_gate(baseline_paths, fresh_paths, threshold, hard_counters,
              advisory_timing, out=print):
     baselines = {}
@@ -187,7 +222,11 @@ def run_gate(baseline_paths, fresh_paths, threshold, hard_counters,
         )
     for bench in sorted(fresh_runs.keys() - baselines.keys()):
         out(f"bench {bench}: no committed baseline, skipping")
+    bound_regs = check_absolute_bounds(fresh_runs, out)
 
+    if bound_regs:
+        out(f"FAIL: {len(bound_regs)} absolute counter bound violation(s)")
+        return 1
     if counter_regs:
         out(f"FAIL: {len(counter_regs)} deterministic counter regression(s)")
         return 1
@@ -316,7 +355,11 @@ def run_trend(history_dir, fresh_paths, threshold, hard_counters,
             counter_regs += compare_counters(
                 newest_bench[bench], results, hard_counters, out
             )
+    bound_regs = check_absolute_bounds(fresh_runs, out)
 
+    if bound_regs:
+        out(f"FAIL: {len(bound_regs)} absolute counter bound violation(s)")
+        return 1
     if counter_regs:
         out(f"FAIL: {len(counter_regs)} deterministic counter regression(s)")
         return 1
@@ -361,6 +404,27 @@ def make_fixture(scale_time=1.0, relaxations=25):
     return {"schema": "parcm-bench-v1", "bench": "fixture", "results": results}
 
 
+def make_batch_fixture(hit_rate=0.8, allocs=1100.0):
+    """A parcm-bench-v1 batch-scaling document exercising ABSOLUTE_BOUNDS."""
+    results = []
+    for jobs in (1, 4):
+        results.append(
+            {
+                "name": f"batch/jobs:{jobs}",
+                "iterations": 1,
+                "real_ns_per_iter": 1e9 / jobs,
+                "cpu_ns_per_iter": 1e9,
+                "counters": {
+                    "programs": 100,
+                    "cache_hit_rate": hit_rate,
+                    "allocs_per_program": allocs,
+                },
+            }
+        )
+    return {"schema": "parcm-bench-v1", "bench": "batch_fixture",
+            "results": results}
+
+
 def self_test(threshold):
     """Hermetic check that the gate accepts clean runs and rejects a 2x
     slowdown and a counter growth. Exercised by ctest so the gate itself
@@ -396,6 +460,21 @@ def self_test(threshold):
     if not (abs(a - 100.0) < 1e-6 and abs(b - 1.0) < 1e-9):
         failures.append(f"power-law fit off: a={a} b={b}")
 
+    # Absolute bounds: a healthy batch run passes, a cold cache and an
+    # allocation blow-up fail hard — even in advisory timing mode.
+    batch_ok = write(make_batch_fixture())
+    batch_cold = write(make_batch_fixture(hit_rate=0.2))
+    batch_fat = write(make_batch_fixture(allocs=40000.0))
+    if run_gate([batch_ok], [batch_ok], threshold, DEFAULT_HARD_COUNTERS,
+                False, quiet) != 0:
+        failures.append("healthy batch run rejected by absolute bounds")
+    if run_gate([batch_ok], [batch_cold], threshold, DEFAULT_HARD_COUNTERS,
+                False, quiet) != 1:
+        failures.append("cache_hit_rate below floor accepted")
+    if run_gate([batch_ok], [batch_fat], threshold, DEFAULT_HARD_COUNTERS,
+                True, quiet) != 1:
+        failures.append("allocs_per_program above ceiling accepted")
+
     # History trend mode: three snapshots with ordinary noise, then a clean
     # fresh run must pass the median gate, a 2x run must fail it, and a
     # counter growth against the newest snapshot must fail hard.
@@ -423,7 +502,7 @@ def self_test(threshold):
         failures.append("empty history dir not reported as usage error")
     os.rmdir(empty)
 
-    for path in (base, same, slow, more):
+    for path in (base, same, slow, more, batch_ok, batch_cold, batch_fat):
         os.unlink(path)
     if failures:
         print("self-test FAILED:", "; ".join(failures))

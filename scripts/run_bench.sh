@@ -53,8 +53,12 @@ if [[ ! -x "$build_dir/examples/parcm_batch" ]]; then
   echo "error: $build_dir/examples/parcm_batch not found — build first" >&2
   exit 2
 fi
+# The generated corpus repeats a pool of shapes so the cross-worker shared
+# analysis cache has the workload it exists for (hit-rate floor gated by
+# check_bench_regression.py).
 "$build_dir/examples/parcm_batch" \
   --gen "${PARCM_BENCH_BATCH_PROGRAMS:-1000}" \
+  --gen-shapes "${PARCM_BENCH_BATCH_SHAPES:-200}" \
   --scaling "${PARCM_BENCH_BATCH_JOBS:-1,2,4,8,16}" \
   --bench-json "$out_dir/BENCH_batch.json"
 

@@ -1,4 +1,4 @@
-// Cross-pass analysis cache.
+// Two-tier cross-pass analysis cache.
 //
 // TermTable, LocalPredicates and InterleavingInfo depend only on a graph's
 // content, yet every motion pass (and every benchmark iteration) used to
@@ -12,15 +12,34 @@
 //               statements — so a rebuilt-but-identical graph (e.g. the
 //               next benchmark iteration, or the same source compiled
 //               twice) still hits.
+//   shared tier a process-wide lock-striped cache keyed on the full
+//               structural key, so a corpus full of similar shapes computes
+//               each analysis once per shape instead of once per
+//               (program, worker). Opt-in per thread; collisions on the
+//               64-bit hash are rejected by a full key compare, never
+//               served.
 //
 // acquire() returns a shared_ptr, so a pass keeps its analyses alive for
 // its whole duration even if it mutates the graph (invalidating the cache
 // slot) or another thread acquires a different graph meanwhile.
+//
+// Remark emission: the P2 recursive-split degradation remarks derived from
+// LocalPredicates are emitted by acquire(), once per distinct content per
+// sink epoch (RemarkSink::epoch() — a fresh sink, or clearing the current
+// one, starts a new epoch). Tying emission to acquisition instead of
+// construction keeps the remark stream identical whether an analysis was
+// rebuilt, thread-cached or shared-cache hit — a requirement of the batch
+// driver's byte-identity guarantee, whose workers clear their sink at every
+// job boundary.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "analyses/predicates.hpp"
 #include "ir/graph.hpp"
@@ -35,6 +54,16 @@ namespace parcm {
 // analyses and excluded.
 std::uint64_t structural_hash(const Graph& g);
 
+// The hash plus the exact word stream it was computed from, so shared-cache
+// lookups can reject 64-bit collisions with a full compare.
+struct StructuralKey {
+  std::uint64_t hash = 0;
+  std::vector<std::uint64_t> words;
+
+  bool operator==(const StructuralKey&) const = default;
+};
+StructuralKey structural_key(const Graph& g);
+
 struct AnalysisBundle {
   std::uint64_t version = 0;
   TermTable terms;
@@ -44,19 +73,67 @@ struct AnalysisBundle {
       : version(v), terms(g), preds(g, terms) {}
 };
 
+// Process-wide shared tier: lock-striped map from structural key to the
+// immutable analysis artifacts of that shape. Entries are filled lazily —
+// bundle and interleaving info arrive through independent put calls. A
+// shard that reaches its entry cap is flushed wholesale; since every hit
+// returns content-identical artifacts, eviction policy cannot influence
+// results, only rebuild counts.
+class SharedAnalysisCache {
+ public:
+  static constexpr std::size_t kShards = 64;
+  static constexpr std::size_t kMaxEntriesPerShard = 512;
+
+  std::shared_ptr<const AnalysisBundle> find_bundle(const StructuralKey& key);
+  std::shared_ptr<const InterleavingInfo> find_itlv(const StructuralKey& key);
+  void put_bundle(const StructuralKey& key,
+                  std::shared_ptr<const AnalysisBundle> bundle);
+  void put_itlv(const StructuralKey& key,
+                std::shared_ptr<const InterleavingInfo> itlv);
+
+  void clear();
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    StructuralKey key;
+    std::shared_ptr<const AnalysisBundle> bundle;
+    std::shared_ptr<const InterleavingInfo> itlv;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, Entry> entries;
+  };
+
+  // Returns the entry for key, creating it if absent; nullptr on a hash
+  // collision with a different key (counted, never overwritten) or after
+  // flushing a full shard. Caller must hold no shard lock.
+  Entry* locate(Shard& shard, const StructuralKey& key, bool insert_missing);
+
+  Shard shards_[kShards];
+};
+
 class AnalysisCache {
  public:
   // Returns the bundle for g's current content, rebuilding at most once per
-  // distinct content. Thread-safe.
+  // distinct content (and at most once per shape process-wide when a shared
+  // tier is installed). Emits the content's acquisition remarks the first
+  // time it is acquired in the current sink epoch. Thread-safe.
   std::shared_ptr<const AnalysisBundle> acquire(const Graph& g);
 
-  // InterleavingInfo holds a pointer to its graph, so it is cached per
-  // (object identity, version) rather than content.
+  // Interleaving info is cached per (object identity, version) in the
+  // thread tier — cheap pointer compare — and per structural key in the
+  // shared tier (instances no longer reference their graph).
   std::shared_ptr<const InterleavingInfo> interleaving(const Graph& g);
 
   void clear();
 
  private:
+  std::shared_ptr<const AnalysisBundle> acquire_slow(const Graph& g,
+                                                     std::uint64_t* hash_out);
+  void maybe_emit(const Graph& g, const AnalysisBundle& bundle,
+                  std::uint64_t hash);
+
   std::mutex mu_;
   std::shared_ptr<const AnalysisBundle> bundle_;
   std::uint64_t bundle_version_ = 0;  // most recent version seen for bundle_
@@ -65,6 +142,13 @@ class AnalysisCache {
   std::shared_ptr<const InterleavingInfo> itlv_;
   const Graph* itlv_graph_ = nullptr;
   std::uint64_t itlv_version_ = 0;
+  // Content hashes whose remarks were emitted in sink epoch emit_epoch_.
+  std::uint64_t emit_epoch_ = 0;
+  std::unordered_set<std::uint64_t> emitted_;
+  // Lock-free (epoch, hash) of the most recent emission decision; a hit
+  // skips the mutex on repeat acquisitions of the same content.
+  std::atomic<std::uint64_t> last_emit_epoch_{0};
+  std::atomic<std::uint64_t> last_emit_hash_{0};
 };
 
 // The cache the motion passes use: the calling thread's override when one
@@ -76,5 +160,13 @@ AnalysisCache& analysis_cache();
 // cache so the single-slot bundle is never invalidated by a sibling
 // worker's unrelated graph and acquire() never contends across programs.
 AnalysisCache* set_thread_analysis_cache(AnalysisCache* c);
+
+// The process-wide shared tier instance (exists regardless of use).
+SharedAnalysisCache& process_shared_analysis_cache();
+
+// Installs `c` as the calling thread's shared tier (nullptr disables the
+// tier, the default); returns the previous value. The batch driver points
+// every worker at one instance; tests may install a private one.
+SharedAnalysisCache* set_thread_shared_analysis_cache(SharedAnalysisCache* c);
 
 }  // namespace parcm

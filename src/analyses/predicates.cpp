@@ -32,20 +32,25 @@ LocalPredicates::LocalPredicates(const Graph& g, const TermTable& terms)
       transp_[n.index()].and_not(mod_[n.index()]);
     }
     recursive_[n.index()] = node.rhs.uses_var(node.lhs);
-    if (recursive_[n.index()] && g.pfg(n).valid()) {
-      // The paper's P2 pitfall: inside a parallel statement a recursive
-      // assignment behaves as the split x_t := t; x := x_t — its occurrence
-      // of t is not replaceable and the node destroys under interleaving.
-      TermId t = terms.term_of(n);
-      PARCM_OBS_REMARK(obs::Remark{
-          obs::RemarkKind::kDegraded, "predicates", n.value(),
-          t.valid() ? static_cast<std::int64_t>(t.index()) : -1,
-          t.valid() ? term_to_string(g, terms.term(t)) : "",
-          "recursive assignment inside a parallel statement: treated as "
-          "implicitly decomposed, occurrence not replaceable",
-          {obs::RemarkReason::kRecursiveSplit},
-          statement_to_string(g, n)});
-    }
+  }
+}
+
+void emit_acquisition_remarks(const Graph& g, const TermTable& terms,
+                              const LocalPredicates& preds) {
+  for (NodeId n : g.all_nodes()) {
+    if (!preds.recursive(n) || !g.pfg(n).valid()) continue;
+    // The paper's P2 pitfall: inside a parallel statement a recursive
+    // assignment behaves as the split x_t := t; x := x_t — its occurrence
+    // of t is not replaceable and the node destroys under interleaving.
+    TermId t = terms.term_of(n);
+    PARCM_OBS_REMARK(obs::Remark{
+        obs::RemarkKind::kDegraded, "predicates", n.value(),
+        t.valid() ? static_cast<std::int64_t>(t.index()) : -1,
+        t.valid() ? term_to_string(g, terms.term(t)) : "",
+        "recursive assignment inside a parallel statement: treated as "
+        "implicitly decomposed, occurrence not replaceable",
+        {obs::RemarkReason::kRecursiveSplit},
+        statement_to_string(g, n)});
   }
 }
 

@@ -41,4 +41,13 @@ class LocalPredicates {
   std::vector<bool> recursive_;
 };
 
+// Emits the P2 recursive-split degradation remarks for g (a recursive
+// assignment inside a parallel statement behaves as an implicit split, its
+// occurrence is not replaceable). Separated from LocalPredicates
+// construction so cached predicates — thread- or process-wide — still
+// produce remarks for every program they serve; AnalysisCache calls this
+// once per (program, content).
+void emit_acquisition_remarks(const Graph& g, const TermTable& terms,
+                              const LocalPredicates& preds);
+
 }  // namespace parcm

@@ -13,7 +13,7 @@ DirectedView::DirectedView(const Graph& g, Direction dir) : g_(&g), dir_(dir) {
     csr.offsets.assign(n + 1, 0);
     for (std::size_t i = 0; i < n; ++i) {
       NodeId node(static_cast<NodeId::underlying>(i));
-      const std::vector<EdgeId>& edges =
+      const avector<EdgeId>& edges =
           outgoing ? g.node(node).out_edges : g.node(node).in_edges;
       csr.offsets[i + 1] =
           csr.offsets[i] + static_cast<std::uint32_t>(edges.size());
@@ -21,7 +21,7 @@ DirectedView::DirectedView(const Graph& g, Direction dir) : g_(&g), dir_(dir) {
     csr.targets.resize(csr.offsets[n]);
     for (std::size_t i = 0; i < n; ++i) {
       NodeId node(static_cast<NodeId::underlying>(i));
-      const std::vector<EdgeId>& edges =
+      const avector<EdgeId>& edges =
           outgoing ? g.node(node).out_edges : g.node(node).in_edges;
       std::uint32_t slot = csr.offsets[i];
       for (EdgeId e : edges) {

@@ -24,6 +24,7 @@
 #include "obs/json.hpp"
 #include "obs/remarks.hpp"
 #include "obs/trace.hpp"
+#include "support/arena.hpp"
 #include "support/diagnostics.hpp"
 #include "support/rng.hpp"
 #include "verify/fuzz.hpp"
@@ -82,6 +83,16 @@ namespace {
 
 void default_runner(const BatchJob& job, WorkerContext& ctx,
                     ProgramResult& result, const BatchOptions& options) {
+  // Per-program bump arena for the IR containers (graphs, bit vectors,
+  // region trees): everything graph-shaped built below dies before this
+  // scope ends, so the whole job's IR churn is reclaimed wholesale here.
+  // Result payload fields are plain strings (heap), and everything that
+  // outlives the job — cached analysis bundles, shared-cache entries — is
+  // built under an ArenaPauseScope by the cache, so nothing arena-backed
+  // escapes. Scoped to the default runner only: custom runners own their
+  // allocation story.
+  Arena arena;
+  ArenaScope arena_scope(arena);
   std::string source = job.text();
   ctx.check_deadline();
   DiagnosticSink diag;
@@ -179,6 +190,12 @@ void run_one_job(std::size_t index, std::size_t worker, BatchShared& shared,
   obs::RemarkSink& sink = obs::remarks();
   sink.clear();
   PARCM_OBS_FLIGHT(obs::FlightKind::kProgramBegin, job.id, index, 0);
+  // Helper threads (the safety solver's std::async solves) flush their
+  // allocation deltas here, so result.allocs covers the whole job no
+  // matter how the solver split its work across threads.
+  obs::ForeignAllocSink foreign_allocs;
+  obs::ForeignAllocSink* prev_foreign =
+      obs::set_thread_foreign_alloc_sink(&foreign_allocs);
   obs::AllocCounterScope alloc_scope;
   try {
     if (options.test_before_job) options.test_before_job(index);
@@ -207,7 +224,8 @@ void run_one_job(std::size_t index, std::size_t worker, BatchShared& shared,
       }
     }
   }
-  result.allocs = alloc_scope.allocs();
+  result.allocs = alloc_scope.allocs() + foreign_allocs.allocs();
+  obs::set_thread_foreign_alloc_sink(prev_foreign);
   auto latency_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                         std::chrono::steady_clock::now() - start)
                         .count();
@@ -327,6 +345,14 @@ void worker_main(std::size_t worker, BatchShared& shared) {
   obs::Registry* prev_registry = obs::set_thread_registry(&registry);
   obs::RemarkSink* prev_sink = obs::set_thread_remark_sink(&sink);
   AnalysisCache* prev_cache = set_thread_analysis_cache(&cache);
+  SharedAnalysisCache* shared_tier = nullptr;
+  if (options.shared_cache) {
+    shared_tier = options.shared_cache_instance != nullptr
+                      ? options.shared_cache_instance
+                      : &process_shared_analysis_cache();
+  }
+  SharedAnalysisCache* prev_shared =
+      set_thread_shared_analysis_cache(shared_tier);
 
   // Deterministically shuffled steal-victim order (worker-level shuffle;
   // outputs must not depend on it).
@@ -350,6 +376,7 @@ void worker_main(std::size_t worker, BatchShared& shared) {
   }
 
   drain_results(shared, buffer);
+  set_thread_shared_analysis_cache(prev_shared);
   set_thread_analysis_cache(prev_cache);
   obs::set_thread_remark_sink(prev_sink);
   obs::set_thread_registry(prev_registry);
@@ -476,11 +503,16 @@ BatchReport run_batch(const Manifest& manifest, const BatchOptions& options) {
   };
   report.cache_hits = counter("analysis.cache.hits");
   report.cache_misses = counter("analysis.cache.misses");
+  report.cache_builds = counter("analysis.cache.builds");
+  // Hit rate = fraction of lookups that avoided a rebuild, on either tier:
+  // a thread-tier miss that the shared tier satisfies is still a hit. With
+  // the shared tier off, builds == misses and this reduces to the classic
+  // hits / (hits + misses).
   std::uint64_t lookups = report.cache_hits + report.cache_misses;
   report.cache_hit_rate =
       lookups == 0 ? 0.0
-                   : static_cast<double>(report.cache_hits) /
-                         static_cast<double>(lookups);
+                   : 1.0 - static_cast<double>(report.cache_builds) /
+                               static_cast<double>(lookups);
   return report;
 }
 
@@ -541,6 +573,7 @@ std::string BatchReport::to_json(bool pretty, bool include_timing) const {
     w.key("cache").begin_object();
     w.key("hits").value(cache_hits);
     w.key("misses").value(cache_misses);
+    w.key("builds").value(cache_builds);
     w.key("hit_rate").value(cache_hit_rate);
     w.end_object();
   }

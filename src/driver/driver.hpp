@@ -47,6 +47,7 @@
 
 namespace parcm {
 class Pipeline;
+class SharedAnalysisCache;
 }
 
 namespace parcm::driver {
@@ -138,6 +139,17 @@ struct BatchOptions {
   // Initial deque shard per worker; everything beyond stays in the global
   // injector. 0 = default (32).
   std::size_t shard_cap = 0;
+  // Share analysis artifacts across workers through the process-wide
+  // structural-key cache (analyses/cache.hpp): a corpus full of repeated
+  // shapes builds TermTable/LocalPredicates/InterleavingInfo once per shape
+  // instead of once per (program, worker). Purely a rebuild-count
+  // optimization — per-program payloads are byte-identical either way (the
+  // determinism suite runs both modes, hot and cold).
+  bool shared_cache = true;
+  // Test hook: when shared_cache is on and this is set, workers install
+  // this instance instead of the process-wide one — tests get a private,
+  // guaranteed-cold cache without clearing global state.
+  SharedAnalysisCache* shared_cache_instance = nullptr;
   bool keep_output = true;
   // Enable the per-worker remark sink and record per-program remark counts.
   bool collect_remarks = true;
@@ -200,7 +212,13 @@ struct BatchReport {
   double allocs_per_program = 0.0;  // allocs_total / done, 0 when none ran
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
-  double cache_hit_rate = 0.0;  // hits / (hits + misses), 0 when unused
+  // Analyses actually constructed ("analysis.cache.builds"): lookups the
+  // thread tier AND the shared tier both missed.
+  std::uint64_t cache_builds = 0;
+  // Fraction of lookups served without a rebuild by either cache tier:
+  // 1 - builds / (hits + misses); 0 when unused. Equals the classic
+  // hits / (hits + misses) when the shared tier is off.
+  double cache_hit_rate = 0.0;
   std::size_t validation_failures = 0;
 
   bool ok() const {

@@ -35,9 +35,9 @@ void emit_annotated_region(const Graph& g, RegionId r,
                            const DotOptions& options, std::ostringstream& os,
                            int indent) {
   std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
-  std::vector<NodeId> nodes = g.region(r).nodes;
+  std::vector<NodeId> nodes(g.region(r).nodes.begin(), g.region(r).nodes.end());
   std::sort(nodes.begin(), nodes.end());
-  std::vector<ParStmtId> stmts = g.region(r).child_stmts;
+  std::vector<ParStmtId> stmts(g.region(r).child_stmts.begin(), g.region(r).child_stmts.end());
   std::sort(stmts.begin(), stmts.end());
   for (NodeId n : nodes) {
     const DotNodeAnnotation& a = annotation_of(ann, n);

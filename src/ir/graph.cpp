@@ -109,22 +109,22 @@ void Graph::remove_edge(EdgeId e) {
   Edge& ed = edges_[e.index()];
   PARCM_CHECK(ed.valid, "edge removed twice");
   ed.valid = false;
-  auto erase_from = [e](std::vector<EdgeId>& list) {
+  auto erase_from = [e](avector<EdgeId>& list) {
     list.erase(std::remove(list.begin(), list.end(), e), list.end());
   };
   erase_from(nodes_[ed.from.index()].out_edges);
   erase_from(nodes_[ed.to.index()].in_edges);
 }
 
-std::vector<NodeId> Graph::preds(NodeId n) const {
-  std::vector<NodeId> out;
+avector<NodeId> Graph::preds(NodeId n) const {
+  avector<NodeId> out;
   out.reserve(nodes_[n.index()].in_edges.size());
   for (EdgeId e : nodes_[n.index()].in_edges) out.push_back(edges_[e.index()].from);
   return out;
 }
 
-std::vector<NodeId> Graph::succs(NodeId n) const {
-  std::vector<NodeId> out;
+avector<NodeId> Graph::succs(NodeId n) const {
+  avector<NodeId> out;
   out.reserve(nodes_[n.index()].out_edges.size());
   for (EdgeId e : nodes_[n.index()].out_edges) out.push_back(edges_[e.index()].to);
   return out;
@@ -136,15 +136,6 @@ std::size_t Graph::in_degree(NodeId n) const {
 
 std::size_t Graph::out_degree(NodeId n) const {
   return nodes_[n.index()].out_edges.size();
-}
-
-std::vector<NodeId> Graph::all_nodes() const {
-  std::vector<NodeId> out;
-  out.reserve(nodes_.size());
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    out.push_back(NodeId(static_cast<NodeId::underlying>(i)));
-  }
-  return out;
 }
 
 ParStmtId Graph::add_par_stmt(RegionId parent) {
@@ -182,9 +173,9 @@ std::vector<Graph::Enclosing> Graph::enclosing_stmts(NodeId n) const {
   return out;
 }
 
-std::vector<NodeId> Graph::nodes_in_region_recursive(RegionId r) const {
-  std::vector<NodeId> out;
-  std::vector<RegionId> stack{r};
+avector<NodeId> Graph::nodes_in_region_recursive(RegionId r) const {
+  avector<NodeId> out;
+  avector<RegionId> stack{r};
   while (!stack.empty()) {
     RegionId cur = stack.back();
     stack.pop_back();
@@ -245,7 +236,7 @@ void Graph::splice_before(NodeId n, NodeId before) {
   PARCM_CHECK(fresh.region == nodes_[before.index()].region,
               "splice_before across regions");
   // Redirect incoming edges of `before` to n.
-  std::vector<EdgeId> incoming = nodes_[before.index()].in_edges;
+  avector<EdgeId> incoming = nodes_[before.index()].in_edges;
   for (EdgeId e : incoming) {
     edges_[e.index()].to = n;
     fresh.in_edges.push_back(e);
@@ -261,7 +252,7 @@ void Graph::splice_after(NodeId n, NodeId after) {
               "splice_after requires a fresh node");
   PARCM_CHECK(fresh.region == nodes_[after.index()].region,
               "splice_after across regions");
-  std::vector<EdgeId> outgoing = nodes_[after.index()].out_edges;
+  avector<EdgeId> outgoing = nodes_[after.index()].out_edges;
   for (EdgeId e : outgoing) {
     edges_[e.index()].from = n;
     fresh.out_edges.push_back(e);

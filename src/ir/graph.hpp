@@ -10,13 +10,16 @@
 // boundary except ParBegin -> component entry and component exit -> ParEnd.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "ir/expr.hpp"
+#include "support/arena.hpp"
 #include "support/ids.hpp"
 
 namespace parcm {
@@ -35,6 +38,47 @@ enum class NodeKind : std::uint8_t {
 
 const char* node_kind_name(NodeKind kind);
 
+// Lazy 0..n-1 id range: all_nodes() used to materialize a vector per call,
+// which shows up as allocator traffic in every analysis loop.
+class NodeRange {
+ public:
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = NodeId;
+    using difference_type = std::ptrdiff_t;
+    using pointer = void;
+    using reference = NodeId;
+
+    explicit iterator(std::size_t i) : i_(i) {}
+    NodeId operator*() const {
+      return NodeId(static_cast<NodeId::underlying>(i_));
+    }
+    iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator old = *this;
+      ++i_;
+      return old;
+    }
+    bool operator==(const iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const iterator& o) const { return i_ != o.i_; }
+
+   private:
+    std::size_t i_;
+  };
+
+  explicit NodeRange(std::size_t n) : n_(n) {}
+  iterator begin() const { return iterator(0); }
+  iterator end() const { return iterator(n_); }
+  std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_;
+};
+
 struct Node {
   NodeKind kind = NodeKind::kSkip;
   RegionId region;
@@ -52,8 +96,8 @@ struct Node {
   // Free-form label used by figure reconstructions ("n3" etc.) and printers.
   std::string label;
 
-  std::vector<EdgeId> in_edges;
-  std::vector<EdgeId> out_edges;
+  avector<EdgeId> in_edges;
+  avector<EdgeId> out_edges;
 };
 
 struct Edge {
@@ -66,9 +110,9 @@ struct Region {
   RegionId id;
   // Parallel statement owning this region as a component; invalid for root.
   ParStmtId owner;
-  std::vector<NodeId> nodes;
+  avector<NodeId> nodes;
   // Parallel statements whose ParBegin/ParEnd live directly in this region.
-  std::vector<ParStmtId> child_stmts;
+  avector<ParStmtId> child_stmts;
 };
 
 struct ParStmt {
@@ -76,7 +120,7 @@ struct ParStmt {
   NodeId begin;
   NodeId end;
   RegionId parent_region;
-  std::vector<RegionId> components;
+  avector<RegionId> components;
 };
 
 class Graph {
@@ -123,13 +167,13 @@ class Graph {
   NodeId start() const { return start_; }
   NodeId end() const { return end_; }
 
-  std::vector<NodeId> preds(NodeId n) const;
-  std::vector<NodeId> succs(NodeId n) const;
+  avector<NodeId> preds(NodeId n) const;
+  avector<NodeId> succs(NodeId n) const;
   std::size_t in_degree(NodeId n) const;
   std::size_t out_degree(NodeId n) const;
 
   // All node ids, in creation order.
-  std::vector<NodeId> all_nodes() const;
+  NodeRange all_nodes() const { return NodeRange(nodes_.size()); }
 
   // --- regions and parallel statements --------------------------------------
   RegionId root_region() const { return RegionId(0); }
@@ -157,14 +201,14 @@ class Graph {
 
   // All nodes of region r including nodes of nested parallel statements'
   // components (the paper's Nodes(G') for a component G').
-  std::vector<NodeId> nodes_in_region_recursive(RegionId r) const;
+  avector<NodeId> nodes_in_region_recursive(RegionId r) const;
 
   // Callback-style variant for hot loops: visits the same nodes without
   // materializing a vector per call. Region traversal order matches
   // nodes_in_region_recursive.
   template <class Fn>
   void for_each_node_in_region_recursive(RegionId r, Fn&& fn) const {
-    std::vector<RegionId> stack{r};
+    avector<RegionId> stack{r};
     while (!stack.empty()) {
       RegionId cur = stack.back();
       stack.pop_back();
@@ -198,10 +242,10 @@ class Graph {
  private:
   void bump_version();
 
-  std::vector<Node> nodes_;
-  std::vector<Edge> edges_;
-  std::vector<Region> regions_;
-  std::vector<ParStmt> par_stmts_;
+  avector<Node> nodes_;
+  avector<Edge> edges_;
+  avector<Region> regions_;
+  avector<ParStmt> par_stmts_;
   std::vector<std::string> var_names_;
   std::unordered_map<std::string, VarId> var_index_;
   NodeId start_;

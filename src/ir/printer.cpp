@@ -66,9 +66,9 @@ void emit_region(const Graph& g, RegionId r, std::ostringstream& os,
   std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
   // Region membership lists follow transformation order; sort by node id so
   // the rendering is deterministic regardless of how the graph was built.
-  std::vector<NodeId> nodes = g.region(r).nodes;
+  std::vector<NodeId> nodes(g.region(r).nodes.begin(), g.region(r).nodes.end());
   std::sort(nodes.begin(), nodes.end());
-  std::vector<ParStmtId> stmts = g.region(r).child_stmts;
+  std::vector<ParStmtId> stmts(g.region(r).child_stmts.begin(), g.region(r).child_stmts.end());
   std::sort(stmts.begin(), stmts.end());
   for (NodeId n : nodes) {
     os << pad << "n" << n.value() << " [label=\"" << n.value() << ": "

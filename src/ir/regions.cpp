@@ -4,7 +4,7 @@
 
 namespace parcm {
 
-InterleavingInfo::InterleavingInfo(const Graph& g) : g_(&g) {
+InterleavingInfo::InterleavingInfo(const Graph& g) {
   comp_nodes_.resize(g.num_regions());
   for (std::size_t r = 0; r < g.num_regions(); ++r) {
     comp_nodes_[r] = g.nodes_in_region_recursive(
@@ -12,10 +12,10 @@ InterleavingInfo::InterleavingInfo(const Graph& g) : g_(&g) {
   }
 }
 
-std::vector<NodeId> InterleavingInfo::preds(NodeId n) const {
+std::vector<NodeId> InterleavingInfo::preds(const Graph& g, NodeId n) const {
   std::vector<NodeId> out;
-  for (const Graph::Enclosing& enc : g_->enclosing_stmts(n)) {
-    const ParStmt& stmt = g_->par_stmt(enc.stmt);
+  for (const Graph::Enclosing& enc : g.enclosing_stmts(n)) {
+    const ParStmt& stmt = g.par_stmt(enc.stmt);
     for (RegionId comp : stmt.components) {
       if (comp == enc.component) continue;
       const auto& nodes = comp_nodes_[comp.index()];

@@ -22,12 +22,16 @@ class InterleavingInfo {
   // quadratic in the component size. The solvers work from per-component
   // aggregates instead; this enumeration exists for tests, tools and the
   // enumerator's reduction machinery.
-  std::vector<NodeId> preds(NodeId n) const;
+  //
+  // The graph is a query parameter rather than a stored pointer so one
+  // InterleavingInfo can serve every structurally identical graph (the
+  // shared analysis cache hands the same instance to all workers); `g` must
+  // have the structure this info was built from.
+  std::vector<NodeId> preds(const Graph& g, NodeId n) const;
 
  private:
-  const Graph* g_;
   // Recursive node set per component region, shared by all queries.
-  std::vector<std::vector<NodeId>> comp_nodes_;
+  std::vector<avector<NodeId>> comp_nodes_;
 };
 
 // Component region of `stmt` that (transitively) contains node n; invalid id

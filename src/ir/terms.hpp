@@ -35,8 +35,8 @@ class TermTable {
   std::vector<TermId> all() const;
 
  private:
-  std::vector<Term> terms_;
-  std::vector<TermId> node_term_;
+  avector<Term> terms_;
+  avector<TermId> node_term_;
 };
 
 }  // namespace parcm

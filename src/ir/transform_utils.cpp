@@ -44,7 +44,7 @@ std::size_t split_join_edges(Graph& g) {
     if (g.node(n).kind == NodeKind::kParEnd) continue;
     if (g.in_degree(n) <= 1) continue;
     // Copy: split_edge mutates the in-edge list.
-    std::vector<EdgeId> incoming = g.node(n).in_edges;
+    avector<EdgeId> incoming = g.node(n).in_edges;
     for (EdgeId e : incoming) {
       // Already split (a dedicated synthetic feeds only this edge)?
       NodeId from = g.edge(e).from;

@@ -121,7 +121,7 @@ void privatize_term(Graph& out, const LocalPredicates& preds,
       }
       // Rename accesses of the shared temp within this component.
       bool any_access = false;
-      std::vector<NodeId> members = out.nodes_in_region_recursive(comp);
+      avector<NodeId> members = out.nodes_in_region_recursive(comp);
       for (NodeId n : members) {
         Node& node = out.node(n);
         if (node.kind != NodeKind::kAssign) continue;
@@ -179,7 +179,7 @@ void privatize_term(Graph& out, const LocalPredicates& preds,
       for (const auto& [comp, priv] : renamed) {
         if (comp != dirty_comp) continue;
         NodeId end = stmt.end;
-        std::vector<EdgeId> outgoing = out.node(end).out_edges;
+        avector<EdgeId> outgoing = out.node(end).out_edges;
         for (EdgeId e : outgoing) {
           NodeId bridge = out.new_assign(edge_region(out, e), motion.temp,
                                          Rhs(Operand::var(priv)));
@@ -216,7 +216,7 @@ MotionResult run_code_motion(const Graph& g, const CodeMotionConfig& config) {
   PARCM_OBS_TIMER("motion.placement");
 
   // Node set is about to grow; iterate over a snapshot of the analyzed ids.
-  std::vector<NodeId> analyzed = out.all_nodes();
+  avector<NodeId> analyzed(out.all_nodes().begin(), out.all_nodes().end());
 
   // Per component region: terms computed / modified anywhere in its subtree.
   // Down-safety legitimately flows backward across a ParEnd into components
@@ -494,7 +494,7 @@ MotionResult run_code_motion(const Graph& g, const CodeMotionConfig& config) {
       // anchor on each outgoing edge instead (edge-wise placement keeps the
       // node's branch structure intact for path pairing).
       if (edge_wise) {
-        std::vector<EdgeId> outgoing = out.node(n).out_edges;
+        avector<EdgeId> outgoing = out.node(n).out_edges;
         for (EdgeId e : outgoing) {
           NodeId init = out.new_assign(edge_region(out, e), motion.temp,
                                        Rhs(motion.term_value));

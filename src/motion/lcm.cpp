@@ -119,7 +119,7 @@ MotionResult lazy_code_motion(const Graph& g) {
   res.predicates = compute_motion_predicates(out, preds, res.safety);
   LcmInternals lcm = compute_lcm_internals(out, terms, preds, res.predicates);
 
-  std::vector<NodeId> analyzed = out.all_nodes();
+  avector<NodeId> analyzed(out.all_nodes().begin(), out.all_nodes().end());
   for (TermId t : terms.all()) {
     TermMotion motion;
     motion.term = t;
@@ -151,7 +151,7 @@ MotionResult lazy_code_motion(const Graph& g) {
       if (insert) {
         motion.insert_points.push_back(n);
         if (n == out.start()) {
-          std::vector<EdgeId> outgoing = out.node(n).out_edges;
+          avector<EdgeId> outgoing = out.node(n).out_edges;
           for (EdgeId e : outgoing) {
             NodeId init = out.new_assign(edge_region(out, e), motion.temp,
                                          Rhs(motion.term_value));

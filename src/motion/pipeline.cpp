@@ -144,6 +144,10 @@ Pipeline& Pipeline::on_pass_start(std::function<void(const std::string&)> hook) 
 PipelineResult Pipeline::run(const Graph& g) const {
   PARCM_OBS_TIMER("pipeline.run");
   PipelineResult res{g, {}, {}};
+  // Reused across passes: after the first pass the snapshot allocates
+  // nothing, keeping the pipeline's allocation count independent of how
+  // many counters the ambient registry has accumulated.
+  obs::CounterBaseline counter_base;
   for (const Pass& pass : passes_) {
     if (pass_start_hook_) pass_start_hook_(pass.name);
     PassStats stats;
@@ -151,7 +155,7 @@ PipelineResult Pipeline::run(const Graph& g) const {
     stats.nodes_before = res.graph.num_nodes();
     PARCM_OBS_FLIGHT(obs::FlightKind::kPassStart, pass.name,
                      stats.nodes_before, 0);
-    std::map<std::string, std::uint64_t> before = obs::registry().counters();
+    counter_base.snapshot(obs::registry());
     std::size_t remarks_before = obs::remarks().size();
     auto start = std::chrono::steady_clock::now();
     std::size_t actions = 0;
@@ -171,11 +175,7 @@ PipelineResult Pipeline::run(const Graph& g) const {
     PARCM_OBS_FLIGHT(obs::FlightKind::kPassEnd, pass.name,
                      static_cast<std::uint64_t>(ns), actions);
     // Attribute the registry counters the pass moved to this PassStats.
-    for (const auto& [name, value] : obs::registry().counters()) {
-      auto it = before.find(name);
-      std::uint64_t delta = value - (it == before.end() ? 0 : it->second);
-      if (delta != 0) stats.counters.emplace(name, delta);
-    }
+    counter_base.deltas_since(obs::registry(), &stats.counters);
     stats.nodes_after = res.graph.num_nodes();
     stats.actions = actions;
     stats.remarks = obs::remarks().size() - remarks_before;

@@ -20,7 +20,17 @@ struct AllocCounters {
 thread_local AllocCounters tl_alloc_counters;
 #endif
 
+thread_local ForeignAllocSink* tl_foreign_sink = nullptr;
+
 }  // namespace
+
+ForeignAllocSink* thread_foreign_alloc_sink() { return tl_foreign_sink; }
+
+ForeignAllocSink* set_thread_foreign_alloc_sink(ForeignAllocSink* s) {
+  ForeignAllocSink* prev = tl_foreign_sink;
+  tl_foreign_sink = s;
+  return prev;
+}
 
 bool alloc_hook_active() { return PARCM_OBS_ALLOC_HOOK != 0; }
 

@@ -167,6 +167,33 @@ Histogram Registry::histogram(std::string_view name) const {
   return it == histograms_.end() ? Histogram{} : it->second;
 }
 
+void CounterBaseline::snapshot(const Registry& r) {
+  entries_.clear();
+  std::lock_guard<std::mutex> lock(r.mu_);
+  entries_.reserve(r.counters_.size());
+  for (const auto& [name, value] : r.counters_) {
+    entries_.emplace_back(&name, value);
+  }
+}
+
+void CounterBaseline::deltas_since(
+    const Registry& r, std::map<std::string, std::uint64_t>* out) const {
+  std::lock_guard<std::mutex> lock(r.mu_);
+  // Merge join on the map nodes themselves: baseline keys are a subset of
+  // the current keys (counters are never erased individually) and both
+  // sequences are in map order, so a pointer compare suffices — no string
+  // comparisons, no temporary map.
+  auto base = entries_.begin();
+  for (const auto& [name, value] : r.counters_) {
+    std::uint64_t before = 0;
+    if (base != entries_.end() && base->first == &name) {
+      before = base->second;
+      ++base;
+    }
+    if (value != before) (*out)[name] += value - before;
+  }
+}
+
 void Registry::merge_from(const Registry& other) {
   // Snapshot first: locking both registries at once invites deadlock, and
   // merge sources are quiescent per-worker registries anyway.

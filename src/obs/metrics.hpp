@@ -111,6 +111,8 @@ class Histogram {
   std::uint64_t max_ = 0;
 };
 
+class CounterBaseline;
+
 class Registry {
  public:
   void add_counter(std::string_view name, std::uint64_t delta = 1);
@@ -155,11 +157,40 @@ class Registry {
   std::string to_json(bool pretty = false) const;
 
  private:
+  friend class CounterBaseline;
+
   mutable std::mutex mu_;
   std::map<std::string, std::uint64_t, std::less<>> counters_;
   std::map<std::string, double, std::less<>> gauges_;
   std::map<std::string, TimerStat, std::less<>> timers_;
   std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+// Reusable, allocation-light baseline for measuring which counters a code
+// region moved. `Registry::counters()` copies the whole map — one node plus
+// one string allocation per entry — so measuring per-pass deltas that way
+// makes the caller's allocation profile scale with how many counters the
+// registry has accumulated (in the batch driver, allocs-per-program grew
+// with worker tenure). A baseline instead records pointers to the
+// registry's own map keys (std::map nodes are pointer-stable under
+// insertion) next to the observed values; re-snapshotting reuses the entry
+// vector, so a steady-state caller pays zero allocations per measurement.
+//
+// Constraint: deltas_since() assumes no counter was erased since
+// snapshot() — Registry only removes counters via clear(), so any region
+// that does not clear the registry is safe.
+class CounterBaseline {
+ public:
+  // Records the current counter values of `r`, dropping previous contents.
+  void snapshot(const Registry& r);
+
+  // For every counter of `r` that changed (or appeared) since snapshot(),
+  // adds (name, delta) into `out`.
+  void deltas_since(const Registry& r,
+                    std::map<std::string, std::uint64_t>* out) const;
+
+ private:
+  std::vector<std::pair<const std::string*, std::uint64_t>> entries_;
 };
 
 // The registry the macros report into: the calling thread's override when

@@ -32,7 +32,8 @@ RemarkSink* set_thread_remark_sink(RemarkSink* s) {
 }
 
 ThreadBindings current_thread_bindings() {
-  return ThreadBindings{&registry(), &remarks(), current_trace_track()};
+  return ThreadBindings{&registry(), &remarks(), current_trace_track(),
+                        thread_foreign_alloc_sink()};
 }
 
 const char* remark_kind_name(RemarkKind kind) {
@@ -179,9 +180,15 @@ std::string RemarkSink::pass() const {
   return pass_;
 }
 
+std::uint64_t RemarkSink::next_epoch() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 void RemarkSink::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   remarks_.clear();
+  epoch_.store(next_epoch(), std::memory_order_release);
 }
 
 bool RemarkSink::empty() const {

@@ -27,6 +27,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/alloc.hpp"    // ForeignAllocSink, thread_alloc_count
 #include "obs/metrics.hpp"  // PARCM_OBS_ENABLED, PARCM_OBS_CONCAT
 #include "obs/trace.hpp"    // TraceThreadScope
 
@@ -150,6 +151,15 @@ class RemarkSink {
   std::size_t size() const;
   std::vector<Remark> snapshot() const;
 
+  // Emission epoch: a process-unique value drawn at construction and again
+  // by every clear(). Consumers that emit derived remarks at most once per
+  // content — the analysis cache's acquisition remarks — key their dedup on
+  // this, so installing a fresh sink or clearing the current one starts a
+  // new epoch and re-emits.
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
   // One remark_to_string line per remark, in emission order.
   std::string to_string() const;
 
@@ -160,7 +170,10 @@ class RemarkSink {
   std::string to_json(bool pretty = false) const;
 
  private:
+  static std::uint64_t next_epoch();
+
   std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> epoch_{next_epoch()};
   mutable std::mutex mu_;
   std::string pass_;
   std::vector<Remark> remarks_;
@@ -192,6 +205,10 @@ struct ThreadBindings {
   // Spawning thread's trace track ("" when it is unbound or tracing is
   // off); the helper records onto "<trace_track>/async".
   std::string trace_track;
+  // Spawning thread's foreign-allocation sink (nullptr when none): the
+  // helper's allocation delta over the scope's lifetime is flushed here, so
+  // per-job allocation accounting covers helper-thread work too.
+  ForeignAllocSink* alloc_sink = nullptr;
 };
 ThreadBindings current_thread_bindings();
 
@@ -199,13 +216,20 @@ class ThreadBindingsScope {
  public:
   explicit ThreadBindingsScope(const ThreadBindings& b)
       : prev_registry_(set_thread_registry(b.registry)),
-        prev_sink_(set_thread_remark_sink(b.remarks)) {
+        prev_sink_(set_thread_remark_sink(b.remarks)),
+        alloc_sink_(b.alloc_sink),
+        start_allocs_(thread_alloc_count()),
+        start_bytes_(thread_alloc_bytes()) {
     if (!b.trace_track.empty()) {
       trace_scope_.emplace(b.trace_track + "/async");
     }
   }
   ~ThreadBindingsScope() {
     trace_scope_.reset();
+    if (alloc_sink_ != nullptr) {
+      alloc_sink_->add(thread_alloc_count() - start_allocs_,
+                       thread_alloc_bytes() - start_bytes_);
+    }
     set_thread_remark_sink(prev_sink_);
     set_thread_registry(prev_registry_);
   }
@@ -215,6 +239,9 @@ class ThreadBindingsScope {
  private:
   Registry* prev_registry_;
   RemarkSink* prev_sink_;
+  ForeignAllocSink* alloc_sink_;
+  std::uint64_t start_allocs_;
+  std::uint64_t start_bytes_;
   std::optional<TraceThreadScope> trace_scope_;
 };
 

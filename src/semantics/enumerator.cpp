@@ -47,7 +47,7 @@ std::vector<char> compute_invisible(const Graph& g) {
     mine.clear();
     collect_accessed(g, n, &mine);
     if (mine.empty()) continue;
-    for (NodeId m : itlv.preds(n)) {
+    for (NodeId m : itlv.preds(g, n)) {
       theirs.clear();
       collect_accessed(g, m, &theirs);
       for (VarId v : mine) {

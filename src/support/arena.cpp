@@ -1,0 +1,121 @@
+#include "support/arena.hpp"
+
+#include <cstdlib>
+
+#include "support/diagnostics.hpp"
+
+namespace parcm {
+
+namespace {
+
+std::size_t align_up(std::size_t v, std::size_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+thread_local Arena* tl_current_arena = nullptr;
+
+}  // namespace
+
+Arena::~Arena() { reset(); }
+
+void Arena::reset() {
+  BlockHeader* b = head_;
+  while (b != nullptr) {
+    BlockHeader* next = b->next;
+    std::free(b);
+    b = next;
+  }
+  head_ = nullptr;
+  cur_ = end_ = nullptr;
+  next_block_bytes_ = kDefaultBlockBytes;
+  bytes_allocated_ = 0;
+  bytes_reserved_ = 0;
+  allocation_count_ = 0;
+  block_count_ = 0;
+}
+
+void Arena::new_block(std::size_t min_bytes) {
+  std::size_t usable = next_block_bytes_;
+  if (usable < min_bytes) usable = align_up(min_bytes, kDefaultBlockBytes);
+  // Geometric growth, capped so a huge corpus program cannot make every
+  // later block huge as well.
+  if (next_block_bytes_ < 1024 * 1024) next_block_bytes_ *= 2;
+  std::size_t header = align_up(sizeof(BlockHeader), alignof(std::max_align_t));
+  // Blocks come from malloc, not operator new, so arena reservations are
+  // invisible to the obs alloc hook by design: allocs_per_program measures
+  // residual global-allocator traffic, and the handful of block
+  // reservations per program is reported via bytes_reserved() instead.
+  auto* raw = static_cast<char*>(std::malloc(header + usable));
+  PARCM_CHECK(raw != nullptr, "arena block allocation failed");
+  auto* block = reinterpret_cast<BlockHeader*>(raw);
+  block->next = head_;
+  block->size = usable;
+  head_ = block;
+  cur_ = raw + header;
+  end_ = cur_ + usable;
+  bytes_reserved_ += usable;
+  ++block_count_;
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  PARCM_CHECK(align != 0 && (align & (align - 1)) == 0 &&
+                  align <= alignof(std::max_align_t),
+              "unsupported arena alignment");
+  char* p = reinterpret_cast<char*>(
+      align_up(reinterpret_cast<std::uintptr_t>(cur_), align));
+  if (p + bytes > end_ || p + bytes < p) {
+    new_block(bytes + align);
+    p = reinterpret_cast<char*>(
+        align_up(reinterpret_cast<std::uintptr_t>(cur_), align));
+  }
+  cur_ = p + bytes;
+  bytes_allocated_ += bytes;
+  ++allocation_count_;
+  return p;
+}
+
+bool Arena::owns(const void* p) const {
+  std::size_t header = align_up(sizeof(BlockHeader), alignof(std::max_align_t));
+  for (const BlockHeader* b = head_; b != nullptr; b = b->next) {
+    const char* base = reinterpret_cast<const char*>(b) + header;
+    if (p >= base && p < base + b->size) return true;
+  }
+  return false;
+}
+
+Arena* current_arena() { return tl_current_arena; }
+
+Arena* set_current_arena(Arena* a) {
+  Arena* prev = tl_current_arena;
+  tl_current_arena = a;
+  return prev;
+}
+
+namespace arena_detail {
+
+void* tagged_allocate(std::size_t bytes) {
+  std::size_t total = bytes + kHeaderBytes;
+  char* raw;
+  std::uint64_t tag;
+  if (Arena* a = tl_current_arena) {
+    raw = static_cast<char*>(a->allocate(total, alignof(std::max_align_t)));
+    tag = kArenaTag;
+  } else {
+    raw = static_cast<char*>(::operator new(total));
+    tag = kHeapTag;
+  }
+  *reinterpret_cast<std::uint64_t*>(raw) = tag;
+  return raw + kHeaderBytes;
+}
+
+void tagged_deallocate(void* p) noexcept {
+  if (p == nullptr) return;
+  char* raw = static_cast<char*>(p) - kHeaderBytes;
+  std::uint64_t tag = *reinterpret_cast<std::uint64_t*>(raw);
+  if (tag == kArenaTag) return;  // freed wholesale by the owning arena
+  ::operator delete(raw);
+}
+
+}  // namespace arena_detail
+
+}  // namespace parcm

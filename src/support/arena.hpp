@@ -1,0 +1,150 @@
+// Bump-pointer arena for batch-scoped IR allocation.
+//
+// A batch job builds a Graph, runs the pipeline, serializes the result and
+// throws everything away; paying malloc/free per node vector, edge list and
+// bitvector word block is pure overhead. An Arena hands out memory from
+// geometrically growing malloc'd blocks and frees them wholesale in its
+// destructor.
+//
+// Containers opt in through ArenaAllocator<T>, which is *stateless*: every
+// allocation consults the calling thread's current arena (ArenaScope) and
+// falls back to the global heap when none is installed. Each allocation
+// carries a one-word header tagging its origin, so deallocation is always
+// safe no matter which arena — or none — is current at that point: heap
+// blocks are returned to operator delete, arena blocks are a no-op (their
+// memory dies with the arena).
+//
+// Ownership rule (see DESIGN.md): an object whose containers were filled
+// while an arena was current must be destroyed before that arena. Anything
+// that outlives the job — cached analysis bundles, shared-cache entries,
+// result payloads — must be built under ArenaPauseScope so its memory is
+// heap-tagged.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace parcm {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultBlockBytes = 64 * 1024;
+
+  Arena() = default;
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Aligned bump allocation; starts a new block when the current one is
+  // exhausted. align must be a power of two <= alignof(std::max_align_t).
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  // True iff p points into one of this arena's blocks.
+  bool owns(const void* p) const;
+
+  // Releases every block; the arena is reusable afterwards.
+  void reset();
+
+  std::uint64_t bytes_allocated() const { return bytes_allocated_; }
+  std::uint64_t bytes_reserved() const { return bytes_reserved_; }
+  std::uint64_t allocation_count() const { return allocation_count_; }
+  std::uint64_t block_count() const { return block_count_; }
+
+ private:
+  struct BlockHeader {
+    BlockHeader* next;
+    std::size_t size;  // usable bytes after the header
+  };
+
+  void new_block(std::size_t min_bytes);
+
+  BlockHeader* head_ = nullptr;
+  char* cur_ = nullptr;
+  char* end_ = nullptr;
+  std::size_t next_block_bytes_ = kDefaultBlockBytes;
+  std::uint64_t bytes_allocated_ = 0;
+  std::uint64_t bytes_reserved_ = 0;
+  std::uint64_t allocation_count_ = 0;
+  std::uint64_t block_count_ = 0;
+};
+
+// The calling thread's current arena (nullptr when none is installed).
+Arena* current_arena();
+// Installs `a` (nullptr uninstalls); returns the previous value.
+Arena* set_current_arena(Arena* a);
+
+// RAII install/uninstall of the thread-current arena.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& a) : prev_(set_current_arena(&a)) {}
+  ~ArenaScope() { set_current_arena(prev_); }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena* prev_;
+};
+
+// Suspends arena allocation for a region that builds objects which must
+// outlive the current job (cached bundles, shared-cache entries).
+class ArenaPauseScope {
+ public:
+  ArenaPauseScope() : prev_(set_current_arena(nullptr)) {}
+  ~ArenaPauseScope() { set_current_arena(prev_); }
+  ArenaPauseScope(const ArenaPauseScope&) = delete;
+  ArenaPauseScope& operator=(const ArenaPauseScope&) = delete;
+
+ private:
+  Arena* prev_;
+};
+
+namespace arena_detail {
+
+// Every ArenaAllocator allocation is prefixed by one max-aligned word
+// recording where it came from, so deallocate() never has to guess.
+inline constexpr std::size_t kHeaderBytes = alignof(std::max_align_t);
+inline constexpr std::uint64_t kArenaTag = 0xA7E7A000A7E7A001ull;
+inline constexpr std::uint64_t kHeapTag = 0x4EA9000000004EA9ull;
+
+void* tagged_allocate(std::size_t bytes);
+void tagged_deallocate(void* p) noexcept;
+
+}  // namespace arena_detail
+
+// Standard-conforming stateless allocator: arena-backed while an ArenaScope
+// is active on the calling thread, global heap otherwise.
+template <class T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  using is_always_equal = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+
+  static_assert(alignof(T) <= alignof(std::max_align_t),
+                "over-aligned types are not supported by ArenaAllocator");
+
+  ArenaAllocator() = default;
+  template <class U>
+  ArenaAllocator(const ArenaAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_detail::tagged_allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    arena_detail::tagged_deallocate(p);
+  }
+
+  template <class U>
+  bool operator==(const ArenaAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+// Shorthand for the arena-aware vector used throughout the IR.
+template <class T>
+using avector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace parcm

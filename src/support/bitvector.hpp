@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "support/arena.hpp"
+
 namespace parcm {
 
 class BitVector {
@@ -93,8 +95,8 @@ class BitVector {
     }
   }
 
-  std::vector<Word>& words() { return words_; }
-  const std::vector<Word>& words() const { return words_; }
+  avector<Word>& words() { return words_; }
+  const avector<Word>& words() const { return words_; }
   std::size_t word_count() const { return words_.size(); }
 
   // Zeroes any bits at positions >= size(); call after raw word writes.
@@ -113,7 +115,7 @@ class BitVector {
   }
 
   std::size_t size_ = 0;
-  std::vector<Word> words_;
+  avector<Word> words_;
 };
 
 class BitVector::SetBitRange {

@@ -153,6 +153,36 @@ lang::Program fuzz_program(std::uint64_t campaign_seed, std::size_t index,
   return random_program_ast(rng, gen);
 }
 
+namespace {
+
+void suffix_expr_vars(lang::AExpr& e, const std::string& suffix) {
+  if (e.a.is_var) e.a.name += suffix;
+  if (e.b.is_var) e.b.name += suffix;
+}
+
+void suffix_block_vars(lang::Block& block, const std::string& suffix) {
+  for (lang::Stmt& s : block) {
+    if (!s.lhs.empty()) s.lhs += suffix;
+    suffix_expr_vars(s.rhs, suffix);
+    if (!s.cond.nondet) suffix_expr_vars(s.cond.expr, suffix);
+    for (lang::Block& b : s.blocks) suffix_block_vars(b, suffix);
+  }
+}
+
+}  // namespace
+
+lang::Program fuzz_program_pooled(std::uint64_t campaign_seed,
+                                  std::size_t index, std::size_t shapes,
+                                  const RandomProgramOptions& gen) {
+  if (shapes == 0) shapes = 1;
+  lang::Program p = fuzz_program(campaign_seed, index % shapes, gen);
+  std::size_t repetition = index / shapes;
+  if (repetition > 0) {
+    suffix_block_vars(p.body, "_r" + std::to_string(repetition));
+  }
+  return p;
+}
+
 Graph apply_named_pipeline(const std::string& name, const Graph& g,
                            const InjectOptions& inject) {
   if (name == "pcm" || name == "naive" || name == "full") {

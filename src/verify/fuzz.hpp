@@ -100,6 +100,16 @@ std::uint64_t fuzz_program_seed(std::uint64_t campaign_seed,
 lang::Program fuzz_program(std::uint64_t campaign_seed, std::size_t index,
                            const RandomProgramOptions& gen);
 
+// The i-th program of a K-shape pool: structurally the (i mod K)-th
+// campaign program with every variable uniformly renamed per repetition
+// (i div K), so a large corpus repeats shapes without repeating texts.
+// Renaming is injective and preserves first-occurrence order, so all
+// repetitions of a pool slot share one structural_hash — the workload the
+// shared analysis cache exists for. shapes == 0 behaves like 1.
+lang::Program fuzz_program_pooled(std::uint64_t campaign_seed,
+                                  std::size_t index, std::size_t shapes,
+                                  const RandomProgramOptions& gen);
+
 // Applies the named transformation pipeline (optionally with an injected
 // miscompile) to a copy of g. Throws InternalError on unknown names, or
 // when injection is requested for a pipeline without a code-motion stage.

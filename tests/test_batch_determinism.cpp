@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "analyses/cache.hpp"
 #include "driver/driver.hpp"
 #include "driver/manifest.hpp"
 #include "driver/work_queue.hpp"
@@ -40,6 +41,86 @@ driver::Manifest corpus64() {
 // string must be byte-identical across job counts and steal orders.
 std::string payload(const driver::BatchReport& r) {
   return r.to_json(/*pretty=*/false, /*include_timing=*/false);
+}
+
+// 48 programs drawn from a pool of 8 shapes (variables renamed per
+// repetition): the corpus where the shared analysis cache actually fires,
+// and therefore where cache state could most plausibly leak into outputs.
+driver::Manifest pooled_corpus() {
+  RandomProgramOptions gen = verify::default_fuzz_gen();
+  return driver::Manifest::lazy(48, "pool", [gen](std::size_t i) {
+    return lang::to_source(verify::fuzz_program_pooled(2027, i, 8, gen));
+  });
+}
+
+// The tentpole's hard constraint: on a duplicate-shape corpus the payload
+// is one fixed byte string across jobs 1/4/16 crossed with shared cache
+// off, on-and-cold, and on-and-pre-warmed. A hit must be indistinguishable
+// from a rebuild in every payload byte (outputs, remark lines, counts).
+TEST(BatchDeterminism, SharedCacheModesKeepPayloadByteIdentical) {
+  driver::Manifest m = pooled_corpus();
+  driver::BatchOptions opt;
+  opt.keep_remark_lines = true;
+  std::string reference;
+  auto check = [&](driver::BatchOptions& o, const char* mode) {
+    driver::BatchReport report = driver::run_batch(m, o);
+    EXPECT_EQ(report.totals.done, 48u);
+    if (reference.empty()) {
+      reference = payload(report);
+    } else {
+      EXPECT_EQ(payload(report), reference)
+          << mode << " jobs=" << o.jobs;
+    }
+    return report;
+  };
+  opt.shared_cache = false;
+  for (std::size_t jobs : {1u, 4u, 16u}) {
+    opt.jobs = jobs;
+    check(opt, "shared-cache off");
+  }
+  opt.shared_cache = true;
+  for (std::size_t jobs : {1u, 4u, 16u}) {
+    SharedAnalysisCache cold;  // fresh instance: every run starts cold
+    opt.shared_cache_instance = &cold;
+    opt.jobs = jobs;
+    check(opt, "shared-cache cold");
+  }
+  SharedAnalysisCache warm;  // reused: later runs face a fully hot cache
+  opt.shared_cache_instance = &warm;
+  for (std::size_t jobs : {1u, 4u, 16u}) {
+    opt.jobs = jobs;
+    driver::BatchReport report = check(opt, "shared-cache warm");
+#if PARCM_OBS_ENABLED
+    if (jobs > 1) {
+      // The hot runs really are exercising the shared tier, not silently
+      // missing it.
+      EXPECT_GT(report.counters["analysis.shared_cache.hits"], 0u);
+    }
+#endif
+  }
+}
+
+// Steal-order regression on the duplicate-shape corpus: with the shared
+// tier hot, which worker acquires a shape first depends on stealing — the
+// remark stream (sink-epoch emission) must not.
+TEST(BatchDeterminism, DuplicateShapesByteIdenticalAcrossStealOrders) {
+  driver::Manifest m = pooled_corpus();
+  driver::BatchOptions opt;
+  opt.jobs = 8;
+  opt.keep_remark_lines = true;
+  SharedAnalysisCache shared;
+  opt.shared_cache_instance = &shared;
+  std::string reference;
+  for (std::uint64_t seed : {0ull, 3ull, 77ull, 0xC0FFEEull}) {
+    opt.steal_seed = seed;
+    driver::BatchReport report = driver::run_batch(m, opt);
+    EXPECT_EQ(report.totals.done, 48u);
+    if (reference.empty()) {
+      reference = payload(report);
+    } else {
+      EXPECT_EQ(payload(report), reference) << "steal_seed=" << seed;
+    }
+  }
 }
 
 TEST(BatchDeterminism, ByteIdenticalAcrossJobCounts) {
@@ -117,6 +198,10 @@ TEST(BatchDeterminism, ValidatedRunMatchesAcrossJobs) {
 TEST(BatchDeterminism, MergedCountersMatchSequentialRun) {
   driver::Manifest m = corpus64();
   driver::BatchOptions opt;
+  // Shared-tier traffic is schedule-dependent by design (which worker gets
+  // the first instance of a shape decides who builds and who hits), so the
+  // counter-sum invariant is a per-worker-cache property: pin the tier off.
+  opt.shared_cache = false;
   opt.jobs = 1;
   driver::BatchReport seq = driver::run_batch(m, opt);
   opt.jobs = 8;

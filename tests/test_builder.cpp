@@ -11,7 +11,7 @@ TEST(Builder, EmptyProgram) {
   GraphBuilder b;
   Graph g = b.finish();
   validate_or_throw(g);
-  EXPECT_EQ(g.succs(g.start()), std::vector<NodeId>{g.end()});
+  EXPECT_EQ(g.succs(g.start()), avector<NodeId>{g.end()});
 }
 
 TEST(Builder, StraightLine) {

@@ -140,7 +140,7 @@ TEST(DirectedView, AdjacencyMatchesGraph) {
   Graph g = random_program(rng, opt);
   DirectedView fwd(g, Direction::kForward);
   for (NodeId n : g.all_nodes()) {
-    std::vector<NodeId> want = g.succs(n);
+    avector<NodeId> want = g.succs(n);
     std::span<const NodeId> got = fwd.dir_succs(n);
     EXPECT_TRUE(std::is_permutation(got.begin(), got.end(), want.begin(),
                                     want.end()));

@@ -37,8 +37,8 @@ TEST(Graph, EdgesAndDegrees) {
   g.add_edge(n, g.end());
   EXPECT_EQ(g.out_degree(g.start()), 1u);
   EXPECT_EQ(g.in_degree(n), 1u);
-  EXPECT_EQ(g.succs(g.start()), std::vector<NodeId>{n});
-  EXPECT_EQ(g.preds(g.end()), std::vector<NodeId>{n});
+  EXPECT_EQ(g.succs(g.start()), avector<NodeId>{n});
+  EXPECT_EQ(g.preds(g.end()), avector<NodeId>{n});
 }
 
 TEST(Graph, RemoveEdge) {
@@ -143,8 +143,8 @@ TEST(Graph, SpliceBefore) {
   g.add_edge(b, g.end());
   NodeId mid = g.new_node(NodeKind::kSynthetic, g.root_region());
   g.splice_before(mid, b);
-  EXPECT_EQ(g.succs(a), std::vector<NodeId>{mid});
-  EXPECT_EQ(g.succs(mid), std::vector<NodeId>{b});
+  EXPECT_EQ(g.succs(a), avector<NodeId>{mid});
+  EXPECT_EQ(g.succs(mid), avector<NodeId>{b});
   EXPECT_EQ(g.in_degree(b), 1u);
 }
 
@@ -155,8 +155,8 @@ TEST(Graph, SpliceAfter) {
   g.add_edge(a, g.end());
   NodeId mid = g.new_node(NodeKind::kSynthetic, g.root_region());
   g.splice_after(mid, a);
-  EXPECT_EQ(g.succs(a), std::vector<NodeId>{mid});
-  EXPECT_EQ(g.succs(mid), std::vector<NodeId>{g.end()});
+  EXPECT_EQ(g.succs(a), avector<NodeId>{mid});
+  EXPECT_EQ(g.succs(mid), avector<NodeId>{g.end()});
 }
 
 TEST(Graph, SpliceBeforePreservesEdgeSlots) {
@@ -176,7 +176,7 @@ TEST(Graph, SpliceBeforePreservesEdgeSlots) {
   // The true branch is still out_edges[0] and still reaches then_n via mid.
   EXPECT_EQ(g.node(t).out_edges[0], te);
   EXPECT_EQ(g.edge(te).to, mid);
-  EXPECT_EQ(g.succs(mid), std::vector<NodeId>{then_n});
+  EXPECT_EQ(g.succs(mid), avector<NodeId>{then_n});
 }
 
 TEST(Graph, CopyIsDeep) {

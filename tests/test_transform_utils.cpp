@@ -77,7 +77,7 @@ TEST(SplitEdge, PreservesTestSlots) {
   NodeId mid = split_edge(g, true_edge);
   EXPECT_EQ(g.node(test).out_edges[0], true_edge);
   EXPECT_EQ(g.edge(true_edge).to, mid);
-  EXPECT_EQ(g.succs(mid), std::vector<NodeId>{old_target});
+  EXPECT_EQ(g.succs(mid), avector<NodeId>{old_target});
   validate_or_throw(g);
 }
 
