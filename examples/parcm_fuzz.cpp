@@ -13,6 +13,11 @@
 //                       0 = hardware concurrency). The outcome is
 //                       identical at any jobs value.
 //     --pipeline NAME   bcm | lcm | pcm | naive | sinking | dce | full
+//     --oracle NAME     exact | vm | both (default exact). vm checks final
+//                       stores across seeded VM schedules
+//                       (verify::vm_differential_check); both additionally
+//                       counts cross-oracle disagreements
+//     --vm-schedules N  seeded VM schedules per side (default 64)
 //     --smoke           time-boxed CI mode (wall-clock cap, default 60 s)
 //     --seconds S       wall-clock cap in seconds (0 = none)
 //     --inject MODE     flip a safety ingredient to test the oracle:
@@ -77,6 +82,16 @@ int main(int argc, char** argv) {
     } else if (a == "--pipeline") {
       if (i + 1 >= args.size()) return 2;
       opt.pipeline = args[++i];
+    } else if (a == "--oracle") {
+      if (i + 1 >= args.size()) return 2;
+      opt.oracle = args[++i];
+      if (opt.oracle != "exact" && opt.oracle != "vm" &&
+          opt.oracle != "both") {
+        std::cerr << "unknown oracle " << opt.oracle << "\n";
+        return 2;
+      }
+    } else if (a == "--vm-schedules") {
+      opt.vm_budget.schedules = static_cast<std::size_t>(next_u64(&i));
     } else if (a == "--smoke") {
       if (opt.seconds <= 0) opt.seconds = 60;
       opt.count = 100000;  // the wall clock is the real bound
@@ -118,6 +133,7 @@ int main(int argc, char** argv) {
     } else if (a == "--help" || a == "-h") {
       std::cout << "usage: parcm_fuzz [--seed N] [--count N] [--jobs N] "
                    "[--pipeline bcm|lcm|pcm|naive|sinking|dce|full] "
+                   "[--oracle exact|vm|both] [--vm-schedules N] "
                    "[--smoke] [--seconds S] [--inject MODE] [--expect-catch] "
                    "[--out DIR] [--no-reduce] [--atomic] [--dump-program "
                    "[--index N]] [--json] [--stats] [--metrics-json FILE] "

@@ -56,6 +56,14 @@ ABSOLUTE_BOUNDS = [
     # "ceiling" fails when value > limit.
     ("cache_hit_rate", "floor", 0.5),
     ("allocs_per_program", "ceiling", 7000.0),
+    # The VM differential oracle must stay meaningfully cheaper than the
+    # exact enumerative checker on the pooled corpus (bench_exec), and the
+    # VM's executional results must stay exact: no sampled schedule may run
+    # slower after PCM, and the phase-algebra cost must agree with the
+    # analytic model on every pair.
+    ("vm_oracle_speedup", "floor", 5.0),
+    ("vm_regressed_paths", "ceiling", 0.0),
+    ("vm_cost_mismatches", "ceiling", 0.0),
 ]
 
 
@@ -425,6 +433,32 @@ def make_batch_fixture(hit_rate=0.8, allocs=1100.0):
             "results": results}
 
 
+def make_exec_fixture(speedup=12.0, regressed=0.0, mismatches=0.0):
+    """A parcm-bench-v1 bench_exec document exercising the VM bounds."""
+    results = [
+        {
+            "name": "BM_VmOracleSpeedup",
+            "iterations": 3,
+            "real_ns_per_iter": 1e8,
+            "cpu_ns_per_iter": 1e8,
+            "counters": {"vm_oracle_speedup": speedup},
+        },
+        {
+            "name": "BM_VmCorpus",
+            "iterations": 3,
+            "real_ns_per_iter": 5e7,
+            "cpu_ns_per_iter": 5e7,
+            "counters": {
+                "pairs": 144,
+                "vm_regressed_paths": regressed,
+                "vm_cost_mismatches": mismatches,
+            },
+        },
+    ]
+    return {"schema": "parcm-bench-v1", "bench": "exec_fixture",
+            "results": results}
+
+
 def self_test(threshold):
     """Hermetic check that the gate accepts clean runs and rejects a 2x
     slowdown and a counter growth. Exercised by ctest so the gate itself
@@ -475,6 +509,26 @@ def self_test(threshold):
                 True, quiet) != 1:
         failures.append("allocs_per_program above ceiling accepted")
 
+    # VM executional bounds: a healthy bench_exec run passes; a VM oracle
+    # slower than 5x the exact checker, a schedule that regressed after
+    # PCM, or a VM-vs-analytic cost drift each fail hard.
+    exec_ok = write(make_exec_fixture())
+    exec_slow = write(make_exec_fixture(speedup=2.0))
+    exec_regressed = write(make_exec_fixture(regressed=3.0))
+    exec_drift = write(make_exec_fixture(mismatches=1.0))
+    if run_gate([exec_ok], [exec_ok], threshold, DEFAULT_HARD_COUNTERS,
+                False, quiet) != 0:
+        failures.append("healthy exec run rejected by absolute bounds")
+    if run_gate([exec_ok], [exec_slow], threshold, DEFAULT_HARD_COUNTERS,
+                False, quiet) != 1:
+        failures.append("vm_oracle_speedup below floor accepted")
+    if run_gate([exec_ok], [exec_regressed], threshold, DEFAULT_HARD_COUNTERS,
+                True, quiet) != 1:
+        failures.append("vm_regressed_paths above ceiling accepted")
+    if run_gate([exec_ok], [exec_drift], threshold, DEFAULT_HARD_COUNTERS,
+                True, quiet) != 1:
+        failures.append("vm_cost_mismatches above ceiling accepted")
+
     # History trend mode: three snapshots with ordinary noise, then a clean
     # fresh run must pass the median gate, a 2x run must fail it, and a
     # counter growth against the newest snapshot must fail hard.
@@ -502,7 +556,8 @@ def self_test(threshold):
         failures.append("empty history dir not reported as usage error")
     os.rmdir(empty)
 
-    for path in (base, same, slow, more, batch_ok, batch_cold, batch_fat):
+    for path in (base, same, slow, more, batch_ok, batch_cold, batch_fat,
+                 exec_ok, exec_slow, exec_regressed, exec_drift):
         os.unlink(path)
     if failures:
         print("self-test FAILED:", "; ".join(failures))

@@ -13,6 +13,9 @@
 #   BENCH_fixpoint.json
 #   BENCH_pipeline.json
 #   BENCH_batch.json     (parcm_batch --scaling: thread-pool speedup curve)
+#   BENCH_exec.json      (bench_exec: VM wall clock on the figures, the
+#                         pooled exec corpus, and the VM-vs-exact oracle
+#                         throughput ratio floor-gated at 5x)
 #
 # test_schema validates both files whenever they exist, so a stale or
 # hand-edited artifact fails the suite. Tune the measurement length with
@@ -30,7 +33,7 @@ min_time="${PARCM_BENCH_MIN_TIME:-0.05}"
 out_dir="${PARCM_BENCH_OUT_DIR:-$repo_root}"
 mkdir -p "$out_dir"
 
-for bench in bench_fixpoint_scaling bench_pipeline; do
+for bench in bench_fixpoint_scaling bench_pipeline bench_exec; do
   if [[ ! -x "$build_dir/bench/$bench" ]]; then
     echo "error: $build_dir/bench/$bench not found — configure and build first:" >&2
     echo "  cmake -B $build_dir -S $repo_root && cmake --build $build_dir -j" >&2
@@ -48,6 +51,11 @@ echo "== bench_pipeline -> $out_dir/BENCH_pipeline.json =="
   --benchmark_min_time="$min_time" \
   --obs_json="$out_dir/BENCH_pipeline.json"
 
+echo "== bench_exec -> $out_dir/BENCH_exec.json =="
+"$build_dir/bench/bench_exec" \
+  --benchmark_min_time="$min_time" \
+  --obs_json="$out_dir/BENCH_exec.json"
+
 echo "== parcm_batch --scaling -> $out_dir/BENCH_batch.json =="
 if [[ ! -x "$build_dir/examples/parcm_batch" ]]; then
   echo "error: $build_dir/examples/parcm_batch not found — build first" >&2
@@ -62,7 +70,7 @@ fi
   --scaling "${PARCM_BENCH_BATCH_JOBS:-1,2,4,8,16}" \
   --bench-json "$out_dir/BENCH_batch.json"
 
-echo "wrote $out_dir/BENCH_fixpoint.json, $out_dir/BENCH_pipeline.json and $out_dir/BENCH_batch.json"
+echo "wrote $out_dir/BENCH_fixpoint.json, $out_dir/BENCH_pipeline.json, $out_dir/BENCH_exec.json and $out_dir/BENCH_batch.json"
 
 # Per-run history snapshot: commit + timestamp name the run, meta.json makes
 # the snapshot self-describing, and the timestamp prefix keeps directory
@@ -75,7 +83,7 @@ if [[ "${PARCM_BENCH_HISTORY:-1}" != "0" ]]; then
   history_dir="${PARCM_BENCH_HISTORY_DIR:-$repo_root/bench/history}/$stamp-$commit$dirty"
   mkdir -p "$history_dir"
   cp "$out_dir/BENCH_fixpoint.json" "$out_dir/BENCH_pipeline.json" \
-     "$out_dir/BENCH_batch.json" "$history_dir/"
+     "$out_dir/BENCH_exec.json" "$out_dir/BENCH_batch.json" "$history_dir/"
   cat > "$history_dir/meta.json" <<EOF
 {
   "schema": "parcm-bench-history-v1",

@@ -60,6 +60,11 @@ struct ProgramVerdict {
   Verdict verdict;
   bool sampled_alarm = false;
   Budget confirmed_budget;
+  // VM-oracle leg (oracle == "vm" or "both").
+  bool vm_ran = false;
+  Status vm_status = Status::kInconclusive;
+  bool disagreement = false;  // VM divergence refuted by the exact oracle
+  bool vm_missed = false;     // exact divergence the VM schedules missed
 };
 
 ProgramVerdict check_one(const FuzzOptions& options,
@@ -89,7 +94,28 @@ ProgramVerdict check_one(const FuzzOptions& options,
   obs::set_thread_remark_sink(prev);
   std::vector<obs::Remark> remarks = sink.snapshot();
 
-  slot.verdict = differential_check(before, after, options.budget, &remarks);
+  const bool use_vm = options.oracle == "vm" || options.oracle == "both";
+  const bool use_exact = options.oracle != "vm";
+  Verdict vm_verdict;
+  if (use_vm) {
+    vm_verdict = vm_differential_check(before, after, options.vm_budget,
+                                       &remarks);
+    slot.vm_ran = true;
+    slot.vm_status = vm_verdict.status;
+  }
+  slot.verdict = use_exact ? differential_check(before, after, options.budget,
+                                                &remarks)
+                           : vm_verdict;
+  if (options.oracle == "both") {
+    if (vm_verdict.status == Status::kDiverged && slot.verdict.ok()) {
+      // The VM only claims kDiverged against a complete original behaviour
+      // set, so an exact refutation means one of the oracles is broken.
+      slot.disagreement = true;
+    }
+    if (slot.verdict.status == Status::kDiverged && vm_verdict.ok()) {
+      slot.vm_missed = true;
+    }
+  }
   slot.confirmed_budget = options.budget;
   if (slot.verdict.status == Status::kDiverged && !slot.verdict.exact) {
     // A sampled kDiverged is already sound — the oracle only reports it
@@ -103,6 +129,12 @@ ProgramVerdict check_one(const FuzzOptions& options,
     Verdict exact_verdict =
         differential_check(before, after, slot.confirmed_budget, &remarks);
     if (exact_verdict.exact) {
+      if (use_vm && !use_exact && exact_verdict.ok()) {
+        // The VM's divergence claim did not survive the exact re-check: a
+        // soundness bug in one of the oracles, surfaced as a disagreement
+        // rather than silently swallowed.
+        slot.disagreement = true;
+      }
       slot.verdict = exact_verdict;
     } else {
       // Kept as a sampled divergence; tracked separately so campaign
@@ -218,6 +250,12 @@ std::string FuzzOutcome::summary() const {
     os << ", " << sampled_alarms << " sampled-only divergence"
        << (sampled_alarms == 1 ? "" : "s");
   }
+  if (vm_checked > 0) {
+    os << "; vm oracle: " << vm_checked << " checked, " << vm_divergences
+       << " diverged, " << oracle_disagreements << " disagreement"
+       << (oracle_disagreements == 1 ? "" : "s");
+    if (vm_missed > 0) os << ", " << vm_missed << " missed by schedules";
+  }
   for (const FuzzFailure& f : failures) {
     os << "\n  #" << f.index << " seed 0x" << std::hex << f.program_seed
        << std::dec << ": " << f.verdict.summary() << "\n    reduced to "
@@ -237,6 +275,10 @@ std::string FuzzOutcome::to_json(bool pretty) const {
   w.key("inconclusive").value(inconclusive);
   w.key("divergences").value(divergences);
   w.key("sampled_alarms").value(sampled_alarms);
+  w.key("vm_checked").value(vm_checked);
+  w.key("vm_divergences").value(vm_divergences);
+  w.key("oracle_disagreements").value(oracle_disagreements);
+  w.key("vm_missed").value(vm_missed);
   w.key("failures").begin_array();
   for (const FuzzFailure& f : failures) {
     w.begin_object();
@@ -299,6 +341,9 @@ std::string render_regression_test(const FuzzFailure& f,
 
 FuzzOutcome run_fuzz(const FuzzOptions& options) {
   PARCM_OBS_TIMER("verify.fuzz.run");
+  PARCM_CHECK(options.oracle == "exact" || options.oracle == "vm" ||
+                  options.oracle == "both",
+              "unknown oracle: " + options.oracle);
   FuzzOutcome out;
   RandomProgramOptions gen = options.gen;
   if (sequential_pipeline(options.pipeline)) {
@@ -369,6 +414,15 @@ FuzzOutcome run_fuzz(const FuzzOptions& options) {
     if (slot.sampled_alarm) {
       ++out.sampled_alarms;
       PARCM_OBS_COUNT("verify.fuzz.sampled_alarms", 1);
+    }
+    if (slot.vm_ran) {
+      ++out.vm_checked;
+      if (slot.vm_status == Status::kDiverged) ++out.vm_divergences;
+      if (slot.disagreement) {
+        ++out.oracle_disagreements;
+        PARCM_OBS_COUNT("verify.fuzz.oracle_disagreements", 1);
+      }
+      if (slot.vm_missed) ++out.vm_missed;
     }
     if (verdict.exact) {
       ++out.exact;

@@ -17,6 +17,7 @@
 #include "ir/graph.hpp"
 #include "lang/ast.hpp"
 #include "verify/verify.hpp"
+#include "verify/vm_oracle.hpp"
 #include "workload/randomprog.hpp"
 
 namespace parcm::verify {
@@ -46,7 +47,16 @@ struct FuzzOptions {
   // Wall-clock box in seconds; 0 = unbounded (the --smoke CI job sets 60).
   double seconds = 0;
   InjectOptions inject;
+  // Which differential oracle checks each program:
+  //   exact — enumerative/sampled differential_check (the default)
+  //   vm    — seeded-schedule vm_differential_check
+  //   both  — run both and count cross-oracle disagreements (a VM-claimed
+  //           divergence the exact oracle refutes is a VM oracle bug; an
+  //           exact find the VM's schedules missed is tracked as vm_missed
+  //           without failing the campaign)
+  std::string oracle = "exact";
   Budget budget;
+  VmBudget vm_budget;
   RandomProgramOptions gen;  // defaulted via default_fuzz_gen()
   bool reduce = true;
   // Stop reducing/recording after this many failures (counting continues).
@@ -87,9 +97,18 @@ struct FuzzOutcome {
   // that resisted the exact two-sided re-check, so it lacks exact counts.
   std::size_t divergences = 0;
   std::size_t sampled_alarms = 0;
+  // VM-oracle bookkeeping (zero unless oracle was "vm" or "both").
+  std::size_t vm_checked = 0;
+  std::size_t vm_divergences = 0;
+  // Cross-oracle contradictions: the VM claimed a divergence the exact
+  // oracle (or the exact escalation) refuted. Soundness bugs — fatal.
+  std::size_t oracle_disagreements = 0;
+  // Exact divergences the VM's schedule sample failed to reach. A sampling
+  // shortfall, not a soundness bug: reported, never fatal.
+  std::size_t vm_missed = 0;
   std::vector<FuzzFailure> failures;
 
-  bool ok() const { return divergences == 0; }
+  bool ok() const { return divergences == 0 && oracle_disagreements == 0; }
   std::string summary() const;
   std::string to_json(bool pretty = false) const;
 };

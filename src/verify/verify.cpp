@@ -127,8 +127,10 @@ std::vector<std::optional<VarId>> project_vars(
   return ids;
 }
 
-void classify(Verdict* v, const Graph& before,
-              const std::vector<obs::Remark>* remarks) {
+}  // namespace
+
+void classify_divergence(Verdict* v, const Graph& before,
+                         const std::vector<obs::Remark>* remarks) {
   if (remarks != nullptr) v->pitfalls = pitfalls_from_remarks(*remarks);
   if (!v->pitfalls.empty()) return;
   // A divergent pipeline's own remark stream rarely names a pitfall: the
@@ -150,8 +152,6 @@ void classify(Verdict* v, const Graph& before,
   std::vector<obs::Remark> refined = sink.snapshot();
   v->pitfalls = pitfalls_from_remarks(refined);
 }
-
-}  // namespace
 
 const char* status_name(Status s) {
   switch (s) {
@@ -232,7 +232,7 @@ Verdict differential_check(const Graph& before, const Graph& after,
         v.status = Status::kDiverged;
         v.witness = cv.violation_witness;
         PARCM_OBS_COUNT("verify.diverged", 1);
-        classify(&v, before, remarks);
+        classify_divergence(&v, before, remarks);
       } else {
         v.status = cv.behaviours_preserved ? Status::kEquivalent
                                            : Status::kConsistent;
@@ -316,7 +316,7 @@ Verdict differential_check(const Graph& before, const Graph& after,
     v.status = Status::kDiverged;
     v.witness = *bad;
     PARCM_OBS_COUNT("verify.diverged", 1);
-    classify(&v, before, remarks);
+    classify_divergence(&v, before, remarks);
     return v;
   }
   v.status = std::includes(trans.finals.begin(), trans.finals.end(),

@@ -104,4 +104,12 @@ Verdict differential_check(const Graph& before, const Graph& after,
 std::vector<std::string> pitfalls_from_remarks(
     const std::vector<obs::Remark>& remarks);
 
+// Fills v->pitfalls with the P1/P2/P3 suspects for a divergence: first from
+// the supplied remark stream, and — when that stream names none, the usual
+// case for a transformation that went ahead instead of blocking — by
+// re-running refined PCM on `before` under a private sink and harvesting
+// its blocking reasons. Best-effort; shared by the exact and the VM oracle.
+void classify_divergence(Verdict* v, const Graph& before,
+                         const std::vector<obs::Remark>* remarks);
+
 }  // namespace parcm::verify

@@ -1,0 +1,238 @@
+#include "vm/bytecode.hpp"
+
+#include <sstream>
+
+#include "ir/printer.hpp"
+#include "support/diagnostics.hpp"
+
+namespace parcm::vm {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kNop: return "nop";
+    case Op::kEval: return "eval";
+    case Op::kStore: return "store";
+    case Op::kAssign: return "assign";
+    case Op::kBranch: return "branch";
+    case Op::kChoose: return "choose";
+    case Op::kSpawn: return "spawn";
+    case Op::kBarrier: return "barrier";
+  }
+  return "?";
+}
+
+namespace {
+
+// The pc a control edge n -> s transfers to. A component thread's edge into
+// its own statement's ParEnd is the thread's exit, not a jump: the join is
+// performed by the executor when the task halts (kHaltPc).
+Pc edge_target(const Graph& g, const std::vector<Pc>& node_pc, NodeId n,
+               NodeId s) {
+  ParStmtId owner = g.region(g.node(n).region).owner;
+  if (owner.valid() && g.node(s).kind == NodeKind::kParEnd &&
+      g.node(s).par_stmt == owner) {
+    return kHaltPc;
+  }
+  return node_pc[s.index()];
+}
+
+}  // namespace
+
+VmProgram lower_to_bytecode(const Graph& g, const LowerOptions& opts) {
+  VmProgram p;
+  p.num_vars = g.num_vars();
+  p.num_regions = g.num_regions();
+  p.split_assignments = opts.split_assignments;
+
+  // Pass 1: emit instructions per node in creation order; remember each
+  // node's first pc and the instruction whose successor fields pass 2
+  // patches (the last one emitted for the node).
+  std::vector<Pc> node_pc(g.num_nodes(), kHaltPc);
+  std::vector<Pc> term_pc(g.num_nodes(), kHaltPc);
+  for (NodeId n : g.all_nodes()) {
+    const Node& node = g.node(n);
+    Pc first = static_cast<Pc>(p.code.size());
+    node_pc[n.index()] = first;
+    Instr instr;
+    instr.src = n;
+    switch (node.kind) {
+      case NodeKind::kAssign:
+        if (opts.split_assignments) {
+          instr.op = Op::kEval;
+          instr.rhs = node.rhs;
+          instr.counts = node.rhs.is_term();
+          instr.target = first + 1;  // the paired kStore
+          p.code.push_back(instr);
+          Instr store;
+          store.op = Op::kStore;
+          store.dst = node.lhs;
+          store.src = n;
+          p.code.push_back(store);
+        } else {
+          instr.op = Op::kAssign;
+          instr.dst = node.lhs;
+          instr.rhs = node.rhs;
+          instr.counts = node.rhs.is_term();
+          p.code.push_back(instr);
+        }
+        break;
+      case NodeKind::kTest:
+        PARCM_CHECK(node.cond.has_value(), "test node without a condition");
+        instr.op = Op::kBranch;
+        instr.rhs = *node.cond;
+        p.code.push_back(instr);
+        break;
+      case NodeKind::kParBegin:
+        instr.op = Op::kSpawn;
+        instr.stmt = node.par_stmt;
+        p.code.push_back(instr);
+        break;
+      case NodeKind::kBarrier: {
+        ParStmtId owner = g.region(node.region).owner;
+        PARCM_CHECK(owner.valid(), "barrier outside a parallel component");
+        instr.op = Op::kBarrier;
+        instr.stmt = owner;
+        p.code.push_back(instr);
+        break;
+      }
+      default:
+        // kStart / kEnd / kSkip / kSynthetic / kParEnd.
+        if (g.out_degree(n) > 1) {
+          // The node is itself a nondeterministic branch point: lower it
+          // straight to the choose (no separate nop).
+          instr.op = Op::kChoose;
+          p.code.push_back(instr);
+          term_pc[n.index()] = first;
+          continue;
+        }
+        instr.op = Op::kNop;
+        p.code.push_back(instr);
+        break;
+    }
+    Pc last = static_cast<Pc>(p.code.size() - 1);
+    // A statement-bearing node with several out-edges needs an explicit
+    // choose step after its effect (rare, but the IR permits it).
+    if (g.out_degree(n) > 1 && node.kind != NodeKind::kTest &&
+        node.kind != NodeKind::kParBegin) {
+      p.code[last].target = last + 1;
+      Instr choose;
+      choose.op = Op::kChoose;
+      choose.src = n;
+      p.code.push_back(choose);
+      last = static_cast<Pc>(p.code.size() - 1);
+    }
+    term_pc[n.index()] = last;
+  }
+
+  // Pass 2: patch control transfers now that every node has a pc.
+  for (NodeId n : g.all_nodes()) {
+    const Node& node = g.node(n);
+    Instr& term = p.code[term_pc[n.index()]];
+    if (node.kind == NodeKind::kParBegin) {
+      // Control flow through a parallel statement is spawn/join, not the
+      // ParBegin -> component-entry edges; the spawner resumes at the
+      // ParEnd once every component task has halted.
+      const ParStmt& stmt = g.par_stmt(node.par_stmt);
+      term.target = node_pc[stmt.end.index()];
+      continue;
+    }
+    avector<NodeId> succs = g.succs(n);
+    if (node.kind == NodeKind::kTest) {
+      PARCM_CHECK(succs.size() == 2, "test node without two successors");
+      term.target = edge_target(g, node_pc, n, succs[0]);
+      term.target2 = edge_target(g, node_pc, n, succs[1]);
+      continue;
+    }
+    if (succs.empty()) {
+      PARCM_CHECK(n == g.end(), "dead-end node is not e*");
+      continue;  // target stays kHaltPc: the root thread terminates
+    }
+    if (succs.size() == 1) {
+      term.target = edge_target(g, node_pc, n, succs[0]);
+      continue;
+    }
+    term.choices_off = static_cast<std::uint32_t>(p.choice_pool.size());
+    term.choices_len = static_cast<std::uint32_t>(succs.size());
+    for (NodeId s : succs) {
+      p.choice_pool.push_back(edge_target(g, node_pc, n, s));
+    }
+  }
+
+  // Region / statement tables.
+  p.region_entry.assign(g.num_regions(), kHaltPc);
+  p.region_owner.assign(g.num_regions(), ParStmtId());
+  p.region_entry[g.root_region().index()] = node_pc[g.start().index()];
+  for (std::size_t s = 0; s < g.num_par_stmts(); ++s) {
+    const ParStmt& stmt = g.par_stmt(ParStmtId(static_cast<std::uint32_t>(s)));
+    VmParStmt vs;
+    vs.parent = stmt.parent_region;
+    vs.resume = node_pc[stmt.end.index()];
+    for (RegionId comp : stmt.components) {
+      vs.components.push_back(comp);
+      p.region_entry[comp.index()] = node_pc[g.component_entry(comp).index()];
+      p.region_owner[comp.index()] = stmt.id;
+    }
+    p.par_stmts.push_back(std::move(vs));
+  }
+  return p;
+}
+
+std::string VmProgram::to_string(const Graph* names) const {
+  std::ostringstream os;
+  os << "vm program: " << code.size() << " instrs, " << num_regions
+     << " regions, " << par_stmts.size() << " par stmts"
+     << (split_assignments ? " (split)" : " (atomic)") << "\n";
+  auto pc_str = [](Pc pc) {
+    return pc == kHaltPc ? std::string("halt") : std::to_string(pc);
+  };
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Instr& in = code[i];
+    os << "  " << i << ": " << op_name(in.op);
+    switch (in.op) {
+      case Op::kEval:
+        os << " acc <- "
+           << (names != nullptr ? rhs_to_string(*names, in.rhs) : "rhs")
+           << " -> " << pc_str(in.target);
+        break;
+      case Op::kStore:
+        os << " "
+           << (names != nullptr ? names->var_name(in.dst)
+                                : "v" + std::to_string(in.dst.index()))
+           << " <- acc -> " << pc_str(in.target);
+        break;
+      case Op::kAssign:
+        os << " "
+           << (names != nullptr ? names->var_name(in.dst)
+                                : "v" + std::to_string(in.dst.index()))
+           << " <- "
+           << (names != nullptr ? rhs_to_string(*names, in.rhs) : "rhs")
+           << " -> " << pc_str(in.target);
+        break;
+      case Op::kBranch:
+        os << " " << pc_str(in.target) << " / " << pc_str(in.target2);
+        break;
+      case Op::kChoose: {
+        os << " {";
+        for (std::uint32_t c = 0; c < in.choices_len; ++c) {
+          os << (c > 0 ? " " : "") << pc_str(choice_pool[in.choices_off + c]);
+        }
+        os << "}";
+        break;
+      }
+      case Op::kSpawn:
+        os << " stmt" << in.stmt.index() << " join -> "
+           << pc_str(par_stmts[in.stmt.index()].resume);
+        break;
+      case Op::kBarrier:
+        os << " stmt" << in.stmt.index() << " -> " << pc_str(in.target);
+        break;
+      case Op::kNop:
+        os << " -> " << pc_str(in.target);
+        break;
+    }
+    os << "   ; n" << in.src.value() << (in.counts ? " [cost 1]" : "") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace parcm::vm

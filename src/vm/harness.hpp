@@ -1,0 +1,73 @@
+// Executional-improvement corpus harness.
+//
+// The paper's Theorem 3 claim is *per path*: on every execution path the
+// transformed program is never slower under the bottleneck cost model. The
+// analytic side (semantics/cost.hpp) walks the graph; this harness actually
+// runs the lowered bytecode under the same branch oracles and holds the two
+// implementations against each other while tallying before/after cost over
+// a pooled random corpus — the empirical leg of ROADMAP open item 3, and
+// the data source for BENCH_exec.json.
+//
+// Determinism contract: CorpusReport is a pure function of CorpusOptions
+// (jobs only changes the wall clock, never the payload — the fan-out uses
+// driver::run_batch's slot pattern with a sequential reduce), so its JSON
+// rendering is byte-identical at any --jobs value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workload/randomprog.hpp"
+
+namespace parcm::vm {
+
+struct CorpusOptions {
+  std::uint64_t seed = 1;
+  std::size_t programs = 64;
+  // Shape-pool size: program i is structurally the (i mod shapes)-th shape
+  // (verify::fuzz_program_pooled).
+  std::size_t shapes = 16;
+  // Oracle-driven paths sampled per program pair.
+  std::size_t schedules = 8;
+  std::size_t jobs = 1;  // 0 = hardware concurrency
+  // bcm | lcm | pcm | naive | sinking | dce | full
+  std::string pipeline = "pcm";
+  std::size_t max_steps = 1u << 20;
+  RandomProgramOptions gen;  // defaulted to verify::default_fuzz_gen()
+
+  CorpusOptions();
+};
+
+struct CorpusReport {
+  std::size_t programs = 0;
+  std::size_t pairs = 0;  // (program, schedule) sampled paths
+  // Summed over all sampled paths; "original" is the pipeline input,
+  // "optimized" its output.
+  std::uint64_t instrs_original = 0;
+  std::uint64_t instrs_optimized = 0;
+  std::uint64_t time_original = 0;  // bottleneck time (paper Sec. 3.3.1)
+  std::uint64_t time_optimized = 0;
+  std::uint64_t computations_original = 0;
+  std::uint64_t computations_optimized = 0;
+  // Per-path verdicts on bottleneck time.
+  std::size_t improved = 0;
+  std::size_t equal = 0;
+  std::size_t regressed = 0;  // optimized strictly slower: a Theorem 3 bug
+  // VM-vs-analytic disagreement on (time, computations) for the same
+  // oracle: one of the two cost implementations is wrong.
+  std::size_t cost_mismatches = 0;
+  std::size_t skipped = 0;  // step budget exhausted on either side
+
+  bool ok() const { return regressed == 0 && cost_mismatches == 0; }
+  std::string summary() const;
+  // "parcm-vm-corpus-v1": config + the tallies above. Timing-free, so the
+  // document is byte-identical across runs and --jobs values.
+  std::string to_json(bool pretty = false) const;
+};
+
+// Runs the corpus: generate pooled programs, transform through the named
+// pipeline, sample `schedules` oracle-driven paths per pair on the VM, and
+// cross-check every path's cost against the analytic walker.
+CorpusReport run_exec_corpus(const CorpusOptions& options);
+
+}  // namespace parcm::vm

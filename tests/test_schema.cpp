@@ -22,6 +22,7 @@
 #include "obs/metrics.hpp"
 #include "obs/remarks.hpp"
 #include "obs/trace.hpp"
+#include "vm/harness.hpp"
 
 namespace parcm {
 namespace {
@@ -217,6 +218,28 @@ TEST(SchemaBench, HarnessJsonIsValid) {
   EXPECT_NE(json.find("\"bench\": \"bench_schema_test\""), std::string::npos);
   EXPECT_NE(json.find("\"results\""), std::string::npos);
   EXPECT_NE(json.find("\"obs\""), std::string::npos);
+}
+
+TEST(SchemaVmCorpus, ReportJsonIsValidAndTagged) {
+  // The BENCH_exec data source: vm::run_exec_corpus's payload must parse,
+  // carry its version tag, and expose the gate-facing tallies.
+  vm::CorpusOptions opt;
+  opt.seed = 3;
+  opt.programs = 4;
+  opt.shapes = 2;
+  opt.schedules = 2;
+  vm::CorpusReport report = vm::run_exec_corpus(opt);
+  for (bool pretty : {false, true}) {
+    std::string json = report.to_json(pretty);
+    EXPECT_TRUE(obs::json_valid(json)) << json;
+    EXPECT_NE(json.find("parcm-vm-corpus-v1"), std::string::npos);
+    for (const char* key :
+         {"\"programs\"", "\"pairs\"", "\"time_original\"",
+          "\"time_optimized\"", "\"improved\"", "\"regressed\"",
+          "\"cost_mismatches\"", "\"ok\""}) {
+      EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+  }
 }
 
 #ifdef PARCM_REPO_ROOT
